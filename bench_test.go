@@ -1,0 +1,365 @@
+// Benchmarks regenerating the paper's figures and tables; see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// recorded shapes. Naming: BenchmarkFigN... covers figure N;
+// Fig. 5 (the complexity table) is split per row and column.
+package prefcqa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/clean"
+	"prefcqa/internal/conflict"
+	"prefcqa/internal/core"
+	"prefcqa/internal/cqa"
+	"prefcqa/internal/denial"
+	"prefcqa/internal/priority"
+	"prefcqa/internal/query"
+	"prefcqa/internal/relation"
+	"prefcqa/internal/repair"
+	"prefcqa/internal/workload"
+)
+
+// --- Figure 1 / Example 4: conflict graph construction ---
+
+func BenchmarkFig1ConflictGraphBuild(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sc := workload.Pairs(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := conflict.Build(sc.Inst, sc.FDs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig1RepairCount(b *testing.B) {
+	sc := workload.Pairs(60) // 2^60 repairs, counted componentwise
+	g := sc.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := repair.Count(g)
+		if err != nil || c != 1<<60 {
+			b.Fatalf("count = %d, %v", c, err)
+		}
+	}
+}
+
+// --- Figures 2-4 / Examples 7-9: family selection ---
+
+func benchFamilies(b *testing.B, sc *workload.Scenario) {
+	b.Helper()
+	for _, f := range core.Families {
+		b.Run(f.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				core.Enumerate(f, sc.Pri, func(*bitset.Set) bool { n++; return true }) //nolint:errcheck
+				if n == 0 {
+					b.Fatal("empty family")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig2Example7(b *testing.B) { benchFamilies(b, workload.Example7()) }
+func BenchmarkFig3Example8(b *testing.B) { benchFamilies(b, workload.Example8()) }
+func BenchmarkFig4Example9(b *testing.B) { benchFamilies(b, workload.Example9Mutual()) }
+
+// --- Figure 5, column "repair check" ---
+
+// The checked repair is Algorithm 1's output on Chain(n): a member of
+// every family. Rep, L-Rep, S-Rep and C-Rep checking is polynomial;
+// G-Rep checking enumerates the component's repairs (co-NP-complete
+// problem) and blows up with n.
+func benchRepairCheck(b *testing.B, f core.Family, n int) {
+	sc := workload.Chain(n)
+	rp := clean.Deterministic(sc.Pri)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.Check(f, sc.Pri, rp) {
+			b.Fatal("check failed")
+		}
+	}
+}
+
+func BenchmarkFig5RepairCheckRep(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchRepairCheck(b, core.Rep, n) })
+	}
+}
+
+func BenchmarkFig5RepairCheckLocal(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchRepairCheck(b, core.Local, n) })
+	}
+}
+
+func BenchmarkFig5RepairCheckSemiGlobal(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchRepairCheck(b, core.SemiGlobal, n) })
+	}
+}
+
+func BenchmarkFig5RepairCheckCommon(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchRepairCheck(b, core.Common, n) })
+	}
+}
+
+func BenchmarkFig5RepairCheckGlobal(b *testing.B) {
+	// Same sizes as the polynomial families would be infeasible: the
+	// component's repair count grows like Fibonacci(n).
+	for _, n := range []int{8, 16, 24} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchRepairCheck(b, core.Global, n) })
+	}
+}
+
+// --- Figure 5, column "consistent answers", row Rep ---
+
+func pairsInput(n int) cqa.Input {
+	sc := workload.Pairs(n)
+	in, err := cqa.NewInput(&cqa.Relation{Inst: sc.Inst, FDs: sc.FDs, Pri: sc.Pri})
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// groundAllPairsQuery: (R(0,0) OR R(0,1)) AND ... — certainly true,
+// touches every component.
+func groundAllPairsQuery(n int) query.Expr {
+	atom := func(a, bb int64) query.Expr {
+		return query.Atom{Rel: "R", Args: []query.Term{
+			query.Const{Value: relation.Int(a)}, query.Const{Value: relation.Int(bb)},
+		}}
+	}
+	var q query.Expr
+	for i := 0; i < n; i++ {
+		or := query.Or{L: atom(int64(i), 0), R: atom(int64(i), 1)}
+		if q == nil {
+			q = or
+		} else {
+			q = query.And{L: q, R: or}
+		}
+	}
+	return q
+}
+
+// The {∀,∃}-free PTIME cell: the witness-cover algorithm scales
+// polynomially even though the instance has 2^n repairs.
+func BenchmarkFig5GroundCQARep(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := pairsInput(n)
+			q := groundAllPairsQuery(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := cqa.GroundQFEvaluate(in, q)
+				if err != nil || a != cqa.CertainlyTrue {
+					b.Fatalf("%v %v", a, err)
+				}
+			}
+		})
+	}
+}
+
+// The conjunctive-query co-NP cell: a certainly-true EXISTS query
+// forces enumeration of all 2^n repairs.
+func BenchmarkFig5ConjunctiveCQARep(b *testing.B) {
+	for _, n := range []int{6, 9, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := pairsInput(n)
+			q := query.MustParse("EXISTS x, y . R(x, y)")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := cqa.Evaluate(core.Rep, in, q)
+				if err != nil || a != cqa.CertainlyTrue {
+					b.Fatalf("%v %v", a, err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 5, rows L/S/G/C: preferred CQA vs priority density ---
+
+func benchPreferredCQA(b *testing.B, f core.Family, density float64) {
+	sc := workload.Pairs(9)
+	rng := rand.New(rand.NewSource(1))
+	sc.Pri = priority.Random(sc.Graph(), density, rng)
+	in, err := cqa.NewInput(&cqa.Relation{Inst: sc.Inst, FDs: sc.FDs, Pri: sc.Pri})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.MustParse("EXISTS x, y . R(x, y)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := cqa.Evaluate(f, in, q)
+		if err != nil || a != cqa.CertainlyTrue {
+			b.Fatalf("%v %v", a, err)
+		}
+	}
+}
+
+func BenchmarkFig5CQALocal(b *testing.B) {
+	for _, d := range []float64{0, 1} {
+		b.Run(fmt.Sprintf("density=%.0f", d), func(b *testing.B) { benchPreferredCQA(b, core.Local, d) })
+	}
+}
+
+func BenchmarkFig5CQASemiGlobal(b *testing.B) {
+	for _, d := range []float64{0, 1} {
+		b.Run(fmt.Sprintf("density=%.0f", d), func(b *testing.B) { benchPreferredCQA(b, core.SemiGlobal, d) })
+	}
+}
+
+func BenchmarkFig5CQAGlobal(b *testing.B) {
+	for _, d := range []float64{0, 1} {
+		b.Run(fmt.Sprintf("density=%.0f", d), func(b *testing.B) { benchPreferredCQA(b, core.Global, d) })
+	}
+}
+
+func BenchmarkFig5CQACommon(b *testing.B) {
+	for _, d := range []float64{0, 1} {
+		b.Run(fmt.Sprintf("density=%.0f", d), func(b *testing.B) { benchPreferredCQA(b, core.Common, d) })
+	}
+}
+
+// --- Algorithm 1 / Proposition 1 ---
+
+func BenchmarkAlgorithm1Clean(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("clusters=%d", m), func(b *testing.B) {
+			sc := workload.Clusters(m, 3)
+			total := sc.Pri.TotalExtension(rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := clean.Deterministic(total)
+				if out.Len() != m {
+					b.Fatalf("cleaned size %d", out.Len())
+				}
+			}
+		})
+	}
+}
+
+// --- §6 denial-constraint extension ---
+
+func BenchmarkDenialHypergraph(b *testing.B) {
+	schema := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"))
+	cons := denial.MustParse(schema, `R(x1,y1) AND R(x2,y2) AND R(x3,y3)
+		AND x1 = x2 AND x2 = x3 AND y1 < y2 AND y2 < y3`)
+	for _, groups := range []int{4, 16} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			inst := relation.NewInstance(schema)
+			for g := 0; g < groups; g++ {
+				for j := 0; j < 3; j++ {
+					inst.MustInsert(g, j)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := denial.Build(inst, []denial.Constraint{cons})
+				if err != nil || h.NumEdges() != groups {
+					b.Fatalf("%v edges=%d", err, h.NumEdges())
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// Ground-query component pruning: on Pairs(16) with a query touching
+// one component, pruned evaluation is constant-ish while full
+// enumeration pays 2^16.
+func BenchmarkAblationPruningOn(b *testing.B) {
+	in := pairsInput(16)
+	q := query.MustParse("R(0,0) OR R(0,1)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := cqa.Evaluate(core.Rep, in, q)
+		if err != nil || a != cqa.CertainlyTrue {
+			b.Fatalf("%v %v", a, err)
+		}
+	}
+}
+
+func BenchmarkAblationPruningOff(b *testing.B) {
+	in := pairsInput(12) // smaller: full enumeration of 2^n repairs
+	q := query.MustParse("R(0,0) OR R(0,1)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := cqa.EvaluateFull(core.Rep, in, q)
+		if err != nil || a != cqa.CertainlyTrue {
+			b.Fatalf("%v %v", a, err)
+		}
+	}
+}
+
+// Componentwise repair counting vs full enumeration.
+func BenchmarkAblationComponentCount(b *testing.B) {
+	sc := workload.Pairs(16)
+	g := sc.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c, err := repair.Count(g); err != nil || c != 1<<16 {
+			b.Fatalf("%d %v", c, err)
+		}
+	}
+}
+
+func BenchmarkAblationFullEnumerationCount(b *testing.B) {
+	sc := workload.Pairs(12)
+	g := sc.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		repair.Enumerate(g, func(*bitset.Set) bool { n++; return true }) //nolint:errcheck
+		if n != 1<<12 {
+			b.Fatalf("n=%d", n)
+		}
+	}
+}
+
+// --- facade end-to-end ---
+
+func BenchmarkFacadeQueryGlobal(b *testing.B) {
+	db := New()
+	mgr, err := db.CreateRelation("Mgr",
+		NameAttr("Name"), NameAttr("Dept"), IntAttr("Salary"), IntAttr("Reports"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mary := mgr.MustInsert("Mary", "R&D", 40, 3)
+	john := mgr.MustInsert("John", "R&D", 10, 2)
+	maryIT := mgr.MustInsert("Mary", "IT", 20, 1)
+	johnPR := mgr.MustInsert("John", "PR", 30, 4)
+	if err := mgr.AddFD("Dept -> Name,Salary,Reports"); err != nil {
+		b.Fatal(err)
+	}
+	if err := mgr.AddFD("Name -> Dept,Salary,Reports"); err != nil {
+		b.Fatal(err)
+	}
+	mgr.Prefer(mary, maryIT) //nolint:errcheck
+	mgr.Prefer(john, johnPR) //nolint:errcheck
+	q := `EXISTS x1, y1, z1, x2, y2, z2 .
+		Mgr('Mary', x1, y1, z1) AND Mgr('John', x2, y2, z2) AND y1 > y2 AND z1 < z2`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := db.Query(Global, q)
+		if err != nil || a != True {
+			b.Fatalf("%v %v", a, err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command prefbench regenerates the paper's figures and tables as
+// text output (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	prefbench            # run everything, full sizes
+//	prefbench -quick     # small sizes (seconds)
+//	prefbench -exp fig5  # one experiment: fig1 fig2 fig3 fig4 props
+//	                     # clean fig5check fig5cqa denial pruning
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prefcqa/internal/bench"
+)
+
+var experiments = []struct {
+	name string
+	fn   func(bench.Options) []*bench.Table
+}{
+	{"fig1", bench.Fig1},
+	{"fig2", bench.Fig2},
+	{"fig3", bench.Fig3},
+	{"fig4", bench.Fig4},
+	{"props", bench.Props},
+	{"clean", bench.CleanExp},
+	{"fig5check", bench.Fig5RepairCheck},
+	{"fig5cqa", bench.Fig5CQA},
+	{"denial", bench.DenialExp},
+	{"pruning", bench.AblationPruning},
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run (or 'all')")
+		quick = flag.Bool("quick", false, "small input sizes")
+	)
+	flag.Parse()
+	opts := bench.Options{Quick: *quick}
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran++
+		for _, tab := range e.fn(opts) {
+			tab.Render(os.Stdout)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "prefbench: unknown experiment %q\n", *exp)
+		fmt.Fprint(os.Stderr, "available:")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, " %s", e.name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command prefclean cleans an inconsistent CSV relation with
+// Algorithm 1 of the paper: winnow-driven conflict resolution under
+// the given preferences. The cleaned relation (always a repair) is
+// written as CSV to stdout. With total preferences the output is the
+// unique preferred repair (Proposition 1); with partial preferences
+// it is one member of C-Rep.
+//
+// Usage:
+//
+//	prefclean -data mgr.csv -rel Mgr -fd 'Dept -> Name,Salary,Reports' \
+//	          -prefs prefs.txt > cleaned.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prefcqa"
+	"prefcqa/internal/cliutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefclean:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		data  = flag.String("data", "", "CSV file with a typed header (required)")
+		rel   = flag.String("rel", "R", "relation name")
+		prefs = flag.String("prefs", "", "preference file (tuple > tuple per line)")
+		fds   cliutil.StringList
+	)
+	flag.Var(&fds, "fd", "functional dependency 'X -> Y' (repeatable)")
+	flag.Parse()
+
+	if *data == "" {
+		flag.Usage()
+		return fmt.Errorf("-data is required")
+	}
+	db, r, err := cliutil.LoadDB(*data, *rel, fds, *prefs)
+	if err != nil {
+		return err
+	}
+	cleaned, err := db.Clean(*rel)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "prefclean: kept %d of %d tuples\n", cleaned.Len(), r.Instance().Len())
+	return prefcqa.WriteCSV(os.Stdout, cleaned)
+}

@@ -1,0 +1,90 @@
+// Command prefq answers first-order queries over an inconsistent CSV
+// relation under preferred-repair semantics.
+//
+// Usage:
+//
+//	prefq -data mgr.csv -rel Mgr \
+//	      -fd 'Dept -> Name,Salary,Reports' -fd 'Name -> Dept,Salary,Reports' \
+//	      -prefs prefs.txt -family global \
+//	      -query "EXISTS d,s,r . Mgr('Mary', d, s, r)"
+//
+// The data file is CSV with a typed header (attr:name or attr:int).
+// The preference file holds lines "tuple > tuple" with tuples as
+// comma-separated values. Closed queries print true / false /
+// undetermined; open queries (free variables) print their certain
+// answers, one binding per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prefcqa"
+	"prefcqa/internal/cliutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefq:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		data    = flag.String("data", "", "CSV file with a typed header (required)")
+		rel     = flag.String("rel", "R", "relation name")
+		prefs   = flag.String("prefs", "", "preference file (tuple > tuple per line)")
+		family  = flag.String("family", "rep", "repair family: rep, local, semiglobal, global, common")
+		queries cliutil.StringList
+		fds     cliutil.StringList
+	)
+	flag.Var(&fds, "fd", "functional dependency 'X -> Y' (repeatable)")
+	flag.Var(&queries, "query", "first-order query (repeatable)")
+	flag.Parse()
+
+	if *data == "" || len(queries) == 0 {
+		flag.Usage()
+		return fmt.Errorf("-data and at least one -query are required")
+	}
+	fam, err := prefcqa.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+	db, r, err := cliutil.LoadDB(*data, *rel, fds, *prefs)
+	if err != nil {
+		return err
+	}
+	conflicts, err := r.Conflicts()
+	if err != nil {
+		return err
+	}
+	count, err := db.CountRepairs(fam, *rel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relation %s: %d tuples, %d conflicts, %d %v repairs\n",
+		*rel, r.Instance().Len(), conflicts, count, fam)
+
+	for _, src := range queries {
+		ans, err := db.Query(fam, src)
+		if err == nil {
+			fmt.Printf("%s\n  => %s\n", src, ans)
+			continue
+		}
+		// Retry as an open query.
+		bindings, openErr := db.QueryOpen(fam, src)
+		if openErr != nil {
+			return err // report the original (closed) error
+		}
+		fmt.Printf("%s\n", src)
+		if len(bindings) == 0 {
+			fmt.Println("  => no certain answers")
+		}
+		for _, b := range bindings {
+			fmt.Printf("  => %s\n", b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command prefrepairs inspects the preferred repairs of an
+// inconsistent CSV relation: counts or lists them per family, checks
+// a candidate repair, and renders the conflict graph.
+//
+// Usage:
+//
+//	prefrepairs -data mgr.csv -rel Mgr -fd 'Dept -> Name,Salary,Reports' \
+//	            -prefs prefs.txt -family global -list
+//	prefrepairs -data mgr.csv -rel Mgr -fd '...' -dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prefcqa"
+	"prefcqa/internal/cliutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefrepairs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		data    = flag.String("data", "", "CSV file with a typed header (required)")
+		rel     = flag.String("rel", "R", "relation name")
+		prefs   = flag.String("prefs", "", "preference file (tuple > tuple per line)")
+		family  = flag.String("family", "rep", "repair family: rep, local, semiglobal, global, common")
+		list    = flag.Bool("list", false, "list the preferred repairs (may be exponential)")
+		max     = flag.Int("max", 64, "list at most this many repairs")
+		dot     = flag.Bool("dot", false, "print the conflict graph in Graphviz format and exit")
+		axioms  = flag.Bool("axioms", false, "probe properties P1-P4 for the family")
+		explain = flag.Bool("explain", false, "explain every conflicting tuple's status")
+		fds     cliutil.StringList
+	)
+	flag.Var(&fds, "fd", "functional dependency 'X -> Y' (repeatable)")
+	flag.Parse()
+
+	if *data == "" {
+		flag.Usage()
+		return fmt.Errorf("-data is required")
+	}
+	fam, err := prefcqa.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+	db, r, err := cliutil.LoadDB(*data, *rel, fds, *prefs)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		s, err := db.ConflictGraphDOT(*rel)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
+	}
+	conflicts, err := r.Conflicts()
+	if err != nil {
+		return err
+	}
+	all, err := db.CountRepairs(prefcqa.Rep, *rel)
+	if err != nil {
+		return err
+	}
+	preferred, err := db.CountRepairs(fam, *rel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relation %s: %d tuples, %d conflicts\n", *rel, r.Instance().Len(), conflicts)
+	fmt.Printf("repairs: %d total, %d in %v\n", all, preferred, fam)
+
+	if *axioms {
+		rep, err := db.CheckAxioms(fam, *rel)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("axioms for %v: P1=%s P2=%s P3=%s P4=%s\n", fam, rep.P1, rep.P2, rep.P3, rep.P4)
+	}
+	if *explain {
+		for id := 0; id < r.Instance().Len(); id++ {
+			rep, err := db.ExplainTuple(fam, *rel, prefcqa.TupleID(id))
+			if err != nil {
+				return err
+			}
+			if len(rep.Conflicts) == 0 {
+				continue
+			}
+			fmt.Println(rep)
+		}
+	}
+	if *list {
+		repairs, err := db.Repairs(fam, *rel)
+		if err != nil {
+			return err
+		}
+		for i, inst := range repairs {
+			if i >= *max {
+				fmt.Printf("... (%d more)\n", len(repairs)-*max)
+				break
+			}
+			fmt.Printf("repair %d: %s\n", i+1, inst)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package prefcqa_test
+
+import (
+	"fmt"
+
+	"prefcqa"
+)
+
+// The paper's running example: integrating conflicting sources and
+// querying under preferred-repair semantics.
+func Example() {
+	db := prefcqa.New()
+	mgr, _ := db.CreateRelation("Mgr",
+		prefcqa.NameAttr("Name"), prefcqa.NameAttr("Dept"),
+		prefcqa.IntAttr("Salary"), prefcqa.IntAttr("Reports"))
+
+	mary := mgr.MustInsert("Mary", "R&D", 40, 3)  // source s1
+	john := mgr.MustInsert("John", "R&D", 10, 2)  // source s2
+	maryIT := mgr.MustInsert("Mary", "IT", 20, 1) // source s3
+	johnPR := mgr.MustInsert("John", "PR", 30, 4) // source s3
+
+	_ = mgr.AddFD("Dept -> Name, Salary, Reports")
+	_ = mgr.AddFD("Name -> Dept, Salary, Reports")
+
+	q2 := `EXISTS x1,y1,z1,x2,y2,z2 .
+		Mgr('Mary',x1,y1,z1) AND Mgr('John',x2,y2,z2) AND y1 > y2 AND z1 < z2`
+
+	before, _ := db.Query(prefcqa.Rep, q2)
+	fmt.Println("no preferences:", before)
+
+	// Example 3: s3 is less reliable than s1 and s2.
+	_ = mgr.Prefer(mary, maryIT)
+	_ = mgr.Prefer(john, johnPR)
+
+	after, _ := db.Query(prefcqa.Global, q2)
+	fmt.Println("with preferences:", after)
+	// Output:
+	// no preferences: undetermined
+	// with preferences: true
+}
+
+// Counting and materializing preferred repairs.
+func ExampleDB_Repairs() {
+	db := prefcqa.New()
+	r, _ := db.CreateRelation("R", prefcqa.IntAttr("K"), prefcqa.IntAttr("V"))
+	a := r.MustInsert(1, 10)
+	b := r.MustInsert(1, 20)
+	_ = r.AddFD("K -> V")
+	_ = r.Prefer(a, b)
+
+	all, _ := db.CountRepairs(prefcqa.Rep, "R")
+	preferred, _ := db.CountRepairs(prefcqa.Global, "R")
+	fmt.Println(all, preferred)
+	// Output: 2 1
+}
+
+// Algorithm 1: winnow-driven cleaning under preferences.
+func ExampleDB_Clean() {
+	db := prefcqa.New()
+	r, _ := db.CreateRelation("R", prefcqa.IntAttr("K"), prefcqa.IntAttr("V"))
+	a := r.MustInsert(1, 10)
+	b := r.MustInsert(1, 20)
+	r.MustInsert(2, 30)
+	_ = r.AddFD("K -> V")
+	_ = r.Prefer(b, a) // prefer the V=20 row
+
+	cleaned, _ := db.Clean("R")
+	fmt.Println(cleaned.Len())
+	fmt.Println(cleaned.Contains(prefcqa.Tuple{prefcqa.Int(1), prefcqa.Int(20)}))
+	// Output:
+	// 2
+	// true
+}
+
+// Brave vs cautious answers.
+func ExampleDB_Possible() {
+	db := prefcqa.New()
+	r, _ := db.CreateRelation("R", prefcqa.IntAttr("K"), prefcqa.IntAttr("V"))
+	r.MustInsert(1, 10)
+	r.MustInsert(1, 20)
+	_ = r.AddFD("K -> V")
+
+	certain, _ := db.Certain(prefcqa.Rep, "R(1, 10)")
+	possible, _ := db.Possible(prefcqa.Rep, "R(1, 10)")
+	fmt.Println(certain, possible)
+	// Output: false true
+}

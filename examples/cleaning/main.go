@@ -1,0 +1,77 @@
+// Cleaning contrasts three ways of dealing with the same inconsistent
+// relation when the user's preferences resolve only SOME conflicts
+// (the situation of Example 3):
+//
+//  1. naive cleaning — drop both sides of unresolved conflicts
+//     (consistent, but loses disjunctive information);
+//  2. Algorithm 1 — winnow-driven cleaning (always returns a repair,
+//     but must commit to one resolution of unresolved conflicts);
+//  3. preferred consistent query answering — keep the database as is
+//     and quantify over all preferred repairs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefcqa"
+)
+
+func main() {
+	db := prefcqa.New()
+	emp, err := db.CreateRelation("Emp",
+		prefcqa.NameAttr("Name"), prefcqa.NameAttr("Team"), prefcqa.IntAttr("Grade"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two conflict clusters on the key Name:
+	//  - Ada appears with three different grades; HR says the newest
+	//    record (grade 7) wins.
+	//  - Bob appears in two teams; nobody knows which is right.
+	ada5 := emp.MustInsert("Ada", "db", 5)
+	ada6 := emp.MustInsert("Ada", "db", 6)
+	ada7 := emp.MustInsert("Ada", "db", 7)
+	emp.MustInsert("Bob", "db", 4)
+	emp.MustInsert("Bob", "web", 4)
+	emp.MustInsert("Eve", "web", 9) // clean
+	check(emp.AddFD("Name -> Team, Grade"))
+	check(emp.Prefer(ada7, ada5))
+	check(emp.Prefer(ada7, ada6))
+
+	fmt.Println("original instance:")
+	fmt.Println(" ", emp.Instance())
+
+	naive, err := db.CleanNaive("Emp")
+	check(err)
+	fmt.Println("\n(1) naive cleaning (unresolved conflicts drop both sides):")
+	fmt.Println(" ", naive)
+	fmt.Println("    -> Bob vanished entirely: information loss")
+
+	cleaned, err := db.Clean("Emp")
+	check(err)
+	fmt.Println("\n(2) Algorithm 1 (always a repair; commits on Bob arbitrarily):")
+	fmt.Println(" ", cleaned)
+
+	fmt.Println("\n(3) preferred consistent query answering (no data deleted):")
+	queries := []struct{ label, src string }{
+		{"Ada's grade is 7", "Emp('Ada', 'db', 7)"},
+		{"Bob is on some team", "EXISTS t, g . Emp('Bob', t, g)"},
+		{"Bob is on the web team", "EXISTS g . Emp('Bob', 'web', g)"},
+		{"Eve is on the web team", "EXISTS g . Emp('Eve', 'web', g)"},
+	}
+	for _, q := range queries {
+		a, err := db.Query(prefcqa.Global, q.src)
+		check(err)
+		fmt.Printf("    %-24s => %s\n", q.label, a)
+	}
+	fmt.Println(`
+    "Bob is on some team" stays certainly true — exactly the
+    disjunctive information both cleaners destroyed or fixed
+    arbitrarily, while "which team" is honestly undetermined.`)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

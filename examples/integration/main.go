@@ -1,0 +1,102 @@
+// Integration simulates the paper's motivating scenario at a larger
+// scale: several autonomous inventory feeds disagree about product
+// prices and stock; feeds have different reliabilities and ages.
+// Preferences derived from the feed ranking drive consistent query
+// answering without deleting any data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefcqa"
+)
+
+// feed is one autonomous source: a rank (0 = most trusted) and rows
+// (sku, warehouse, price, stock).
+type feed struct {
+	name string
+	rank int
+	rows [][4]any
+}
+
+func main() {
+	feeds := []feed{
+		{"erp", 0, [][4]any{
+			{"sku-1", "north", 100, 5},
+			{"sku-2", "north", 250, 0},
+			{"sku-3", "south", 40, 17},
+		}},
+		{"scanner", 1, [][4]any{
+			{"sku-1", "north", 100, 7}, // disagrees with erp on stock
+			{"sku-2", "north", 200, 3}, // disagrees on price and stock
+			{"sku-4", "south", 75, 2},
+		}},
+		{"partner", 2, [][4]any{
+			{"sku-1", "south", 110, 1}, // moves sku-1 to another warehouse
+			{"sku-3", "south", 40, 17}, // agrees with erp
+			{"sku-4", "south", 80, 2},  // disagrees with scanner on price
+		}},
+	}
+
+	db := prefcqa.New()
+	inv, err := db.CreateRelation("Inv",
+		prefcqa.NameAttr("SKU"), prefcqa.NameAttr("Warehouse"),
+		prefcqa.IntAttr("Price"), prefcqa.IntAttr("Stock"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A SKU has one row: warehouse, price and stock are determined by
+	// the SKU.
+	check(inv.AddFD("SKU -> Warehouse, Price, Stock"))
+
+	rank := map[prefcqa.TupleID]int{}
+	for _, f := range feeds {
+		for _, row := range f.rows {
+			id, err := inv.Insert(row[0], row[1], row[2], row[3])
+			check(err)
+			if old, seen := rank[id]; !seen || f.rank < old {
+				rank[id] = f.rank
+			}
+		}
+	}
+	check(inv.PreferByRank(func(id prefcqa.TupleID) int { return rank[id] }))
+
+	conflicts, err := inv.Conflicts()
+	check(err)
+	all, err := db.CountRepairs(prefcqa.Rep, "Inv")
+	check(err)
+	preferred, err := db.CountRepairs(prefcqa.Global, "Inv")
+	check(err)
+	fmt.Printf("integrated %d rows from %d feeds: %d conflicts\n", inv.Instance().Len(), len(feeds), conflicts)
+	fmt.Printf("repairs: %d total, %d preferred (G-Rep)\n\n", all, preferred)
+
+	queries := []struct{ label, src string }{
+		{"sku-1 certainly in north?", "EXISTS p, s . Inv('sku-1', 'north', p, s)"},
+		{"sku-2 price certainly above 150?", "EXISTS w, p, s . Inv('sku-2', w, p, s) AND p > 150"},
+		{"sku-3 stock is certainly 17?", "EXISTS w, p . Inv('sku-3', w, p, 17)"},
+		{"some sku certainly out of stock?", "EXISTS k, w, p . Inv(k, w, p, 0)"},
+	}
+	fmt.Printf("%-36s %-14s %s\n", "query", "all repairs", "preferred (G-Rep)")
+	for _, q := range queries {
+		plain, err := db.Query(prefcqa.Rep, q.src)
+		check(err)
+		pref, err := db.Query(prefcqa.Global, q.src)
+		check(err)
+		fmt.Printf("%-36s %-14s %s\n", q.label, plain, pref)
+	}
+
+	// Certain prices per SKU over the preferred repairs.
+	fmt.Println("\ncertain (sku, price) pairs over G-Rep:")
+	bindings, err := db.QueryOpen(prefcqa.Global, "EXISTS w, s . Inv(k, w, p, s)")
+	check(err)
+	for _, b := range bindings {
+		fmt.Printf("  sku=%v price=%v\n", b["k"], b["p"])
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

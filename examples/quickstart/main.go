@@ -1,0 +1,83 @@
+// Quickstart walks through the paper's running example (Examples
+// 1-3): integrating three conflicting sources into the Mgr relation,
+// inspecting conflicts and repairs, and seeing how preferences turn
+// an undetermined consistent answer into a definite one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefcqa"
+)
+
+func main() {
+	db := prefcqa.New()
+	mgr, err := db.CreateRelation("Mgr",
+		prefcqa.NameAttr("Name"), prefcqa.NameAttr("Dept"),
+		prefcqa.IntAttr("Salary"), prefcqa.IntAttr("Reports"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 1: the union of three consistent sources.
+	mary := mgr.MustInsert("Mary", "R&D", 40, 3)  // from s1
+	john := mgr.MustInsert("John", "R&D", 10, 2)  // from s2
+	maryIT := mgr.MustInsert("Mary", "IT", 20, 1) // from s3
+	johnPR := mgr.MustInsert("John", "PR", 30, 4) // from s3
+
+	// fd1: a department has one manager; fd2: a manager runs one
+	// department.
+	check(mgr.AddFD("Dept -> Name, Salary, Reports"))
+	check(mgr.AddFD("Name -> Dept, Salary, Reports"))
+
+	conflicts, err := mgr.Conflicts()
+	check(err)
+	repairs, err := db.CountRepairs(prefcqa.Rep, "Mgr")
+	check(err)
+	fmt.Printf("integrated instance: %d tuples, %d conflicts, %d repairs\n\n",
+		mgr.Instance().Len(), conflicts, repairs)
+
+	// Q1: does John earn more than Mary? True in the raw instance —
+	// but misleading: the instance may correspond to no real state.
+	q1 := `EXISTS x1, y1, z1, x2, y2, z2 .
+	         Mgr('Mary', x1, y1, z1) AND Mgr('John', x2, y2, z2) AND y1 < y2`
+	a, err := db.Query(prefcqa.Rep, q1)
+	check(err)
+	fmt.Printf("Q1 (John out-earns Mary), consistent answer over all repairs: %s\n", a)
+
+	// Q2: Mary earns more AND writes fewer reports.
+	q2 := `EXISTS x1, y1, z1, x2, y2, z2 .
+	         Mgr('Mary', x1, y1, z1) AND Mgr('John', x2, y2, z2) AND y1 > y2 AND z1 < z2`
+	a, err = db.Query(prefcqa.Rep, q2)
+	check(err)
+	fmt.Printf("Q2 (Mary earns more, reports less), over all repairs:     %s\n\n", a)
+
+	// Example 3: source s3 is less reliable than s1 and s2 (relative
+	// reliability of s1 vs s2 unknown). Record the preferences.
+	check(mgr.Prefer(mary, maryIT))
+	check(mgr.Prefer(john, johnPR))
+
+	for _, f := range []prefcqa.Family{prefcqa.Local, prefcqa.SemiGlobal, prefcqa.Global, prefcqa.Common} {
+		n, err := db.CountRepairs(f, "Mgr")
+		check(err)
+		a, err := db.Query(f, q2)
+		check(err)
+		fmt.Printf("Q2 over %-6v (%d preferred repairs): %s\n", f, n, a)
+	}
+
+	// Open query: which names are certainly managers, over G-Rep?
+	fmt.Println()
+	bindings, err := db.QueryOpen(prefcqa.Global, "EXISTS d, s, r . Mgr(n, d, s, r)")
+	check(err)
+	fmt.Println("certainly managed by (over G-Rep):")
+	for _, b := range bindings {
+		fmt.Printf("  %s\n", b)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package prefcqa
+
+import (
+	"fmt"
+	"sort"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/core"
+)
+
+// TupleReport explains one tuple's inconsistency status: its
+// conflicts (labelled with the violated dependency), its position in
+// the preference order, and its membership across the family's
+// preferred repairs.
+type TupleReport struct {
+	ID    TupleID
+	Tuple Tuple
+	// Conflicts lists the conflicting tuples and the dependency each
+	// conflict violates (rendered "X -> Y").
+	Conflicts []ConflictInfo
+	// DominatedBy and Dominates list the recorded preference edges
+	// touching the tuple.
+	DominatedBy []TupleID
+	Dominates   []TupleID
+	// InAll / InSome report membership over the preferred repairs of
+	// the family the report was built for: certainly kept, possibly
+	// kept, or (if both are false) never kept.
+	InAll  bool
+	InSome bool
+}
+
+// ConflictInfo is one conflict edge incident to the reported tuple.
+type ConflictInfo struct {
+	With TupleID
+	FD   string
+}
+
+// Status summarizes the report: "clean" (no conflicts), "kept"
+// (in every preferred repair), "disputed" (in some), or "rejected"
+// (in none).
+func (r TupleReport) Status() string {
+	switch {
+	case len(r.Conflicts) == 0:
+		return "clean"
+	case r.InAll:
+		return "kept"
+	case r.InSome:
+		return "disputed"
+	default:
+		return "rejected"
+	}
+}
+
+// ExplainTuple builds a TupleReport for one tuple of a relation under
+// the given family.
+func (db *DB) ExplainTuple(f Family, rel string, id TupleID) (TupleReport, error) {
+	r, ok := db.rels[rel]
+	if !ok {
+		return TupleReport{}, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	if id < 0 || id >= r.inst.Len() {
+		return TupleReport{}, fmt.Errorf("prefcqa: relation %s has no tuple %d", rel, id)
+	}
+	built, err := r.build()
+	if err != nil {
+		return TupleReport{}, err
+	}
+	g := built.Pri.Graph()
+	rep := TupleReport{ID: id, Tuple: r.inst.Tuple(id)}
+	for _, e := range g.Edges() {
+		var other TupleID
+		switch id {
+		case e.A:
+			other = e.B
+		case e.B:
+			other = e.A
+		default:
+			continue
+		}
+		rep.Conflicts = append(rep.Conflicts, ConflictInfo{With: other, FD: r.fds.FD(e.FD).String()})
+	}
+	rep.DominatedBy = built.Pri.Dominators(id).Slice()
+	rep.Dominates = built.Pri.Dominated(id).Slice()
+	sort.Slice(rep.Conflicts, func(i, j int) bool { return rep.Conflicts[i].With < rep.Conflicts[j].With })
+
+	// Membership across the preferred repairs: only the components
+	// containing the tuple matter.
+	comp := g.ConflictClosure(bitset.FromSlice([]int{id}))
+	var compVertices []int
+	comp.Range(func(v int) bool { compVertices = append(compVertices, v); return true })
+	choices := core.ChoicesForComponent(f, built.Pri, compVertices)
+	if len(choices) == 0 {
+		return TupleReport{}, fmt.Errorf("prefcqa: no preferred choice for tuple %d's component", id)
+	}
+	rep.InAll = true
+	for _, c := range choices {
+		if c.Has(id) {
+			rep.InSome = true
+		} else {
+			rep.InAll = false
+		}
+	}
+	return rep, nil
+}
+
+// String renders the report compactly.
+func (r TupleReport) String() string {
+	s := fmt.Sprintf("t%d %s: %s", r.ID, r.Tuple, r.Status())
+	for _, c := range r.Conflicts {
+		s += fmt.Sprintf("\n  conflicts with t%d (%s)", c.With, c.FD)
+	}
+	if len(r.DominatedBy) > 0 {
+		s += fmt.Sprintf("\n  dominated by %v", r.DominatedBy)
+	}
+	if len(r.Dominates) > 0 {
+		s += fmt.Sprintf("\n  dominates %v", r.Dominates)
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package prefcqa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainTuple(t *testing.T) {
+	db, mgr, ids := paperDB(t)
+	mgr.Prefer(ids["mary"], ids["maryIT"]) //nolint:errcheck
+	mgr.Prefer(ids["john"], ids["johnPR"]) //nolint:errcheck
+
+	// maryIT is dominated by mary: rejected from every G-repair? The
+	// preferred repairs are {mary, johnPR} and {john, maryIT} — so
+	// maryIT is disputed (in the second one).
+	rep, err := db.ExplainTuple(Global, "Mgr", ids["maryIT"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status() != "disputed" {
+		t.Fatalf("maryIT status = %q, want disputed\n%s", rep.Status(), rep)
+	}
+	if len(rep.Conflicts) != 1 || rep.Conflicts[0].With != ids["mary"] {
+		t.Fatalf("maryIT conflicts = %+v", rep.Conflicts)
+	}
+	if len(rep.DominatedBy) != 1 || rep.DominatedBy[0] != ids["mary"] {
+		t.Fatalf("maryIT dominatedBy = %v", rep.DominatedBy)
+	}
+
+	// mary conflicts john (unoriented) and dominates maryIT.
+	rep, err = db.ExplainTuple(Global, "Mgr", ids["mary"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Conflicts) != 2 {
+		t.Fatalf("mary conflicts = %+v", rep.Conflicts)
+	}
+	if len(rep.Dominates) != 1 || rep.Dominates[0] != ids["maryIT"] {
+		t.Fatalf("mary dominates = %v", rep.Dominates)
+	}
+	if rep.Status() != "disputed" {
+		t.Fatalf("mary status = %q", rep.Status())
+	}
+	if !strings.Contains(rep.String(), "conflicts with") {
+		t.Fatalf("String = %q", rep.String())
+	}
+}
+
+func TestExplainTupleClean(t *testing.T) {
+	db := New()
+	r, _ := db.CreateRelation("R", IntAttr("K"), IntAttr("V"))
+	clean := r.MustInsert(1, 10)
+	a := r.MustInsert(2, 20)
+	b := r.MustInsert(2, 30)
+	if err := r.AddFD("K -> V"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.ExplainTuple(Rep, "R", clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status() != "clean" || !rep.InAll {
+		t.Fatalf("clean tuple report: %+v", rep)
+	}
+	// With a total preference, the loser is rejected under G.
+	if err := r.Prefer(a, b); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = db.ExplainTuple(Global, "R", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status() != "rejected" {
+		t.Fatalf("dominated tuple status = %q, want rejected", rep.Status())
+	}
+	rep, err = db.ExplainTuple(Global, "R", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status() != "kept" {
+		t.Fatalf("winner status = %q, want kept", rep.Status())
+	}
+}
+
+func TestExplainTupleErrors(t *testing.T) {
+	db, _, _ := paperDB(t)
+	if _, err := db.ExplainTuple(Rep, "Nope", 0); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if _, err := db.ExplainTuple(Rep, "Mgr", 99); err == nil {
+		t.Error("unknown tuple should fail")
+	}
+}

@@ -1,0 +1,162 @@
+package prefcqa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestIntegrationRandomScenario exercises the full stack end-to-end
+// on randomized key-violation workloads: facade answers must agree
+// with first principles (per-cluster reasoning).
+func TestIntegrationRandomScenario(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 15; iter++ {
+		db := New()
+		r, err := db.CreateRelation("Acct", NameAttr("Owner"), IntAttr("Balance"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AddFD("Owner -> Balance"); err != nil {
+			t.Fatal(err)
+		}
+		// Build clusters: each owner has 1-3 candidate balances; the
+		// first inserted candidate of each multi-candidate owner is
+		// marked trusted with probability 1/2.
+		type cluster struct {
+			ids     []TupleID
+			vals    []int64
+			trusted bool // ids[0] dominates the others
+		}
+		var clusters []cluster
+		owners := 3 + rng.Intn(4)
+		for o := 0; o < owners; o++ {
+			name := fmt.Sprintf("owner%d", o)
+			k := 1 + rng.Intn(3)
+			var c cluster
+			for j := 0; j < k; j++ {
+				v := int64(100*o + 10*j)
+				id := r.MustInsert(name, int(v))
+				c.ids = append(c.ids, id)
+				c.vals = append(c.vals, v)
+			}
+			if k > 1 && rng.Intn(2) == 0 {
+				c.trusted = true
+				for _, other := range c.ids[1:] {
+					if err := r.Prefer(c.ids[0], other); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			clusters = append(clusters, c)
+		}
+
+		// Expected repair count over G-Rep: product over clusters of
+		// (1 if trusted else k).
+		want := int64(1)
+		for _, c := range clusters {
+			if c.trusted {
+				continue
+			}
+			want *= int64(len(c.ids))
+		}
+		got, err := db.CountRepairs(Global, "Acct")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: G-repairs = %d, want %d", iter, got, want)
+		}
+
+		// Per-owner certainty: the balance is certain iff the cluster
+		// is a singleton or trusted.
+		for o, c := range clusters {
+			name := fmt.Sprintf("owner%d", o)
+			q := fmt.Sprintf("Acct('%s', %d)", name, c.vals[0])
+			a, err := db.Query(Global, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			certain := len(c.ids) == 1 || c.trusted
+			switch {
+			case certain && a != True:
+				t.Fatalf("iter %d: %s should be certainly true, got %v", iter, q, a)
+			case !certain && a != Undetermined:
+				t.Fatalf("iter %d: %s should be undetermined, got %v", iter, q, a)
+			}
+			// Everyone certainly has SOME balance.
+			some := fmt.Sprintf("EXISTS b . Acct('%s', b)", name)
+			a, err = db.Query(Global, some)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != True {
+				t.Fatalf("iter %d: %s = %v", iter, some, a)
+			}
+			// Explanation statuses line up.
+			rep, err := db.ExplainTuple(Global, "Acct", c.ids[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case len(c.ids) == 1 && rep.Status() != "clean":
+				t.Fatalf("singleton status = %s", rep.Status())
+			case len(c.ids) > 1 && c.trusted && rep.Status() != "kept":
+				t.Fatalf("trusted status = %s", rep.Status())
+			case len(c.ids) > 1 && !c.trusted && rep.Status() != "disputed":
+				t.Fatalf("untrusted status = %s", rep.Status())
+			}
+		}
+
+		// Cleaning always yields a repair with exactly one row per
+		// owner.
+		cleaned, err := db.Clean("Acct")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cleaned.Len() != owners {
+			t.Fatalf("iter %d: cleaned size = %d, want %d", iter, cleaned.Len(), owners)
+		}
+		// Trusted clusters keep their preferred row.
+		for o, c := range clusters {
+			if !c.trusted {
+				continue
+			}
+			name := fmt.Sprintf("owner%d", o)
+			if !cleaned.Contains(Tuple{Name(name), Int(c.vals[0])}) {
+				t.Fatalf("iter %d: cleaning dropped the trusted row of %s", iter, name)
+			}
+		}
+	}
+}
+
+// TestIntegrationFamilyAgreementOnKeys: with a single key dependency,
+// L-Rep and S-Rep coincide (Prop. 3) — verified through the facade.
+func TestIntegrationFamilyAgreementOnKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(515))
+	for iter := 0; iter < 10; iter++ {
+		db := New()
+		r, _ := db.CreateRelation("R", IntAttr("K"), IntAttr("V"))
+		if err := r.AddFD("K -> V"); err != nil {
+			t.Fatal(err)
+		}
+		var ids []TupleID
+		for i := 0; i < 8; i++ {
+			ids = append(ids, r.MustInsert(rng.Intn(3), rng.Intn(4)))
+		}
+		// Random preferences.
+		for trial := 0; trial < 5; trial++ {
+			x, y := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+			_ = r.Prefer(x, y) // non-conflicting pairs are ignored; cycles error later
+		}
+		l, err1 := db.CountRepairs(Local, "R")
+		s, err2 := db.CountRepairs(SemiGlobal, "R")
+		if err1 != nil || err2 != nil {
+			// A preference cycle was recorded; acceptable, retry.
+			continue
+		}
+		if l != s {
+			t.Fatalf("iter %d: |L|=%d |S|=%d on a key dependency", iter, l, s)
+		}
+	}
+}

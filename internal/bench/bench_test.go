@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var quick = Options{Quick: true}
+
+func TestAllExperimentsRender(t *testing.T) {
+	exps := map[string]func(Options) []*Table{
+		"fig1":    Fig1,
+		"fig2":    Fig2,
+		"fig3":    Fig3,
+		"fig4":    Fig4,
+		"props":   Props,
+		"clean":   CleanExp,
+		"check":   Fig5RepairCheck,
+		"cqa":     Fig5CQA,
+		"denial":  DenialExp,
+		"pruning": AblationPruning,
+	}
+	for name, fn := range exps {
+		tabs := fn(quick)
+		if len(tabs) == 0 {
+			t.Errorf("%s: no tables", name)
+		}
+		for _, tab := range tabs {
+			out := tab.String()
+			if !strings.Contains(out, "==") || len(tab.Rows) == 0 {
+				t.Errorf("%s: empty table %q", name, tab.Title)
+			}
+			// Every row must have as many cells as the header.
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Errorf("%s/%s: row %v has %d cells, header %d",
+						name, tab.Title, row, len(row), len(tab.Header))
+				}
+			}
+		}
+	}
+}
+
+func TestFig2Content(t *testing.T) {
+	out := Fig2(quick)[0].String()
+	// L-Rep must have exactly one repair {(1, 1)}.
+	if !strings.Contains(out, "L-Rep") || !strings.Contains(out, "(1, 1)") {
+		t.Fatalf("Fig2 output:\n%s", out)
+	}
+}
+
+func TestFig4Deviation(t *testing.T) {
+	tabs := Fig4(quick)
+	if len(tabs) != 2 {
+		t.Fatal("Fig4 should produce the literal and reconstructed tables")
+	}
+	lit := tabs[0].String()
+	if !strings.Contains(lit, "DEVIATION") {
+		t.Fatal("Fig4a should document the deviation")
+	}
+	mut := tabs[1].String()
+	// Reconstructed: S-Rep row must show count 2, G-Rep row count 1.
+	foundS, foundG := false, false
+	for _, row := range tabs[1].Rows {
+		if row[0] == "S-Rep" && row[1] == "2" {
+			foundS = true
+		}
+		if row[0] == "G-Rep" && row[1] == "1" {
+			foundG = true
+		}
+	}
+	if !foundS || !foundG {
+		t.Fatalf("Fig4b rows wrong:\n%s", mut)
+	}
+}
+
+func TestPropsChainAlwaysHolds(t *testing.T) {
+	tabs := Props(quick)
+	for _, row := range tabs[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("containment chain violated in row %v", row)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "long-header"}, Note: "n"}
+	tab.AddRow("1", "2")
+	out := tab.String()
+	for _, want := range []string{"== T ==", "long-header", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:     "500ns",
+		1500 * time.Nanosecond:    "1.5µs",
+		2500000 * time.Nanosecond: "2.50ms",
+		1500 * time.Millisecond:   "1.50s",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestGrowthLabel(t *testing.T) {
+	if got := growthLabel([]time.Duration{1, 2}); got != "polynomial-like" {
+		t.Errorf("flat growth = %q", got)
+	}
+	if got := growthLabel([]time.Duration{time.Nanosecond, 100 * time.Nanosecond}); got != "exponential-like" {
+		t.Errorf("steep growth = %q", got)
+	}
+	if got := growthLabel(nil); got != "n/a" {
+		t.Errorf("no data = %q", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Package bench is the experiment harness: it regenerates every
+// figure and table of the paper as text output (DESIGN.md, §4 lists
+// the experiment index) and provides the measurement helpers shared
+// by cmd/prefbench and the root benchmark suite. Absolute times are
+// machine-local; the reproduced artifact is the *shape* — which
+// problems stay polynomial, which blow up, which families coincide.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+	"unicode/utf8"
+)
+
+// Table is a titled, aligned text table.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// stopwatch measures fn, repeating until at least minDuration has
+// elapsed, and returns the per-iteration time.
+func stopwatch(fn func()) time.Duration {
+	const minDuration = 2 * time.Millisecond
+	// Warm up once.
+	fn()
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minDuration || iters > 1<<20 {
+			return elapsed / time.Duration(iters)
+		}
+		iters *= 2
+	}
+}
+
+// fmtDur renders a duration compactly.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// growthLabel classifies the growth of per-step timing ratios:
+// roughly constant ratios under doubling input → polynomial of that
+// degree; exploding ratios → exponential.
+func growthLabel(times []time.Duration) string {
+	if len(times) < 2 {
+		return "n/a"
+	}
+	last := float64(times[len(times)-1].Nanoseconds()+1) / float64(times[len(times)-2].Nanoseconds()+1)
+	if last > 8 {
+		return "exponential-like"
+	}
+	return "polynomial-like"
+}
+
+// stepRatios renders the time ratio between consecutive measurements,
+// e.g. "×1.9 ×2.1 ×2.0". For linear step sizes a constant ratio > 1
+// is the signature of exponential growth; a ratio drifting toward 1
+// indicates polynomial growth.
+func stepRatios(times []time.Duration) string {
+	if len(times) < 2 {
+		return "n/a"
+	}
+	var b strings.Builder
+	for i := 1; i < len(times); i++ {
+		if i > 1 {
+			b.WriteByte(' ')
+		}
+		r := float64(times[i].Nanoseconds()+1) / float64(times[i-1].Nanoseconds()+1)
+		fmt.Fprintf(&b, "×%.1f", r)
+	}
+	return b.String()
+}

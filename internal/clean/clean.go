@@ -1,0 +1,197 @@
+// Package clean implements Algorithm 1 of the paper: cleaning a
+// database with a priority by iteratively selecting winnow-optimal
+// tuples (tuples not dominated by any remaining tuple) and discarding
+// their neighborhoods. For a total priority the result is a unique
+// repair (Proposition 1); for partial priorities the set of outcomes
+// over all choice sequences is exactly C-Rep (Proposition 7).
+//
+// The package also provides the naive cleaning baseline the
+// introduction argues against ([14]-style): resolve a conflict when
+// the priority says how, otherwise drop both tuples. Its output is
+// consistent but generally not maximal — disjunctive information is
+// lost — which examples/cleaning demonstrates.
+package clean
+
+import (
+	"errors"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/priority"
+)
+
+// Choice selects the next tuple from the non-empty winnow set ω≻(rest)
+// during Algorithm 1. Returning a tuple outside the candidate set is
+// reported as an error by Clean.
+type Choice func(candidates *bitset.Set) int
+
+// MinChoice picks the smallest tuple ID — the deterministic default.
+func MinChoice(candidates *bitset.Set) int { return candidates.Min() }
+
+// ErrBadChoice is returned when a Choice selects a tuple outside the
+// winnow set.
+var ErrBadChoice = errors.New("clean: choice outside the winnow set")
+
+// Clean runs Algorithm 1: repeatedly pick x ∈ ω≻(rest), move x to the
+// result, and remove v(x) = {x} ∪ n(x) from rest. The result is
+// always a repair. With a total priority the result is independent of
+// the choices (Proposition 1).
+func Clean(p *priority.Priority, choose Choice) (*bitset.Set, error) {
+	g := p.Graph()
+	rest := bitset.Full(g.Len())
+	out := bitset.New(g.Len())
+	for !rest.Empty() {
+		w := p.Winnow(rest)
+		// ω≻ of a non-empty set under an acyclic priority is
+		// non-empty: a ≻-maximal element of rest is undominated.
+		x := choose(w)
+		if !w.Has(x) {
+			return nil, ErrBadChoice
+		}
+		out.Add(x)
+		rest.Remove(x)
+		rest.DifferenceWith(g.Neighbors(x))
+	}
+	return out, nil
+}
+
+// Deterministic runs Algorithm 1 with MinChoice. It processes one
+// connected component at a time, which yields exactly the global
+// MinChoice outcome — whenever the global minimum of the winnow lies
+// in a component, it is also that component's local minimum, and
+// choices in different components do not interact — while keeping
+// each winnow recomputation proportional to the component.
+func Deterministic(p *priority.Priority) *bitset.Set {
+	g := p.Graph()
+	out := bitset.New(g.Len())
+	for _, comp := range g.Components() {
+		rest := bitset.FromSlice(comp)
+		for !rest.Empty() {
+			w := p.Winnow(rest)
+			x := w.Min()
+			out.Add(x)
+			rest.Remove(x)
+			rest.DifferenceWith(g.Neighbors(x))
+		}
+	}
+	return out
+}
+
+// AllOutcomes returns every distinct result of Algorithm 1 over all
+// choice sequences — by Proposition 7 this is exactly C-Rep. The
+// search memoizes on the remaining-tuple set, and independent
+// components are explored separately and recombined, so the cost is
+// exponential only in individual component size.
+func AllOutcomes(p *priority.Priority) []*bitset.Set {
+	g := p.Graph()
+	comps := g.Components()
+	choices := make([][]*bitset.Set, len(comps))
+	for i, comp := range comps {
+		choices[i] = componentOutcomes(p, bitset.FromSlice(comp))
+	}
+	var out []*bitset.Set
+	cur := bitset.New(g.Len())
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(choices) {
+			out = append(out, cur.Clone())
+			return
+		}
+		for _, c := range choices[i] {
+			cur.UnionWith(c)
+			rec(i + 1)
+			cur.DifferenceWith(c)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ComponentOutcomes returns every distinct result of Algorithm 1
+// restricted to the subgraph induced by comp. Because choices in
+// different components commute, C-Rep is the componentwise product of
+// these outcome lists.
+func ComponentOutcomes(p *priority.Priority, comp []int) []*bitset.Set {
+	return componentOutcomes(p, bitset.FromSlice(comp))
+}
+
+// componentOutcomes explores all choice sequences of Algorithm 1
+// restricted to one component. Outcomes are deduplicated; the search
+// memoizes visited rest-sets.
+func componentOutcomes(p *priority.Priority, rest *bitset.Set) []*bitset.Set {
+	g := p.Graph()
+	seenRest := map[string]bool{}
+	outcomes := map[string]*bitset.Set{}
+	var rec func(rest, acc *bitset.Set)
+	rec = func(rest, acc *bitset.Set) {
+		if rest.Empty() {
+			k := acc.Key()
+			if _, ok := outcomes[k]; !ok {
+				outcomes[k] = acc.Clone()
+			}
+			return
+		}
+		// Memoization on rest alone is sound within a component run:
+		// acc is determined by the removed vicinities, but different
+		// accs can reach the same rest; key on both.
+		k := rest.Key() + "|" + acc.Key()
+		if seenRest[k] {
+			return
+		}
+		seenRest[k] = true
+		w := p.Winnow(rest)
+		w.Range(func(x int) bool {
+			nrest := rest.Clone()
+			nrest.Remove(x)
+			nrest.DifferenceWith(g.Neighbors(x))
+			nacc := acc.Clone()
+			nacc.Add(x)
+			rec(nrest, nacc)
+			return true
+		})
+	}
+	rec(rest.Clone(), bitset.New(g.Len()))
+	// Deterministic order.
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := make([]*bitset.Set, 0, len(outcomes))
+	for _, k := range keys {
+		out = append(out, outcomes[k])
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Naive performs the [14]-style cleaning the paper contrasts with
+// (§5): for every conflict {x, y}, if the priority orients it, the
+// dominated tuple is dropped; if it does not, *both* tuples are
+// dropped. Undominated tuples whose every conflict is resolved in
+// their favor survive. The result is consistent but not maximal in
+// general (not a repair), losing disjunctive information.
+func Naive(p *priority.Priority) *bitset.Set {
+	g := p.Graph()
+	out := bitset.New(g.Len())
+	for t := 0; t < g.Len(); t++ {
+		keep := true
+		g.Neighbors(t).Range(func(u int) bool {
+			if !p.Dominates(t, u) {
+				keep = false // either dominated or unresolved
+				return false
+			}
+			return true
+		})
+		if keep {
+			out.Add(t)
+		}
+	}
+	return out
+}

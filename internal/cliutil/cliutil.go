@@ -1,0 +1,125 @@
+// Package cliutil holds the input plumbing shared by the cmd/ tools:
+// loading a CSV instance, declaring dependencies, and parsing
+// preference files.
+package cliutil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"prefcqa"
+	"prefcqa/internal/relation"
+)
+
+// StringList is a repeatable string flag.
+type StringList []string
+
+// String implements flag.Value.
+func (s *StringList) String() string { return strings.Join(*s, "; ") }
+
+// Set implements flag.Value.
+func (s *StringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// LoadDB reads a CSV instance, declares its dependencies, and applies
+// a preference file (may be empty). It returns the database and the
+// loaded relation.
+func LoadDB(dataPath, relName string, fds []string, prefsPath string) (*prefcqa.DB, *prefcqa.Relation, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	inst, err := prefcqa.ReadCSV(relName, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := prefcqa.New()
+	rel, err := db.AddInstance(inst)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, spec := range fds {
+		if err := rel.AddFD(spec); err != nil {
+			return nil, nil, err
+		}
+	}
+	if prefsPath != "" {
+		pf, err := os.Open(prefsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer pf.Close()
+		if err := ApplyPrefs(rel, pf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return db, rel, nil
+}
+
+// ApplyPrefs reads preference lines "v1,v2,... > w1,w2,..." (the
+// left tuple dominates the right one; both must be rows of the
+// relation) and records them. Blank lines and lines starting with
+// '#' are skipped.
+func ApplyPrefs(rel *prefcqa.Relation, src io.Reader) error {
+	sc := bufio.NewScanner(src)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		left, right, ok := strings.Cut(line, ">")
+		if !ok {
+			return fmt.Errorf("prefs line %d: missing '>'", lineNo)
+		}
+		x, err := lookupTuple(rel, left)
+		if err != nil {
+			return fmt.Errorf("prefs line %d: %w", lineNo, err)
+		}
+		y, err := lookupTuple(rel, right)
+		if err != nil {
+			return fmt.Errorf("prefs line %d: %w", lineNo, err)
+		}
+		if err := rel.Prefer(x, y); err != nil {
+			return fmt.Errorf("prefs line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+// lookupTuple parses a comma-separated value list against the
+// relation's schema and resolves it to a tuple ID.
+func lookupTuple(rel *prefcqa.Relation, src string) (prefcqa.TupleID, error) {
+	schema := rel.Schema()
+	cells := strings.Split(strings.TrimSpace(src), ",")
+	if len(cells) != schema.Arity() {
+		return 0, fmt.Errorf("tuple %q has %d values, schema %s needs %d",
+			src, len(cells), schema.Name(), schema.Arity())
+	}
+	tup := make(prefcqa.Tuple, len(cells))
+	for i, cell := range cells {
+		cell = strings.TrimSpace(cell)
+		if schema.Attr(i).Kind == relation.KindName {
+			tup[i] = prefcqa.Name(cell)
+			continue
+		}
+		n, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("tuple %q: %q is not an integer", src, cell)
+		}
+		tup[i] = prefcqa.Int(n)
+	}
+	id, ok := rel.Instance().Lookup(tup)
+	if !ok {
+		return 0, fmt.Errorf("tuple %q is not in relation %s", src, schema.Name())
+	}
+	return id, nil
+}

@@ -1,0 +1,106 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"prefcqa"
+)
+
+var mgrFDs = []string{"Dept -> Name,Salary,Reports", "Name -> Dept,Salary,Reports"}
+
+func TestLoadDBWithPrefs(t *testing.T) {
+	db, rel, err := LoadDB("../../testdata/mgr.csv", "Mgr", mgrFDs, "../../testdata/mgr_prefs.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Instance().Len() != 4 {
+		t.Fatalf("loaded %d tuples", rel.Instance().Len())
+	}
+	n, err := rel.Conflicts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("conflicts = %d", n)
+	}
+	c, err := db.CountRepairs(prefcqa.Global, "Mgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 2 {
+		t.Fatalf("preferred repairs = %d, want 2 (prefs applied)", c)
+	}
+	// The paper's Q2 is certainly true over the preferred repairs.
+	ok, err := db.Certain(prefcqa.Global, `EXISTS x1,y1,z1,x2,y2,z2 .
+		Mgr('Mary',x1,y1,z1) AND Mgr('John',x2,y2,z2) AND y1 > y2 AND z1 < z2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Q2 should be certain over G-Rep")
+	}
+}
+
+func TestLoadDBWithoutPrefs(t *testing.T) {
+	db, _, err := LoadDB("../../testdata/mgr.csv", "Mgr", mgrFDs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := db.CountRepairs(prefcqa.Rep, "Mgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 3 {
+		t.Fatalf("repairs = %d", c)
+	}
+}
+
+func TestLoadDBErrors(t *testing.T) {
+	if _, _, err := LoadDB("no-such-file.csv", "Mgr", nil, ""); err == nil {
+		t.Error("missing data file should fail")
+	}
+	if _, _, err := LoadDB("../../testdata/mgr.csv", "Mgr", []string{"Nope -> Name"}, ""); err == nil {
+		t.Error("bad FD should fail")
+	}
+	if _, _, err := LoadDB("../../testdata/mgr.csv", "Mgr", mgrFDs, "no-such-prefs.txt"); err == nil {
+		t.Error("missing prefs file should fail")
+	}
+}
+
+func TestApplyPrefsParsing(t *testing.T) {
+	_, rel, err := LoadDB("../../testdata/mgr.csv", "Mgr", mgrFDs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src  string
+		ok   bool
+		name string
+	}{
+		{"# comment only\n\n", true, "comments and blanks"},
+		{"Mary,R&D,40,3 > John,R&D,10,2", true, "valid line"},
+		{"Mary,R&D,40,3 John,R&D,10,2", false, "missing >"},
+		{"Mary,R&D,40 > John,R&D,10,2", false, "wrong arity"},
+		{"Mary,R&D,41,3 > John,R&D,10,2", false, "unknown tuple"},
+		{"Mary,R&D,xx,3 > John,R&D,10,2", false, "bad integer"},
+	}
+	for _, c := range cases {
+		err := ApplyPrefs(rel, strings.NewReader(c.src))
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestStringList(t *testing.T) {
+	var l StringList
+	l.Set("a") //nolint:errcheck
+	l.Set("b") //nolint:errcheck
+	if l.String() != "a; b" || len(l) != 2 {
+		t.Fatalf("StringList = %v", l)
+	}
+}

@@ -1,0 +1,255 @@
+// Package conflict implements conflict graphs (§2.1): vertices are the
+// tuples of an instance, and two tuples are adjacent iff they conflict
+// with respect to some functional dependency. Conflict graphs are the
+// compact representation of repairs — the set of all repairs equals
+// the set of all maximal independent sets of the graph.
+package conflict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/fd"
+	"prefcqa/internal/relation"
+)
+
+// Graph is the conflict graph of an instance with respect to a set of
+// functional dependencies. The vertex set is the dense TupleID range
+// [0, N). Edges are labelled with the (first) dependency that creates
+// the conflict, for explanation output.
+type Graph struct {
+	inst  *relation.Instance
+	fds   *fd.Set
+	adj   []*bitset.Set
+	edges []Edge
+	comps [][]int // connected components, computed lazily
+}
+
+// Edge is one conflict: tuples A < B violating dependency FD (index
+// into the dependency set).
+type Edge struct {
+	A, B relation.TupleID
+	FD   int
+}
+
+// Build computes the conflict graph of the instance. Conflicting pairs
+// are discovered per dependency by hashing on the LHS projection, so
+// construction is linear in |r| plus the number of conflicts.
+func Build(inst *relation.Instance, fds *fd.Set) (*Graph, error) {
+	if !inst.Schema().Equal(fds.Schema()) {
+		return nil, fmt.Errorf("conflict: instance schema %s does not match dependency schema %s",
+			inst.Schema(), fds.Schema())
+	}
+	n := inst.Len()
+	g := &Graph{inst: inst, fds: fds, adj: make([]*bitset.Set, n)}
+	for i := range g.adj {
+		g.adj[i] = bitset.New(n)
+	}
+	seen := make(map[[2]int]bool)
+	for _, v := range fds.Violations(inst) {
+		p := [2]int{v.T1, v.T2}
+		g.adj[v.T1].Add(v.T2)
+		g.adj[v.T2].Add(v.T1)
+		if !seen[p] {
+			seen[p] = true
+			g.edges = append(g.edges, Edge{A: v.T1, B: v.T2, FD: v.FD})
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for fixtures.
+func MustBuild(inst *relation.Instance, fds *fd.Set) *Graph {
+	g, err := Build(inst, fds)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Instance returns the underlying instance.
+func (g *Graph) Instance() *relation.Instance { return g.inst }
+
+// FDs returns the dependency set the graph was built from.
+func (g *Graph) FDs() *fd.Set { return g.fds }
+
+// Len returns the number of vertices (= tuples).
+func (g *Graph) Len() int { return len(g.adj) }
+
+// NumEdges returns the number of conflicts.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns a copy of the conflict list (A < B, deterministic
+// order).
+func (g *Graph) Edges() []Edge {
+	out := append([]Edge(nil), g.edges...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Adjacent reports whether tuples a and b conflict.
+func (g *Graph) Adjacent(a, b relation.TupleID) bool {
+	return a >= 0 && a < len(g.adj) && g.adj[a].Has(b)
+}
+
+// Neighbors returns n(t): the set of tuples conflicting with t. The
+// caller must not mutate the result.
+func (g *Graph) Neighbors(t relation.TupleID) *bitset.Set { return g.adj[t] }
+
+// Vicinity returns v(t) = {t} ∪ n(t).
+func (g *Graph) Vicinity(t relation.TupleID) *bitset.Set {
+	v := g.adj[t].Clone()
+	v.Add(t)
+	return v
+}
+
+// Degree returns |n(t)|.
+func (g *Graph) Degree(t relation.TupleID) int { return g.adj[t].Len() }
+
+// IsIndependent reports whether no two tuples in the set conflict,
+// i.e. the selected sub-instance is consistent.
+func (g *Graph) IsIndependent(s *bitset.Set) bool {
+	ok := true
+	s.Range(func(t int) bool {
+		if g.adj[t].Intersects(s) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// IsMaximalIndependent reports whether s is a repair: independent and
+// not extendable — every tuple outside s conflicts with some tuple
+// in s (Definition 1).
+func (g *Graph) IsMaximalIndependent(s *bitset.Set) bool {
+	if !g.IsIndependent(s) {
+		return false
+	}
+	for t := 0; t < len(g.adj); t++ {
+		if !s.Has(t) && !g.adj[t].Intersects(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConflictClosure extends s with every tuple reachable through
+// conflict edges — the union of the components touching s.
+func (g *Graph) ConflictClosure(s *bitset.Set) *bitset.Set {
+	out := bitset.New(len(g.adj))
+	var stack []int
+	s.Range(func(t int) bool {
+		if t < len(g.adj) && !out.Has(t) {
+			out.Add(t)
+			stack = append(stack, t)
+		}
+		return true
+	})
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.adj[t].Range(func(u int) bool {
+			if !out.Has(u) {
+				out.Add(u)
+				stack = append(stack, u)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Components returns the connected components as sorted vertex lists,
+// ordered by smallest vertex. Isolated vertices (tuples in no
+// conflict) form singleton components.
+func (g *Graph) Components() [][]int {
+	if g.comps != nil {
+		return g.comps
+	}
+	n := len(g.adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	for v := 0; v < n; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		id := len(comps)
+		var members []int
+		stack := []int{v}
+		comp[v] = id
+		for len(stack) > 0 {
+			t := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, t)
+			g.adj[t].Range(func(u int) bool {
+				if comp[u] < 0 {
+					comp[u] = id
+					stack = append(stack, u)
+				}
+				return true
+			})
+		}
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	g.comps = comps
+	return comps
+}
+
+// ConflictingVertices returns the set of tuples involved in at least
+// one conflict.
+func (g *Graph) ConflictingVertices() *bitset.Set {
+	s := bitset.New(len(g.adj))
+	for t, a := range g.adj {
+		if !a.Empty() {
+			s.Add(t)
+		}
+	}
+	return s
+}
+
+// DOT renders the graph in Graphviz format with tuple labels, matching
+// the paper's figures.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", g.inst.Schema().Name())
+	for t := 0; t < len(g.adj); t++ {
+		fmt.Fprintf(&b, "  t%d [label=%q];\n", t, g.inst.Tuple(t).String())
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  t%d -- t%d [label=%q];\n", e.A, e.B, g.fds.FD(e.FD).String())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders a deterministic textual adjacency listing, used by the
+// experiment harness to reproduce Figures 1–4.
+func (g *Graph) ASCII() string {
+	var b strings.Builder
+	for t := 0; t < len(g.adj); t++ {
+		fmt.Fprintf(&b, "%-28s --", g.inst.Tuple(t).String())
+		if g.adj[t].Empty() {
+			b.WriteString(" (no conflicts)")
+		}
+		g.adj[t].Range(func(u int) bool {
+			b.WriteByte(' ')
+			b.WriteString(g.inst.Tuple(u).String())
+			return true
+		})
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

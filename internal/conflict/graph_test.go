@@ -1,0 +1,235 @@
+package conflict
+
+import (
+	"strings"
+	"testing"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/fd"
+	"prefcqa/internal/relation"
+)
+
+// pairsInstance builds the instance r_n of Example 4:
+// {(0,0),(0,1),...,(n-1,0),(n-1,1)} with A -> B.
+func pairsInstance(n int) (*relation.Instance, *fd.Set) {
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"))
+	inst := relation.NewInstance(s)
+	for i := 0; i < n; i++ {
+		inst.MustInsert(i, 0)
+		inst.MustInsert(i, 1)
+	}
+	return inst, fd.MustParseSet(s, "A -> B")
+}
+
+func TestBuildSchemaMismatch(t *testing.T) {
+	inst, _ := pairsInstance(1)
+	other := relation.MustSchema("S", relation.IntAttr("X"), relation.IntAttr("Y"))
+	if _, err := Build(inst, fd.MustParseSet(other, "X -> Y")); err == nil {
+		t.Fatal("schema mismatch should fail")
+	}
+}
+
+func TestFigure1PairsGraph(t *testing.T) {
+	// Figure 1: r_4 under A -> B is a perfect matching of 4 edges.
+	inst, fds := pairsInstance(4)
+	g := MustBuild(inst, fds)
+	if g.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", g.Len())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("components = %d, want 4", len(comps))
+	}
+	for _, c := range comps {
+		if len(c) != 2 {
+			t.Fatalf("component %v should be an edge", c)
+		}
+		if !g.Adjacent(c[0], c[1]) {
+			t.Fatalf("component %v not connected", c)
+		}
+	}
+	// Each vertex has degree 1.
+	for v := 0; v < g.Len(); v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("degree(%d) = %d, want 1", v, g.Degree(v))
+		}
+	}
+}
+
+func TestExample1MgrGraph(t *testing.T) {
+	s := relation.MustSchema("Mgr",
+		relation.NameAttr("Name"), relation.NameAttr("Dept"),
+		relation.IntAttr("Salary"), relation.IntAttr("Reports"))
+	fds := fd.MustParseSet(s, "Dept -> Name,Salary,Reports", "Name -> Dept,Salary,Reports")
+	r := relation.NewInstance(s)
+	mary := r.MustInsert("Mary", "R&D", 40, 3)
+	john := r.MustInsert("John", "R&D", 10, 2)
+	maryIT := r.MustInsert("Mary", "IT", 20, 1)
+	johnPR := r.MustInsert("John", "PR", 30, 4)
+
+	g := MustBuild(r, fds)
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	wantAdj := [][2]relation.TupleID{{mary, john}, {mary, maryIT}, {john, johnPR}}
+	for _, p := range wantAdj {
+		if !g.Adjacent(p[0], p[1]) || !g.Adjacent(p[1], p[0]) {
+			t.Errorf("expected conflict %v", p)
+		}
+	}
+	if g.Adjacent(maryIT, johnPR) {
+		t.Error("maryIT and johnPR should not conflict")
+	}
+	// One component: the conflict path maryIT - mary - john - johnPR.
+	if comps := g.Components(); len(comps) != 1 || len(comps[0]) != 4 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestEdgeLabels(t *testing.T) {
+	inst, fds := pairsInstance(2)
+	g := MustBuild(inst, fds)
+	for _, e := range g.Edges() {
+		if e.FD != 0 {
+			t.Fatalf("edge %+v should be labelled with FD 0", e)
+		}
+		if e.A >= e.B {
+			t.Fatalf("edge %+v not normalized", e)
+		}
+	}
+}
+
+func TestNeighborsVicinity(t *testing.T) {
+	// Star: tc conflicts ta and tb (Example 8 shape).
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"), relation.IntAttr("C"))
+	inst := relation.NewInstance(s)
+	ta := inst.MustInsert(1, 1, 1)
+	tb := inst.MustInsert(1, 1, 2)
+	tc := inst.MustInsert(1, 2, 3)
+	g := MustBuild(inst, fd.MustParseSet(s, "A -> B"))
+
+	if !g.Neighbors(tc).Equal(bitset.FromSlice([]int{ta, tb})) {
+		t.Fatalf("n(tc) = %v", g.Neighbors(tc))
+	}
+	if !g.Vicinity(tc).Equal(bitset.FromSlice([]int{ta, tb, tc})) {
+		t.Fatalf("v(tc) = %v", g.Vicinity(tc))
+	}
+	if g.Neighbors(ta).Has(tb) {
+		t.Fatal("duplicates w.r.t. the FD must not be adjacent")
+	}
+}
+
+func TestIndependence(t *testing.T) {
+	inst, fds := pairsInstance(2)
+	g := MustBuild(inst, fds)
+	// IDs: 0=(0,0), 1=(0,1), 2=(1,0), 3=(1,1).
+	if !g.IsIndependent(bitset.FromSlice([]int{0, 2})) {
+		t.Error("{(0,0),(1,0)} should be independent")
+	}
+	if g.IsIndependent(bitset.FromSlice([]int{0, 1})) {
+		t.Error("{(0,0),(0,1)} conflicts")
+	}
+	if !g.IsMaximalIndependent(bitset.FromSlice([]int{0, 2})) {
+		t.Error("{0,2} should be maximal")
+	}
+	if g.IsMaximalIndependent(bitset.FromSlice([]int{0})) {
+		t.Error("{0} is not maximal (2 and 3 can be added)")
+	}
+	var empty bitset.Set
+	if g.IsMaximalIndependent(&empty) {
+		t.Error("empty set is not maximal in a nonempty graph")
+	}
+}
+
+func TestConsistentInstanceGraph(t *testing.T) {
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"))
+	inst := relation.NewInstance(s)
+	inst.MustInsert(1, 1)
+	inst.MustInsert(2, 2)
+	g := MustBuild(inst, fd.MustParseSet(s, "A -> B"))
+	if g.NumEdges() != 0 {
+		t.Fatal("consistent instance should have no conflicts")
+	}
+	// The only repair of a consistent relation is the relation itself.
+	if !g.IsMaximalIndependent(inst.AllIDs()) {
+		t.Fatal("full instance should be the unique repair")
+	}
+	if got := g.ConflictingVertices(); !got.Empty() {
+		t.Fatalf("ConflictingVertices = %v", got)
+	}
+}
+
+func TestConflictClosure(t *testing.T) {
+	inst, fds := pairsInstance(3)
+	g := MustBuild(inst, fds)
+	// Closure of {(0,0)} is its pair component {0,1}.
+	got := g.ConflictClosure(bitset.FromSlice([]int{0}))
+	if !got.Equal(bitset.FromSlice([]int{0, 1})) {
+		t.Fatalf("closure = %v", got)
+	}
+	got = g.ConflictClosure(bitset.FromSlice([]int{0, 4}))
+	if !got.Equal(bitset.FromSlice([]int{0, 1, 4, 5})) {
+		t.Fatalf("closure = %v", got)
+	}
+}
+
+func TestIsolatedVertexComponent(t *testing.T) {
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"))
+	inst := relation.NewInstance(s)
+	inst.MustInsert(1, 1)
+	inst.MustInsert(1, 2)
+	inst.MustInsert(9, 9) // isolated
+	g := MustBuild(inst, fd.MustParseSet(s, "A -> B"))
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestRendering(t *testing.T) {
+	inst, fds := pairsInstance(2)
+	g := MustBuild(inst, fds)
+	dot := g.DOT()
+	if !strings.Contains(dot, "graph R {") || !strings.Contains(dot, "t0 -- t1") {
+		t.Fatalf("DOT = %s", dot)
+	}
+	if !strings.Contains(dot, "A -> B") {
+		t.Fatal("DOT should label edges with the FD")
+	}
+	ascii := g.ASCII()
+	if !strings.Contains(ascii, "(0, 0)") {
+		t.Fatalf("ASCII = %s", ascii)
+	}
+	// Isolated vertices are marked.
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"))
+	lone := relation.NewInstance(s)
+	lone.MustInsert(1, 1)
+	lg := MustBuild(lone, fd.MustParseSet(s, "A -> B"))
+	if !strings.Contains(lg.ASCII(), "(no conflicts)") {
+		t.Fatal("ASCII should mark isolated tuples")
+	}
+}
+
+func TestComponentsCached(t *testing.T) {
+	inst, fds := pairsInstance(4)
+	g := MustBuild(inst, fds)
+	c1 := g.Components()
+	c2 := g.Components()
+	if &c1[0] != &c2[0] {
+		t.Fatal("Components should be cached")
+	}
+}
+
+func BenchmarkBuildPairs(b *testing.B) {
+	inst, fds := pairsInstance(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(inst, fds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefcqa/internal/clean"
+)
+
+// TestSemiGlobalCategoricalUnderTotalPriority documents a deviation
+// from the paper's §3.2 claim that S-Rep does not satisfy P4.
+//
+// Under the paper's own Definition of semi-global optimality, a TOTAL
+// priority forces S-Rep = {Algorithm 1 result}: the winnow layer
+// ω≻(rest) of each stage must be contained in every semi-globally
+// optimal repair. (Take y ∈ ω≻(rest) \ r'. Tuples of rest have no
+// neighbors among previously removed vicinities that could sit in r',
+// so n(y) ∩ r' ⊆ rest; totality plus y ∈ ω≻(rest) means y dominates
+// all of them — the S-condition is violated.) The paper's Example 9
+// cannot exhibit non-categoricity of S-Rep with a total priority;
+// see TestExample9MutualConflicts for the partial-priority variant
+// that realizes the intended picture.
+//
+// This test verifies the derived fact on randomized instances: with a
+// total priority, S-Rep (like G-Rep and C-Rep, and unlike L-Rep)
+// contains exactly the Algorithm 1 repair.
+func TestSemiGlobalCategoricalUnderTotalPriority(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	for i := 0; i < 40; i++ {
+		base := randomInstance(rng, 6+rng.Intn(4), "A -> B", "B -> C")
+		p := base.TotalExtension(rng)
+		want := clean.Deterministic(p)
+		s := All(SemiGlobal, p)
+		if len(s) != 1 || !s[0].Equal(want) {
+			t.Fatalf("total priority: S-Rep = %v, want exactly {%v}\npriority %v",
+				s, want, p)
+		}
+	}
+}
+
+// TestLocalNotCategoricalWitness re-verifies that L-Rep genuinely
+// fails P4 (Example 8): the deviation above is specific to S.
+func TestLocalNotCategoricalWitness(t *testing.T) {
+	p := example8(t)
+	if !p.IsTotal() {
+		t.Fatal("Example 8 priority is total")
+	}
+	if n := len(All(Local, p)); n != 2 {
+		t.Fatalf("L-Rep = %d members, want 2 (P4 failure witness)", n)
+	}
+}

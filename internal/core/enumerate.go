@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/clean"
+	"prefcqa/internal/priority"
+	"prefcqa/internal/repair"
+)
+
+// ComponentChoices returns, for every connected component of the
+// conflict graph, the list of component restrictions of preferred
+// repairs of the family. Every preferred repair is exactly one union
+// of one choice per component:
+//
+//   - the optimality conditions of L, S and G only relate tuples to
+//     their conflict neighborhoods, hence decompose componentwise;
+//   - C-Rep decomposes because Algorithm 1's choices in different
+//     components commute (clean.ComponentOutcomes).
+func ComponentChoices(f Family, p *priority.Priority) [][]*bitset.Set {
+	comps := p.Graph().Components()
+	choices := make([][]*bitset.Set, len(comps))
+	for i, comp := range comps {
+		choices[i] = ChoicesForComponent(f, p, comp)
+	}
+	return choices
+}
+
+// ChoicesForComponent returns the component restrictions of the
+// family's preferred repairs for a single connected component.
+func ChoicesForComponent(f Family, p *priority.Priority, comp []int) []*bitset.Set {
+	if f == Common {
+		return clean.ComponentOutcomes(p, comp)
+	}
+	g := p.Graph()
+	compSet := bitset.FromSlice(comp)
+	var list []*bitset.Set
+	repair.EnumerateComponent(g, comp, func(s *bitset.Set) bool { //nolint:errcheck // yield never stops
+		keep := true
+		switch f {
+		case Rep:
+		case Local:
+			keep = locallyOptimalCond(p, s)
+		case SemiGlobal:
+			keep = semiGloballyOptimalCond(p, s, compSet)
+		case Global:
+			keep = globallyOptimalComponentCond(p, s, comp)
+		}
+		if keep {
+			list = append(list, s.Clone())
+		}
+		return true
+	})
+	return list
+}
+
+// Enumerate yields every preferred repair of the family. The yielded
+// set is reused between calls; clone it to retain. Returns
+// repair.ErrStopped if the callback stopped early.
+func Enumerate(f Family, p *priority.Priority, yield func(*bitset.Set) bool) error {
+	return repair.Combine(p.Graph().Len(), ComponentChoices(f, p), yield)
+}
+
+// All materializes every preferred repair of the family. Use only
+// when the count is known to be small; prefer Enumerate.
+func All(f Family, p *priority.Priority) []*bitset.Set {
+	var out []*bitset.Set
+	Enumerate(f, p, func(s *bitset.Set) bool { //nolint:errcheck // yield never stops
+		out = append(out, s.Clone())
+		return true
+	})
+	return out
+}
+
+// Count returns |X-Rep| as the product of per-component counts, or
+// repair.ErrOverflow when it exceeds int64.
+func Count(f Family, p *priority.Priority) (int64, error) {
+	total := int64(1)
+	for _, list := range ComponentChoices(f, p) {
+		c := int64(len(list))
+		if c == 0 {
+			return 0, nil
+		}
+		if total > math.MaxInt64/c {
+			return 0, repair.ErrOverflow
+		}
+		total *= c
+	}
+	return total, nil
+}
+
+// One returns a single preferred repair of the family — the first in
+// enumeration order. Every family is non-empty for every priority
+// (P1 holds for Rep, L, S, G, C; Props. 2–4, 6), so One always
+// succeeds on a well-formed priority.
+func One(f Family, p *priority.Priority) *bitset.Set {
+	var out *bitset.Set
+	Enumerate(f, p, func(s *bitset.Set) bool { //nolint:errcheck // stops after first
+		out = s.Clone()
+		return false
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefcqa/internal/priority"
+)
+
+// TestExhaustiveMonotonicity verifies P2 exactly on small instances:
+// for EVERY total extension of the base priority, the family shrinks
+// (L, S, G). Random probing (property_test.go) samples extensions;
+// this test enumerates all of them.
+func TestExhaustiveMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	checked := 0
+	for iter := 0; iter < 30 && checked < 12; iter++ {
+		p := randomInstance(rng, 5+rng.Intn(3), "A -> B", "B -> C")
+		exts, err := priority.AllTotalExtensions(p, 10)
+		if err != nil {
+			continue // too many unoriented edges; skip
+		}
+		checked++
+		for _, f := range []Family{Local, SemiGlobal, Global} {
+			base := keys(All(f, p))
+			for _, ext := range exts {
+				for _, r := range All(f, ext) {
+					if !base[r.Key()] {
+						t.Fatalf("%v: total extension enlarged the family\nbase %v\next %v",
+							f, p, ext)
+					}
+				}
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d instances fully checked; weak test", checked)
+	}
+}
+
+// TestExhaustiveCategoricity verifies P4 exactly: every total
+// extension yields exactly one G-, C- and S-repair.
+func TestExhaustiveCategoricity(t *testing.T) {
+	rng := rand.New(rand.NewSource(911))
+	checked := 0
+	for iter := 0; iter < 30 && checked < 12; iter++ {
+		p := randomInstance(rng, 5+rng.Intn(3), "A -> B", "B -> C")
+		exts, err := priority.AllTotalExtensions(p, 10)
+		if err != nil {
+			continue
+		}
+		checked++
+		for _, ext := range exts {
+			for _, f := range []Family{SemiGlobal, Global, Common} {
+				if n := len(All(f, ext)); n != 1 {
+					t.Fatalf("%v under total extension has %d members", f, n)
+				}
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d instances fully checked; weak test", checked)
+	}
+}
+
+// TestExhaustiveCommonIsIntersectionFlavor spot-checks the intent of
+// Theorem 1 / §3.5: every C-repair stays globally optimal under every
+// total extension that still admits it... more precisely, C-Rep is
+// contained in G-Rep for the base priority AND each C-repair is the
+// categorical choice of at least one total extension.
+func TestExhaustiveCommonWitnessedByExtensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(913))
+	checked := 0
+	for iter := 0; iter < 40 && checked < 10; iter++ {
+		p := randomInstance(rng, 5+rng.Intn(3), "A -> B", "B -> C")
+		exts, err := priority.AllTotalExtensions(p, 10)
+		if err != nil || len(exts) == 0 {
+			continue
+		}
+		checked++
+		// Collect the categorical repair of every total extension.
+		witnessed := map[string]bool{}
+		for _, ext := range exts {
+			for _, r := range All(Common, ext) {
+				witnessed[r.Key()] = true
+			}
+		}
+		// Every C-repair of the base priority is one of them:
+		// Algorithm 1's choice sequence can be read off as a total
+		// extension ordering.
+		for _, r := range All(Common, p) {
+			if !witnessed[r.Key()] {
+				t.Fatalf("C-repair %v not witnessed by any total extension of %v", r, p)
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d instances fully checked; weak test", checked)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/priority"
+	"prefcqa/internal/repair"
+)
+
+// The exported checkers decide the repair-checking problem B_F^X of
+// §4.1 on whole repairs. The unexported *Cond functions evaluate the
+// bare optimality conditions and are shared with the per-component
+// enumerators: every condition only relates tuples to their conflict
+// neighborhoods, so it decomposes over connected components.
+
+// IsLocallyOptimal reports whether r' is a locally optimal repair:
+// no tuple x ∈ r' can be replaced with a tuple y ≻ x such that
+// (r' \ {x}) ∪ {y} is consistent (§3.1). Polynomial time (Thm. 4).
+func IsLocallyOptimal(p *priority.Priority, rp *bitset.Set) bool {
+	return repair.IsRepair(p.Graph(), rp) && locallyOptimalCond(p, rp)
+}
+
+func locallyOptimalCond(p *priority.Priority, rp *bitset.Set) bool {
+	optimal := true
+	rp.Range(func(x int) bool {
+		p.Dominators(x).Range(func(y int) bool {
+			// (r'\{x}) ∪ {y} is consistent iff y's only neighbor
+			// inside r' is x. (y ≻ x implies y conflicts x, so y ∉ r'.)
+			if neighborsWithin(p, y, rp, x) {
+				optimal = false
+				return false
+			}
+			return true
+		})
+		return optimal
+	})
+	return optimal
+}
+
+// neighborsWithin reports whether n(y) ∩ r' ⊆ {exclude}.
+func neighborsWithin(p *priority.Priority, y int, rp *bitset.Set, exclude int) bool {
+	ok := true
+	p.Graph().Neighbors(y).Range(func(z int) bool {
+		if z != exclude && rp.Has(z) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// IsSemiGloballyOptimal reports whether r' is a semi-globally optimal
+// repair: no nonempty X ⊆ r' can be replaced with a single tuple y
+// dominating every member of X such that (r' \ X) ∪ {y} is consistent
+// (§3.2). Equivalently (§4.2): there is no tuple y ∉ r' whose
+// neighbors in r' are all dominated by y. Polynomial time (Cor. 1).
+func IsSemiGloballyOptimal(p *priority.Priority, rp *bitset.Set) bool {
+	g := p.Graph()
+	if !repair.IsRepair(g, rp) {
+		return false
+	}
+	universe := bitset.Full(g.Len())
+	return semiGloballyOptimalCond(p, rp, universe)
+}
+
+// semiGloballyOptimalCond checks the S-condition with candidate
+// replacements y drawn from universe \ r'. The minimal replaceable
+// set for y is X = n(y) ∩ r'; the paper requires X nonempty.
+func semiGloballyOptimalCond(p *priority.Priority, rp, universe *bitset.Set) bool {
+	g := p.Graph()
+	optimal := true
+	universe.Range(func(y int) bool {
+		if rp.Has(y) {
+			return true
+		}
+		hasNeighbor := false
+		dominatesAll := true
+		g.Neighbors(y).Range(func(x int) bool {
+			if !rp.Has(x) {
+				return true
+			}
+			hasNeighbor = true
+			if !p.Dominates(y, x) {
+				dominatesAll = false
+				return false
+			}
+			return true
+		})
+		if hasNeighbor && dominatesAll {
+			optimal = false
+			return false
+		}
+		return true
+	})
+	return optimal
+}
+
+// PreferredOver reports r1 ≪ r2 (Proposition 5): the repairs differ
+// and every tuple of r1 \ r2 is dominated by some tuple of r2 \ r1.
+func PreferredOver(p *priority.Priority, r1, r2 *bitset.Set) bool {
+	if r1.Equal(r2) {
+		return false
+	}
+	diff1 := bitset.Difference(r1, r2)
+	diff2 := bitset.Difference(r2, r1)
+	ok := true
+	diff1.Range(func(x int) bool {
+		if !p.Dominators(x).Intersects(diff2) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// IsGloballyOptimal reports whether r' is a globally optimal repair.
+// By Proposition 5 this holds iff r' is ≪-maximal. Domination is
+// witnessed componentwise (a dominating tuple conflicts the tuple it
+// replaces, hence shares its component), so r' is globally optimal
+// iff each component restriction is ≪-maximal among the component's
+// repairs; the check enumerates per-component repairs — exponential
+// only in component size, as expected for a co-NP-complete problem
+// (Thm. 5).
+func IsGloballyOptimal(p *priority.Priority, rp *bitset.Set) bool {
+	g := p.Graph()
+	if !repair.IsRepair(g, rp) {
+		return false
+	}
+	for _, comp := range g.Components() {
+		rc := repair.Restrict(rp, comp)
+		if !globallyOptimalComponentCond(p, rc, comp) {
+			return false
+		}
+	}
+	return true
+}
+
+// globallyOptimalComponentCond reports whether rc (a maximal
+// independent set of comp) is ≪-maximal among comp's maximal
+// independent sets.
+func globallyOptimalComponentCond(p *priority.Priority, rc *bitset.Set, comp []int) bool {
+	dominated := false
+	err := repair.EnumerateComponent(p.Graph(), comp, func(s *bitset.Set) bool {
+		if PreferredOver(p, rc, s) {
+			dominated = true
+			return false
+		}
+		return true
+	})
+	if err != nil && err != repair.ErrStopped {
+		return false
+	}
+	return !dominated
+}
+
+// IsCommon reports whether r' ∈ C-Rep by simulating Algorithm 1 with
+// choices restricted to ω≻(rest) ∩ r' (Proposition 7). The greedy
+// simulation is confluent — picks of r'-tuples commute and remain
+// available as rest shrinks — so a single pass decides membership in
+// polynomial time (Cor. 2).
+func IsCommon(p *priority.Priority, rp *bitset.Set) bool {
+	g := p.Graph()
+	if !repair.IsRepair(g, rp) {
+		return false
+	}
+	return commonCond(p, rp, bitset.Full(g.Len()))
+}
+
+// commonCond simulates Algorithm 1 over the given universe (the whole
+// instance or one component) with choices restricted to r'.
+func commonCond(p *priority.Priority, rp, universe *bitset.Set) bool {
+	g := p.Graph()
+	rest := universe.Clone()
+	for !rest.Empty() {
+		w := p.Winnow(rest)
+		w.IntersectWith(rp)
+		if w.Empty() {
+			// ω≻(rest) is nonempty (acyclicity) but disjoint from r':
+			// no choice sequence can produce r'.
+			return false
+		}
+		// All currently pickable r'-tuples commute; take them all.
+		w.Range(func(x int) bool {
+			rest.Remove(x)
+			rest.DifferenceWith(g.Neighbors(x))
+			return true
+		})
+	}
+	// Every pick was in r'; the outcome is a maximal independent
+	// subset of r' within the universe, hence equals r' there.
+	return true
+}
+
+// Check dispatches the repair-checking problem B_F^X for the family:
+// is r' a preferred repair of the instance underlying p's graph?
+func Check(f Family, p *priority.Priority, rp *bitset.Set) bool {
+	switch f {
+	case Rep:
+		return repair.IsRepair(p.Graph(), rp)
+	case Local:
+		return IsLocallyOptimal(p, rp)
+	case SemiGlobal:
+		return IsSemiGloballyOptimal(p, rp)
+	case Global:
+		return IsGloballyOptimal(p, rp)
+	case Common:
+		return IsCommon(p, rp)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,354 @@
+// Package cqa computes preferred consistent query answers
+// (Definition 3): true is the X-consistent answer to a closed query Q
+// iff Q holds in every preferred repair of the family X. The engine
+// evaluates repairs as views, enumerates preferred repairs with early
+// exit, prunes to the components a ground query actually touches, and
+// implements the polynomial-time ground quantifier-free algorithm for
+// the plain Rep family (first row of Fig. 5, after Chomicki &
+// Marcinkowski [6]).
+package cqa
+
+import (
+	"fmt"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/conflict"
+	"prefcqa/internal/core"
+	"prefcqa/internal/fd"
+	"prefcqa/internal/priority"
+	"prefcqa/internal/query"
+	"prefcqa/internal/relation"
+)
+
+// Relation bundles one relation's inconsistency context: the
+// instance, its dependencies, the conflict graph, and the priority.
+type Relation struct {
+	Inst *relation.Instance
+	FDs  *fd.Set
+	Pri  *priority.Priority
+}
+
+// NewRelation builds the conflict graph of inst w.r.t. fds and wraps
+// it with an empty priority.
+func NewRelation(inst *relation.Instance, fds *fd.Set) (*Relation, error) {
+	g, err := conflict.Build(inst, fds)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{Inst: inst, FDs: fds, Pri: priority.New(g)}, nil
+}
+
+// Input is the full CQA input: one entry per relation plus the
+// database the query is evaluated against. Single-relation problems
+// use a one-entry input.
+type Input struct {
+	DB   *relation.Database
+	Rels []*Relation
+}
+
+// NewInput assembles an Input (and the underlying Database) from
+// per-relation contexts.
+func NewInput(rels ...*Relation) (Input, error) {
+	db := relation.NewDatabase()
+	for _, r := range rels {
+		if err := db.AddInstance(r.Inst); err != nil {
+			return Input{}, err
+		}
+	}
+	return Input{DB: db, Rels: rels}, nil
+}
+
+// Answer is the three-valued outcome of evaluating a closed query
+// over a family of preferred repairs.
+type Answer int
+
+const (
+	// CertainlyTrue: the query holds in every preferred repair —
+	// "true is the X-consistent query answer".
+	CertainlyTrue Answer = iota
+	// CertainlyFalse: the query fails in every preferred repair —
+	// "false is the X-consistent query answer".
+	CertainlyFalse
+	// Undetermined: the query holds in some preferred repairs and
+	// fails in others.
+	Undetermined
+)
+
+// String renders "true", "false" or "undetermined".
+func (a Answer) String() string {
+	switch a {
+	case CertainlyTrue:
+		return "true"
+	case CertainlyFalse:
+		return "false"
+	case Undetermined:
+		return "undetermined"
+	default:
+		return fmt.Sprintf("answer(%d)", int(a))
+	}
+}
+
+// schemas returns the schema map for validation.
+func (in Input) schemas() map[string]*relation.Schema {
+	m := make(map[string]*relation.Schema, len(in.Rels))
+	for _, r := range in.Rels {
+		m[r.Inst.Schema().Name()] = r.Inst.Schema()
+	}
+	return m
+}
+
+// model builds the evaluation view for one preferred repair
+// combination (one tuple subset per relation).
+func (in Input) model(subsets map[string]*bitset.Set) query.Model {
+	return query.DBModel{DB: in.DB, Subsets: subsets}
+}
+
+// forEachPreferredRepair enumerates the preferred repairs of the
+// whole database — the product of per-relation preferred repairs —
+// and calls visit with one subset per relation. visit returns false
+// to stop.
+func (in Input) forEachPreferredRepair(f core.Family, visit func(map[string]*bitset.Set) bool) {
+	subsets := make(map[string]*bitset.Set, len(in.Rels))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(in.Rels) {
+			return visit(subsets)
+		}
+		r := in.Rels[i]
+		name := r.Inst.Schema().Name()
+		cont := true
+		core.Enumerate(f, r.Pri, func(s *bitset.Set) bool { //nolint:errcheck // stop propagates via cont
+			subsets[name] = s
+			cont = rec(i + 1)
+			return cont
+		})
+		return cont
+	}
+	rec(0)
+}
+
+// Certain reports whether true is the X-consistent answer to the
+// closed query q: q must hold in every preferred repair of family f.
+func Certain(f core.Family, in Input, q query.Expr) (bool, error) {
+	a, err := Evaluate(f, in, q)
+	if err != nil {
+		return false, err
+	}
+	return a == CertainlyTrue, nil
+}
+
+// Possible reports whether q holds in at least one preferred repair
+// of family f — the "brave" companion of Certain (presence of an atom
+// in some repair is the Σ₂ᵖ-flavored problem §5 compares prioritized
+// logic programming against). Possible(q) = ¬Certain(¬q).
+func Possible(f core.Family, in Input, q query.Expr) (bool, error) {
+	a, err := Evaluate(f, in, q)
+	if err != nil {
+		return false, err
+	}
+	return a != CertainlyFalse, nil
+}
+
+// Evaluate computes the three-valued answer to the closed query q
+// over family f, stopping as soon as both a satisfying and a
+// falsifying preferred repair have been seen. Ground queries are
+// pruned to the conflict-graph components they touch.
+func Evaluate(f core.Family, in Input, q query.Expr) (Answer, error) {
+	if err := query.Validate(q, in.schemas()); err != nil {
+		return 0, err
+	}
+	if !query.IsClosed(q) {
+		return 0, fmt.Errorf("cqa: query has free variables %v; use FreeAnswers", query.FreeVars(q))
+	}
+	return evaluateClosed(f, in, q)
+}
+
+// EvaluateFull is Evaluate with the ground-query component pruning
+// disabled: every preferred repair of the whole database is
+// enumerated. Exposed for the pruning-ablation benchmarks; prefer
+// Evaluate.
+func EvaluateFull(f core.Family, in Input, q query.Expr) (Answer, error) {
+	if err := query.Validate(q, in.schemas()); err != nil {
+		return 0, err
+	}
+	if !query.IsClosed(q) {
+		return 0, fmt.Errorf("cqa: query has free variables %v; use FreeAnswers", query.FreeVars(q))
+	}
+	return evaluateFull(f, in, q)
+}
+
+// evaluateClosed dispatches evaluation of an already-validated closed
+// query. Kind-mismatched constants inside atoms (which arise when
+// open queries are instantiated over the mixed active domain) simply
+// make the atom false.
+func evaluateClosed(f core.Family, in Input, q query.Expr) (Answer, error) {
+	if query.IsGround(q) {
+		return evaluateGroundPruned(f, in, q)
+	}
+	return evaluateFull(f, in, q)
+}
+
+func evaluateFull(f core.Family, in Input, q query.Expr) (Answer, error) {
+	seenTrue, seenFalse := false, false
+	var evalErr error
+	in.forEachPreferredRepair(f, func(subsets map[string]*bitset.Set) bool {
+		holds, err := query.Eval(q, in.model(subsets))
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if holds {
+			seenTrue = true
+		} else {
+			seenFalse = true
+		}
+		return !(seenTrue && seenFalse)
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	return verdict(seenTrue, seenFalse)
+}
+
+func verdict(seenTrue, seenFalse bool) (Answer, error) {
+	switch {
+	case seenTrue && !seenFalse:
+		return CertainlyTrue, nil
+	case seenFalse && !seenTrue:
+		return CertainlyFalse, nil
+	case seenTrue && seenFalse:
+		return Undetermined, nil
+	default:
+		return 0, fmt.Errorf("cqa: no preferred repairs enumerated (P1 violated?)")
+	}
+}
+
+// evaluateGroundPruned exploits that a ground query's truth in a
+// repair depends only on the membership of the tuples its atoms
+// mention. Only the conflict-graph components containing those
+// tuples vary the answer; all other components are fixed to an
+// arbitrary preferred choice (every family is componentwise
+// non-empty). The enumeration is then exponential only in the
+// touched components.
+func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error) {
+	// Identify the touched tuple IDs per relation.
+	touched := make(map[string]*bitset.Set)
+	for _, a := range query.Atoms(q) {
+		tup := make(relation.Tuple, len(a.Args))
+		for i, t := range a.Args {
+			c, ok := t.(query.Const)
+			if !ok {
+				return 0, fmt.Errorf("cqa: internal: non-ground atom %s", a)
+			}
+			tup[i] = c.Value
+		}
+		for _, r := range in.Rels {
+			name := r.Inst.Schema().Name()
+			if name != a.Rel {
+				continue
+			}
+			if len(tup) != r.Inst.Schema().Arity() {
+				return 0, fmt.Errorf("cqa: %s arity mismatch", a.Rel)
+			}
+			ok := true
+			for i, v := range tup {
+				if v.Kind() != r.Inst.Schema().Attr(i).Kind {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue // wrong kinds: tuple cannot exist
+			}
+			if id, found := r.Inst.Lookup(tup); found {
+				if touched[name] == nil {
+					touched[name] = bitset.New(r.Inst.Len())
+				}
+				touched[name].Add(id)
+			}
+		}
+	}
+	// Per relation, collect the choices of the touched components
+	// only.
+	type relChoices struct {
+		name    string
+		choices [][]*bitset.Set
+	}
+	var work []relChoices
+	for _, r := range in.Rels {
+		name := r.Inst.Schema().Name()
+		tch := touched[name]
+		if tch == nil || tch.Empty() {
+			continue
+		}
+		g := r.Pri.Graph()
+		var lists [][]*bitset.Set
+		for _, comp := range g.Components() {
+			if bitset.FromSlice(comp).Intersects(tch) {
+				cs := core.ChoicesForComponent(f, r.Pri, comp)
+				if len(cs) == 0 {
+					return 0, fmt.Errorf("cqa: component with no preferred choice (P1 violated?)")
+				}
+				lists = append(lists, cs)
+			}
+		}
+		work = append(work, relChoices{name: name, choices: lists})
+	}
+	// Enumerate combinations of touched-component choices; evaluate on
+	// the union per relation (untouched components are invisible —
+	// the ground query never consults them).
+	seenTrue, seenFalse := false, false
+	var evalErr error
+	subsets := make(map[string]*bitset.Set, len(work))
+	var rec func(wi, ci int) bool
+	rec = func(wi, ci int) bool {
+		if wi == len(work) {
+			holds, err := query.Eval(q, in.model(subsets))
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if holds {
+				seenTrue = true
+			} else {
+				seenFalse = true
+			}
+			return !(seenTrue && seenFalse)
+		}
+		w := work[wi]
+		if ci == len(w.choices) {
+			return rec(wi+1, 0)
+		}
+		for _, choice := range w.choices[ci] {
+			prev := subsets[w.name]
+			if prev == nil {
+				subsets[w.name] = choice.Clone()
+			} else {
+				subsets[w.name] = bitset.Union(prev, choice)
+			}
+			if !rec(wi, ci+1) {
+				return false
+			}
+			subsets[w.name] = prev
+		}
+		return true
+	}
+	rec(0, 0)
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	if !seenTrue && !seenFalse {
+		// No touched components anywhere: every atom references an
+		// absent tuple, so the answer is fixed and visibility is
+		// irrelevant. Evaluate once.
+		holds, err := query.Eval(q, in.model(map[string]*bitset.Set{}))
+		if err != nil {
+			return 0, err
+		}
+		if holds {
+			return CertainlyTrue, nil
+		}
+		return CertainlyFalse, nil
+	}
+	return verdict(seenTrue, seenFalse)
+}

@@ -1,0 +1,224 @@
+package cqa
+
+import (
+	"fmt"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/query"
+	"prefcqa/internal/relation"
+)
+
+// GroundQFCertain decides, in polynomial time in the database size,
+// whether true is the (plain Rep) consistent answer to a ground
+// quantifier-free query — the PTIME cell of Fig. 5's first row,
+// following the conflict-graph technique of Chomicki & Marcinkowski
+// [6]. The method: true is NOT certain iff some repair satisfies ¬Q;
+// put ¬Q in DNF and look for a disjunct D and a repair containing all
+// positive facts of D while avoiding all negated ones. Such a repair
+// exists iff the positive facts are present and conflict-free and
+// every present negated fact can be "covered" by a witness tuple that
+// conflicts it, avoids the negated facts, and stays consistent with
+// the positive facts and the other witnesses. The witness search
+// branches only over the negated facts — bounded by query size — so
+// data complexity stays polynomial.
+func GroundQFCertain(in Input, q query.Expr) (bool, error) {
+	if err := query.Validate(q, in.schemas()); err != nil {
+		return false, err
+	}
+	if !query.IsGround(q) {
+		return false, fmt.Errorf("cqa: GroundQFCertain needs a ground quantifier-free query, got %s", q)
+	}
+	neg := query.Negate(q)
+	dnf, err := query.ToDNF(neg)
+	if err != nil {
+		return false, err
+	}
+	for _, disj := range dnf {
+		sat, err := in.disjunctSatisfiableInSomeRepair(disj)
+		if err != nil {
+			return false, err
+		}
+		if sat {
+			return false, nil // a repair falsifies Q
+		}
+	}
+	return true, nil
+}
+
+// GroundQFEvaluate computes the three-valued Rep answer to a ground
+// quantifier-free query in polynomial time.
+func GroundQFEvaluate(in Input, q query.Expr) (Answer, error) {
+	t, err := GroundQFCertain(in, q)
+	if err != nil {
+		return 0, err
+	}
+	if t {
+		return CertainlyTrue, nil
+	}
+	f, err := GroundQFCertain(in, query.Negate(q))
+	if err != nil {
+		return 0, err
+	}
+	if f {
+		return CertainlyFalse, nil
+	}
+	return Undetermined, nil
+}
+
+// fact identifies a tuple of one relation in the input.
+type fact struct {
+	rel int // index into in.Rels
+	id  relation.TupleID
+}
+
+// disjunctSatisfiableInSomeRepair decides whether some repair
+// contains every positive fact of the disjunct and none of the
+// negated ones (and the ground comparisons hold).
+func (in Input) disjunctSatisfiableInSomeRepair(disj []query.Literal) (bool, error) {
+	var pos, negPresent []fact
+	for _, lit := range disj {
+		if lit.IsCmp {
+			holds, err := evalGroundCmp(lit.Cmp)
+			if err != nil {
+				return false, err
+			}
+			if lit.Negated {
+				holds = !holds
+			}
+			if !holds {
+				return false, nil // comparison fixed false: disjunct unsatisfiable
+			}
+			continue
+		}
+		ri, id, present, err := in.lookupAtom(lit.Atom)
+		if err != nil {
+			return false, err
+		}
+		if lit.Negated {
+			if present {
+				negPresent = append(negPresent, fact{rel: ri, id: id})
+			}
+			// Absent negated fact: no repair contains it — satisfied.
+			continue
+		}
+		if !present {
+			return false, nil // positive fact not in r: no repair has it
+		}
+		pos = append(pos, fact{rel: ri, id: id})
+	}
+	// Positive facts must be mutually consistent and disjoint from the
+	// negated ones.
+	chosen := make([]*bitset.Set, len(in.Rels))
+	negSet := make([]*bitset.Set, len(in.Rels))
+	for i, r := range in.Rels {
+		chosen[i] = bitset.New(r.Inst.Len())
+		negSet[i] = bitset.New(r.Inst.Len())
+	}
+	for _, f := range negPresent {
+		negSet[f.rel].Add(f.id)
+	}
+	for _, f := range pos {
+		if negSet[f.rel].Has(f.id) {
+			return false, nil // same fact both required and forbidden
+		}
+		if in.Rels[f.rel].Pri.Graph().Neighbors(f.id).Intersects(chosen[f.rel]) {
+			return false, nil // positive facts conflict each other
+		}
+		chosen[f.rel].Add(f.id)
+	}
+	// Every present negated fact must conflict something chosen; the
+	// witness search branches over the |N| facts only.
+	return in.coverNegated(negPresent, chosen, negSet), nil
+}
+
+// coverNegated tries to extend the chosen sets so that every negated
+// fact conflicts a chosen tuple, keeping the chosen sets independent
+// and disjoint from the negated facts. Any such family extends to a
+// repair avoiding all negated facts.
+func (in Input) coverNegated(negPresent []fact, chosen, negSet []*bitset.Set) bool {
+	if len(negPresent) == 0 {
+		return true
+	}
+	f := negPresent[0]
+	g := in.Rels[f.rel].Pri.Graph()
+	if g.Neighbors(f.id).Intersects(chosen[f.rel]) {
+		// Already excluded by a chosen tuple.
+		return in.coverNegated(negPresent[1:], chosen, negSet)
+	}
+	ok := false
+	g.Neighbors(f.id).Range(func(w int) bool {
+		if negSet[f.rel].Has(w) {
+			return true // witnesses must avoid the negated facts
+		}
+		if g.Neighbors(w).Intersects(chosen[f.rel]) {
+			return true // witness must stay consistent with choices
+		}
+		chosen[f.rel].Add(w)
+		if in.coverNegated(negPresent[1:], chosen, negSet) {
+			ok = true
+		}
+		chosen[f.rel].Remove(w)
+		return !ok
+	})
+	return ok
+}
+
+// lookupAtom resolves a ground atom to (relation index, tuple ID,
+// present).
+func (in Input) lookupAtom(a query.Atom) (int, relation.TupleID, bool, error) {
+	for ri, r := range in.Rels {
+		if r.Inst.Schema().Name() != a.Rel {
+			continue
+		}
+		if len(a.Args) != r.Inst.Schema().Arity() {
+			return 0, 0, false, fmt.Errorf("cqa: %s arity mismatch", a.Rel)
+		}
+		tup := make(relation.Tuple, len(a.Args))
+		for i, t := range a.Args {
+			c, ok := t.(query.Const)
+			if !ok {
+				return 0, 0, false, fmt.Errorf("cqa: atom %s is not ground", a)
+			}
+			if c.Value.Kind() != r.Inst.Schema().Attr(i).Kind {
+				return ri, 0, false, nil // wrong kind: never present
+			}
+			tup[i] = c.Value
+		}
+		id, present := r.Inst.Lookup(tup)
+		return ri, id, present, nil
+	}
+	return 0, 0, false, fmt.Errorf("cqa: unknown relation %q", a.Rel)
+}
+
+func evalGroundCmp(c query.Cmp) (bool, error) {
+	lc, ok1 := c.L.(query.Const)
+	rc, ok2 := c.R.(query.Const)
+	if !ok1 || !ok2 {
+		return false, fmt.Errorf("cqa: comparison %s is not ground", c)
+	}
+	l, r := lc.Value, rc.Value
+	switch c.Op {
+	case query.EQ:
+		return l.Equal(r), nil
+	case query.NE:
+		return !l.Equal(r), nil
+	}
+	if l.Kind() != relation.KindInt || r.Kind() != relation.KindInt {
+		return false, nil
+	}
+	cv, err := l.Compare(r)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case query.LT:
+		return cv < 0, nil
+	case query.LE:
+		return cv <= 0, nil
+	case query.GT:
+		return cv > 0, nil
+	case query.GE:
+		return cv >= 0, nil
+	}
+	return false, fmt.Errorf("cqa: unknown operator %v", c.Op)
+}

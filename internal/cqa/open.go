@@ -1,0 +1,110 @@
+package cqa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefcqa/internal/core"
+	"prefcqa/internal/query"
+	"prefcqa/internal/relation"
+)
+
+// Binding is one certain answer to an open query: an assignment of
+// its free variables.
+type Binding map[string]relation.Value
+
+// String renders the binding deterministically, e.g. "{x=1, y='a'}".
+func (b Binding) String() string {
+	names := make([]string, 0, len(b))
+	for n := range b {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + "=" + b[n].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// MaxOpenVariables bounds the active-domain exponent of open-query
+// answering; |domain|^k substitutions are enumerated.
+const MaxOpenVariables = 4
+
+// FreeAnswers computes the certain answers to an open query over the
+// family f: the substitutions of the free variables (drawn from the
+// active domain of the database plus the query constants) for which
+// the instantiated query holds in every preferred repair. This
+// extends Definition 3 to open queries along the lines of [1, 7].
+func FreeAnswers(f core.Family, in Input, q query.Expr) ([]Binding, error) {
+	if err := query.Validate(q, in.schemas()); err != nil {
+		return nil, err
+	}
+	vars := query.FreeVars(q)
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("cqa: query is closed; use Evaluate")
+	}
+	if len(vars) > MaxOpenVariables {
+		return nil, fmt.Errorf("cqa: open query has %d free variables, limit %d", len(vars), MaxOpenVariables)
+	}
+	domain := in.activeDomain(q)
+	var answers []Binding
+	env := make(map[string]relation.Value, len(vars))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(vars) {
+			a, err := evaluateClosed(f, in, query.Substitute(q, env))
+			if err != nil {
+				return err
+			}
+			if a == CertainlyTrue {
+				b := make(Binding, len(env))
+				for k, v := range env {
+					b[k] = v
+				}
+				answers = append(answers, b)
+			}
+			return nil
+		}
+		for _, v := range domain {
+			env[vars[i]] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(env, vars[i])
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+// activeDomain collects the distinct values of the whole database
+// (a superset of every repair's domain) plus the query constants.
+func (in Input) activeDomain(q query.Expr) []relation.Value {
+	seen := map[string]bool{}
+	var out []relation.Value
+	add := func(v relation.Value) {
+		k := v.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	for _, r := range in.Rels {
+		r.Inst.Range(func(_ relation.TupleID, t relation.Tuple) bool {
+			for _, v := range t {
+				add(v)
+			}
+			return true
+		})
+	}
+	for _, v := range query.Constants(q) {
+		add(v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Order(out[j]) < 0 })
+	return out
+}

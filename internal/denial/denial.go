@@ -1,0 +1,353 @@
+// Package denial implements the generalization sketched in the
+// paper's future work (§6, after [6, 7]): denial constraints compile
+// into a conflict hypergraph whose hyperedges are minimal sets of
+// tuples that jointly violate a constraint, and repairs are the
+// maximal independent sets of the hypergraph. More than two tuples
+// can participate in a single conflict, so the paper's binary
+// priorities have no direct meaning here; the package provides the
+// constraint language, the hypergraph, repair enumeration/checking,
+// and ground quantifier-free consistent query answering, without
+// preference families.
+package denial
+
+import (
+	"fmt"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/fd"
+	"prefcqa/internal/query"
+	"prefcqa/internal/relation"
+)
+
+// Constraint is a denial constraint over one relation:
+//
+//	¬∃ x̄ . R(x̄1) ∧ ... ∧ R(x̄k) ∧ φ(x̄)
+//
+// where φ is a conjunction of comparisons. A set of tuples violates
+// the constraint if some assignment of (distinct) tuples to the atoms
+// satisfies φ.
+type Constraint struct {
+	Atoms []query.Atom
+	Cond  query.Expr // quantifier-free comparison formula; may be nil (TRUE)
+}
+
+// Parse reads a denial constraint body as a conjunction of atoms and
+// comparisons, e.g. for "no two distinct tuples agree on A but differ
+// on B":
+//
+//	R(x1, y1) AND R(x2, y2) AND x1 = x2 AND y1 != y2
+func Parse(schema *relation.Schema, src string) (Constraint, error) {
+	e, err := query.Parse(src)
+	if err != nil {
+		return Constraint{}, err
+	}
+	var c Constraint
+	var split func(e query.Expr) error
+	split = func(e query.Expr) error {
+		switch n := e.(type) {
+		case query.And:
+			if err := split(n.L); err != nil {
+				return err
+			}
+			return split(n.R)
+		case query.Atom:
+			if n.Rel != schema.Name() {
+				return fmt.Errorf("denial: atom over %q, constraint is over %q", n.Rel, schema.Name())
+			}
+			if len(n.Args) != schema.Arity() {
+				return fmt.Errorf("denial: atom %s has arity %d, want %d", n, len(n.Args), schema.Arity())
+			}
+			c.Atoms = append(c.Atoms, n)
+			return nil
+		case query.Cmp:
+			if c.Cond == nil {
+				c.Cond = n
+			} else {
+				c.Cond = query.And{L: c.Cond, R: n}
+			}
+			return nil
+		default:
+			return fmt.Errorf("denial: constraint bodies are conjunctions of atoms and comparisons, got %s", e)
+		}
+	}
+	if err := split(e); err != nil {
+		return Constraint{}, err
+	}
+	if len(c.Atoms) == 0 {
+		return Constraint{}, fmt.Errorf("denial: constraint %q has no atoms", src)
+	}
+	return c, nil
+}
+
+// MustParse is Parse that panics on error, for fixtures.
+func MustParse(schema *relation.Schema, src string) Constraint {
+	c, err := Parse(schema, src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FromFD encodes a functional dependency X -> Y as denial
+// constraints, one per RHS attribute: no two tuples agree on X and
+// differ on B. Used to cross-validate the hypergraph against the
+// binary conflict graph.
+func FromFD(f fd.FD) []Constraint {
+	schema := f.Schema()
+	var out []Constraint
+	for _, b := range f.RHS() {
+		mk := func(suffix string) []query.Term {
+			args := make([]query.Term, schema.Arity())
+			for i := 0; i < schema.Arity(); i++ {
+				args[i] = query.Var{Name: fmt.Sprintf("v%d%s", i, suffix)}
+			}
+			return args
+		}
+		a1 := query.Atom{Rel: schema.Name(), Args: mk("a")}
+		a2 := query.Atom{Rel: schema.Name(), Args: mk("b")}
+		var cond query.Expr
+		for _, x := range f.LHS() {
+			eq := query.Cmp{Op: query.EQ,
+				L: query.Var{Name: fmt.Sprintf("v%da", x)},
+				R: query.Var{Name: fmt.Sprintf("v%db", x)}}
+			if cond == nil {
+				cond = eq
+			} else {
+				cond = query.And{L: cond, R: eq}
+			}
+		}
+		ne := query.Cmp{Op: query.NE,
+			L: query.Var{Name: fmt.Sprintf("v%da", b)},
+			R: query.Var{Name: fmt.Sprintf("v%db", b)}}
+		if cond == nil {
+			cond = query.Expr(ne)
+		} else {
+			cond = query.And{L: cond, R: ne}
+		}
+		out = append(out, Constraint{Atoms: []query.Atom{a1, a2}, Cond: cond})
+	}
+	return out
+}
+
+// String renders the constraint body.
+func (c Constraint) String() string {
+	var e query.Expr
+	for _, a := range c.Atoms {
+		if e == nil {
+			e = a
+		} else {
+			e = query.And{L: e, R: a}
+		}
+	}
+	if c.Cond != nil {
+		e = query.And{L: e, R: c.Cond}
+	}
+	return e.String()
+}
+
+// Hypergraph is the conflict hypergraph of an instance with respect
+// to denial constraints: hyperedges are minimal violating tuple sets.
+type Hypergraph struct {
+	inst  *relation.Instance
+	edges []*bitset.Set
+	// incident[v] lists indices of edges containing v.
+	incident [][]int
+}
+
+// Build evaluates the constraints over the instance and collects
+// minimal violation sets. Enumeration is by nested loops over the
+// atoms — exponential in constraint arity (fixed), polynomial in the
+// data.
+func Build(inst *relation.Instance, constraints []Constraint) (*Hypergraph, error) {
+	var raw []*bitset.Set
+	for _, c := range constraints {
+		sets, err := violations(inst, c)
+		if err != nil {
+			return nil, err
+		}
+		raw = append(raw, sets...)
+	}
+	h := &Hypergraph{inst: inst, incident: make([][]int, inst.Len())}
+	// Keep only minimal edges, deduplicated.
+	seen := map[string]bool{}
+	for _, e := range raw {
+		minimal := true
+		for _, f := range raw {
+			if f != e && f.SubsetOf(e) && !f.Equal(e) {
+				minimal = false
+				break
+			}
+		}
+		if !minimal || seen[e.Key()] {
+			continue
+		}
+		seen[e.Key()] = true
+		h.edges = append(h.edges, e)
+	}
+	for ei, e := range h.edges {
+		e.Range(func(v int) bool {
+			h.incident[v] = append(h.incident[v], ei)
+			return true
+		})
+	}
+	return h, nil
+}
+
+// violations enumerates assignments of instance tuples to the
+// constraint's atoms satisfying the condition, returning the distinct
+// tuple sets involved.
+func violations(inst *relation.Instance, c Constraint) ([]*bitset.Set, error) {
+	k := len(c.Atoms)
+	ids := make([]relation.TupleID, k)
+	var out []*bitset.Set
+	var rec func(i int, env map[string]relation.Value) error
+	rec = func(i int, env map[string]relation.Value) error {
+		if i == k {
+			holds := true
+			if c.Cond != nil {
+				v, err := evalCond(c.Cond, env)
+				if err != nil {
+					return err
+				}
+				holds = v
+			}
+			if holds {
+				s := bitset.New(inst.Len())
+				for _, id := range ids {
+					s.Add(id)
+				}
+				// An assignment reusing one tuple for all atoms of an
+				// FD-style constraint cannot satisfy a ≠ condition,
+				// but constraints without ≠ could "violate" with a
+				// single tuple — that is legitimate (self-conflict).
+				out = append(out, s)
+			}
+			return nil
+		}
+		var loopErr error
+		inst.Range(func(id relation.TupleID, t relation.Tuple) bool {
+			// Bind the atom's variables to the tuple's values;
+			// constants must match.
+			saved := map[string]*relation.Value{}
+			ok := true
+			for ai, term := range c.Atoms[i].Args {
+				switch x := term.(type) {
+				case query.Const:
+					if !x.Value.Equal(t[ai]) {
+						ok = false
+					}
+				case query.Var:
+					if old, bound := env[x.Name]; bound {
+						if !old.Equal(t[ai]) {
+							ok = false
+						}
+					} else {
+						v := t[ai]
+						saved[x.Name] = nil
+						env[x.Name] = v
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				ids[i] = id
+				if err := rec(i+1, env); err != nil {
+					loopErr = err
+				}
+			}
+			for name := range saved {
+				delete(env, name)
+			}
+			return loopErr == nil
+		})
+		return loopErr
+	}
+	if err := rec(0, map[string]relation.Value{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evalCond evaluates a conjunction of comparisons under the binding
+// env (all variables must be bound by the constraint's atoms).
+func evalCond(e query.Expr, env map[string]relation.Value) (bool, error) {
+	switch n := e.(type) {
+	case query.And:
+		l, err := evalCond(n.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalCond(n.R, env)
+	case query.Cmp:
+		l, err := resolveTerm(n.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := resolveTerm(n.R, env)
+		if err != nil {
+			return false, err
+		}
+		return evalCmpConst(n.Op, l, r)
+	default:
+		return false, fmt.Errorf("denial: unexpected condition node %T", e)
+	}
+}
+
+func resolveTerm(t query.Term, env map[string]relation.Value) (relation.Value, error) {
+	switch x := t.(type) {
+	case query.Const:
+		return x.Value, nil
+	case query.Var:
+		v, ok := env[x.Name]
+		if !ok {
+			return relation.Value{}, fmt.Errorf("denial: condition variable %s not bound by any atom", x.Name)
+		}
+		return v, nil
+	default:
+		return relation.Value{}, fmt.Errorf("denial: unknown term %T", t)
+	}
+}
+
+// Instance returns the underlying instance.
+func (h *Hypergraph) Instance() *relation.Instance { return h.inst }
+
+// Len returns the number of vertices.
+func (h *Hypergraph) Len() int { return h.inst.Len() }
+
+// NumEdges returns the number of (minimal, distinct) hyperedges.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// Edges returns the hyperedges. The caller must not mutate them.
+func (h *Hypergraph) Edges() []*bitset.Set { return h.edges }
+
+// IsIndependent reports whether no hyperedge is fully contained in s.
+func (h *Hypergraph) IsIndependent(s *bitset.Set) bool {
+	for _, e := range h.edges {
+		if e.SubsetOf(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRepair reports whether s is a maximal independent set: adding any
+// outside vertex would complete some hyperedge.
+func (h *Hypergraph) IsRepair(s *bitset.Set) bool {
+	if !h.IsIndependent(s) {
+		return false
+	}
+	for v := 0; v < h.Len(); v++ {
+		if s.Has(v) {
+			continue
+		}
+		s.Add(v)
+		extendable := h.IsIndependent(s)
+		s.Remove(v)
+		if extendable {
+			return false
+		}
+	}
+	return true
+}

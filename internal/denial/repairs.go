@@ -1,0 +1,370 @@
+package denial
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/query"
+	"prefcqa/internal/relation"
+)
+
+// ErrOverflow is returned by Count when the number of repairs exceeds
+// int64.
+var ErrOverflow = errors.New("denial: repair count overflows int64")
+
+// Components returns the connected components of the hypergraph
+// (vertices connected through shared hyperedges), as sorted vertex
+// lists. Repair enumeration decomposes over them.
+func (h *Hypergraph) Components() [][]int {
+	n := h.Len()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range h.edges {
+		first := -1
+		e.Range(func(v int) bool {
+			if first < 0 {
+				first = v
+			} else {
+				union(first, v)
+			}
+			return true
+		})
+	}
+	groups := map[int][]int{}
+	for v := 0; v < n; v++ {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, groups[r][0])
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		members := groups[find(r)]
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+// componentRepairs enumerates the maximal independent sets of one
+// component: branch on the vertices of a contained hyperedge, filter
+// candidate leaves for maximality within the component, deduplicate.
+func (h *Hypergraph) componentRepairs(comp []int) []*bitset.Set {
+	compSet := bitset.FromSlice(comp)
+	// Edges fully inside this component (edges never span components).
+	var edges []*bitset.Set
+	for _, e := range h.edges {
+		if e.Intersects(compSet) {
+			edges = append(edges, e)
+		}
+	}
+	seen := map[string]bool{}
+	var out []*bitset.Set
+	var rec func(s *bitset.Set)
+	rec = func(s *bitset.Set) {
+		var bad *bitset.Set
+		for _, e := range edges {
+			if e.SubsetOf(s) {
+				bad = e
+				break
+			}
+		}
+		if bad == nil {
+			if !h.isMaximalWithin(s, compSet, edges) {
+				return
+			}
+			k := s.Key()
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			out = append(out, s.Clone())
+			return
+		}
+		bad.Range(func(v int) bool {
+			s.Remove(v)
+			rec(s)
+			s.Add(v)
+			return true
+		})
+	}
+	rec(compSet.Clone())
+	return out
+}
+
+// isMaximalWithin reports whether the independent set s cannot be
+// extended by any component vertex without completing an edge.
+func (h *Hypergraph) isMaximalWithin(s, compSet *bitset.Set, edges []*bitset.Set) bool {
+	maximal := true
+	compSet.Range(func(v int) bool {
+		if s.Has(v) {
+			return true
+		}
+		s.Add(v)
+		extendable := true
+		for _, e := range edges {
+			if e.SubsetOf(s) {
+				extendable = false
+				break
+			}
+		}
+		s.Remove(v)
+		if extendable {
+			maximal = false
+			return false
+		}
+		return true
+	})
+	return maximal
+}
+
+// Enumerate yields every repair (maximal independent set) of the
+// hypergraph as the componentwise union of per-component choices.
+// The yielded sets are owned by the caller.
+func Enumerate(h *Hypergraph, yield func(*bitset.Set) bool) {
+	comps := h.Components()
+	choices := make([][]*bitset.Set, len(comps))
+	for i, comp := range comps {
+		choices[i] = h.componentRepairs(comp)
+	}
+	cur := bitset.New(h.Len())
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(choices) {
+			return yield(cur.Clone())
+		}
+		for _, c := range choices[i] {
+			cur.UnionWith(c)
+			if !rec(i + 1) {
+				return false
+			}
+			cur.DifferenceWith(c)
+		}
+		return true
+	}
+	rec(0)
+}
+
+// All materializes every repair. Use Count first; the result can be
+// exponential.
+func All(h *Hypergraph) []*bitset.Set {
+	var out []*bitset.Set
+	Enumerate(h, func(s *bitset.Set) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of repairs as the product of per-component
+// counts.
+func Count(h *Hypergraph) (int64, error) {
+	total := int64(1)
+	for _, comp := range h.Components() {
+		c := int64(len(h.componentRepairs(comp)))
+		if c == 0 {
+			return 0, nil
+		}
+		if total > math.MaxInt64/c {
+			return 0, ErrOverflow
+		}
+		total *= c
+	}
+	return total, nil
+}
+
+// GroundQFCertain decides whether true is the consistent answer to a
+// ground quantifier-free query over the hypergraph's repairs,
+// generalizing the conflict-graph algorithm of internal/cqa: a
+// negated fact f is excluded from a repair extension iff some
+// hyperedge containing f has all its other vertices chosen.
+func GroundQFCertain(h *Hypergraph, q query.Expr) (bool, error) {
+	if !query.IsGround(q) {
+		return false, fmt.Errorf("denial: GroundQFCertain needs a ground quantifier-free query, got %s", q)
+	}
+	dnf, err := query.ToDNF(query.Negate(q))
+	if err != nil {
+		return false, err
+	}
+	for _, disj := range dnf {
+		sat, err := disjunctSatisfiable(h, disj)
+		if err != nil {
+			return false, err
+		}
+		if sat {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func disjunctSatisfiable(h *Hypergraph, disj []query.Literal) (bool, error) {
+	inst := h.inst
+	chosen := bitset.New(h.Len())
+	negSet := bitset.New(h.Len())
+	var negPresent []relation.TupleID
+	for _, lit := range disj {
+		if lit.IsCmp {
+			lc, ok1 := lit.Cmp.L.(query.Const)
+			rc, ok2 := lit.Cmp.R.(query.Const)
+			if !ok1 || !ok2 {
+				return false, fmt.Errorf("denial: non-ground comparison %s", lit.Cmp)
+			}
+			holds, err := evalCmpConst(lit.Cmp.Op, lc.Value, rc.Value)
+			if err != nil {
+				return false, err
+			}
+			if lit.Negated {
+				holds = !holds
+			}
+			if !holds {
+				return false, nil
+			}
+			continue
+		}
+		if lit.Atom.Rel != inst.Schema().Name() {
+			return false, fmt.Errorf("denial: unknown relation %q", lit.Atom.Rel)
+		}
+		tup := make(relation.Tuple, len(lit.Atom.Args))
+		ok := true
+		for i, t := range lit.Atom.Args {
+			c, isConst := t.(query.Const)
+			if !isConst {
+				return false, fmt.Errorf("denial: atom %s is not ground", lit.Atom)
+			}
+			if c.Value.Kind() != inst.Schema().Attr(i).Kind {
+				ok = false
+				break
+			}
+			tup[i] = c.Value
+		}
+		var id relation.TupleID
+		present := false
+		if ok {
+			id, present = inst.Lookup(tup)
+		}
+		if lit.Negated {
+			if present {
+				negSet.Add(id)
+				negPresent = append(negPresent, id)
+			}
+			continue
+		}
+		if !present {
+			return false, nil
+		}
+		chosen.Add(id)
+	}
+	if chosen.Intersects(negSet) {
+		return false, nil
+	}
+	if !h.IsIndependent(chosen) {
+		return false, nil
+	}
+	return coverNegated(h, negPresent, chosen, negSet), nil
+}
+
+// coverNegated extends chosen so every negated fact f completes some
+// hyperedge (all other vertices of the edge chosen), keeping chosen
+// independent and disjoint from negSet. Such a family extends to a
+// repair avoiding the negated facts.
+func coverNegated(h *Hypergraph, negPresent []relation.TupleID, chosen, negSet *bitset.Set) bool {
+	if len(negPresent) == 0 {
+		return true
+	}
+	f := negPresent[0]
+	// Already excluded?
+	for _, ei := range h.incident[f] {
+		e := h.edges[ei]
+		if restSubset(e, f, chosen) {
+			return coverNegated(h, negPresent[1:], chosen, negSet)
+		}
+	}
+	for _, ei := range h.incident[f] {
+		e := h.edges[ei]
+		// Candidate witness: choose all of e \ {f}.
+		ok := true
+		var added []int
+		e.Range(func(v int) bool {
+			if v == f {
+				return true
+			}
+			if negSet.Has(v) {
+				ok = false
+				return false
+			}
+			if !chosen.Has(v) {
+				chosen.Add(v)
+				added = append(added, v)
+			}
+			return true
+		})
+		if ok && h.IsIndependent(chosen) && coverNegated(h, negPresent[1:], chosen, negSet) {
+			for _, v := range added {
+				chosen.Remove(v)
+			}
+			return true
+		}
+		for _, v := range added {
+			chosen.Remove(v)
+		}
+	}
+	return false
+}
+
+// restSubset reports whether e \ {f} ⊆ chosen.
+func restSubset(e *bitset.Set, f int, chosen *bitset.Set) bool {
+	ok := true
+	e.Range(func(v int) bool {
+		if v != f && !chosen.Has(v) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+func evalCmpConst(op query.CmpOp, l, r relation.Value) (bool, error) {
+	switch op {
+	case query.EQ:
+		return l.Equal(r), nil
+	case query.NE:
+		return !l.Equal(r), nil
+	}
+	if l.Kind() != relation.KindInt || r.Kind() != relation.KindInt {
+		return false, nil
+	}
+	c, err := l.Compare(r)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case query.LT:
+		return c < 0, nil
+	case query.LE:
+		return c <= 0, nil
+	case query.GT:
+		return c > 0, nil
+	case query.GE:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("denial: unknown operator %v", op)
+}

@@ -1,0 +1,185 @@
+// Package fd implements functional dependencies over a relation
+// schema: representation, parsing, violation detection (the conflicts
+// of §2.1), and the classical dependency-theory toolbox (attribute
+// closure, keys, BCNF test, minimal cover) used to classify workloads
+// (one key vs one FD vs many FDs with mutual conflicts — the
+// "possible applications" column of Fig. 5).
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefcqa/internal/relation"
+)
+
+// FD is a functional dependency X → Y with X, Y given as attribute
+// positions of a fixed schema. Both sides are kept sorted and
+// duplicate-free; Y is stored with X removed (trivial parts carry no
+// conflict information).
+type FD struct {
+	schema *relation.Schema
+	lhs    []int
+	rhs    []int
+}
+
+// New builds an FD from attribute positions. The right-hand side is
+// normalized by removing attributes that also appear on the left;
+// a dependency whose normalized RHS is empty is rejected as trivial.
+func New(schema *relation.Schema, lhs, rhs []int) (FD, error) {
+	if schema == nil {
+		return FD{}, fmt.Errorf("fd: nil schema")
+	}
+	check := func(side string, idx []int) error {
+		for _, i := range idx {
+			if i < 0 || i >= schema.Arity() {
+				return fmt.Errorf("fd: %s attribute index %d out of range for %s", side, i, schema)
+			}
+		}
+		return nil
+	}
+	if err := check("lhs", lhs); err != nil {
+		return FD{}, err
+	}
+	if err := check("rhs", rhs); err != nil {
+		return FD{}, err
+	}
+	l := normalize(lhs)
+	inL := make(map[int]bool, len(l))
+	for _, i := range l {
+		inL[i] = true
+	}
+	var r []int
+	for _, i := range normalize(rhs) {
+		if !inL[i] {
+			r = append(r, i)
+		}
+	}
+	if len(r) == 0 {
+		return FD{}, fmt.Errorf("fd: trivial dependency (RHS ⊆ LHS)")
+	}
+	return FD{schema: schema, lhs: l, rhs: r}, nil
+}
+
+// NewByName builds an FD from attribute names.
+func NewByName(schema *relation.Schema, lhs, rhs []string) (FD, error) {
+	l, err := schema.Indexes(lhs)
+	if err != nil {
+		return FD{}, err
+	}
+	r, err := schema.Indexes(rhs)
+	if err != nil {
+		return FD{}, err
+	}
+	return New(schema, l, r)
+}
+
+func normalize(idx []int) []int {
+	out := append([]int(nil), idx...)
+	sort.Ints(out)
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// Parse reads "A, B -> C D" (commas and/or spaces separate attribute
+// names; "→" is accepted for "->").
+func Parse(schema *relation.Schema, s string) (FD, error) {
+	norm := strings.ReplaceAll(s, "→", "->")
+	left, right, ok := strings.Cut(norm, "->")
+	if !ok {
+		return FD{}, fmt.Errorf("fd: %q: missing '->'", s)
+	}
+	lhs := splitNames(left)
+	rhs := splitNames(right)
+	if len(lhs) == 0 {
+		return FD{}, fmt.Errorf("fd: %q: empty left-hand side", s)
+	}
+	if len(rhs) == 0 {
+		return FD{}, fmt.Errorf("fd: %q: empty right-hand side", s)
+	}
+	return NewByName(schema, lhs, rhs)
+}
+
+// MustParse is Parse that panics on error, for fixtures.
+func MustParse(schema *relation.Schema, s string) FD {
+	f, err := Parse(schema, s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func splitNames(s string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t'
+	})
+}
+
+// Schema returns the schema the FD is defined over.
+func (f FD) Schema() *relation.Schema { return f.schema }
+
+// LHS returns the left-hand side attribute positions (sorted copy).
+func (f FD) LHS() []int { return append([]int(nil), f.lhs...) }
+
+// RHS returns the right-hand side attribute positions (sorted copy).
+func (f FD) RHS() []int { return append([]int(nil), f.rhs...) }
+
+// IsKeyDependency reports whether the FD is a key dependency: X → U
+// where U is all attributes outside X (so conflicting tuples can never
+// be duplicates with respect to it).
+func (f FD) IsKeyDependency() bool {
+	return len(f.lhs)+len(f.rhs) == f.schema.Arity()
+}
+
+// Conflicts reports whether tuples t and u conflict with respect to f:
+// they agree on X and differ on some attribute of Y (§2.1).
+func (f FD) Conflicts(t, u relation.Tuple) bool {
+	for _, i := range f.lhs {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	for _, i := range f.rhs {
+		if !t[i].Equal(u[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two FDs have the same sides over the same
+// schema.
+func (f FD) Equal(g FD) bool {
+	if !f.schema.Equal(g.schema) || len(f.lhs) != len(g.lhs) || len(f.rhs) != len(g.rhs) {
+		return false
+	}
+	for i := range f.lhs {
+		if f.lhs[i] != g.lhs[i] {
+			return false
+		}
+	}
+	for i := range f.rhs {
+		if f.rhs[i] != g.rhs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "A,B -> C,D" using attribute names.
+func (f FD) String() string {
+	name := func(idx []int) string {
+		parts := make([]string, len(idx))
+		for i, j := range idx {
+			parts[i] = f.schema.Attr(j).Name
+		}
+		return strings.Join(parts, ",")
+	}
+	return name(f.lhs) + " -> " + name(f.rhs)
+}

@@ -1,0 +1,354 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefcqa/internal/relation"
+)
+
+// Set is a set of functional dependencies over one schema.
+type Set struct {
+	schema *relation.Schema
+	fds    []FD
+}
+
+// NewSet builds a set over the schema; all FDs must share it.
+func NewSet(schema *relation.Schema, fds ...FD) (*Set, error) {
+	s := &Set{schema: schema}
+	for _, f := range fds {
+		if err := s.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ParseSet parses a list of "X -> Y" strings over the schema.
+func ParseSet(schema *relation.Schema, specs ...string) (*Set, error) {
+	s := &Set{schema: schema}
+	for _, spec := range specs {
+		f, err := Parse(schema, spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustParseSet is ParseSet that panics on error, for fixtures.
+func MustParseSet(schema *relation.Schema, specs ...string) *Set {
+	s, err := ParseSet(schema, specs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add appends an FD; duplicates are ignored.
+func (s *Set) Add(f FD) error {
+	if !f.schema.Equal(s.schema) {
+		return fmt.Errorf("fd: dependency %s is over schema %s, set is over %s", f, f.schema, s.schema)
+	}
+	for _, g := range s.fds {
+		if f.Equal(g) {
+			return nil
+		}
+	}
+	s.fds = append(s.fds, f)
+	return nil
+}
+
+// Schema returns the common schema.
+func (s *Set) Schema() *relation.Schema { return s.schema }
+
+// Len returns the number of dependencies.
+func (s *Set) Len() int { return len(s.fds) }
+
+// FD returns the i-th dependency.
+func (s *Set) FD(i int) FD { return s.fds[i] }
+
+// All returns a copy of the dependency list.
+func (s *Set) All() []FD { return append([]FD(nil), s.fds...) }
+
+// Conflicts reports whether two tuples conflict with respect to some
+// dependency in the set, and returns the index of the first witness.
+func (s *Set) Conflicts(t, u relation.Tuple) (int, bool) {
+	for i, f := range s.fds {
+		if f.Conflicts(t, u) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Consistent reports whether the instance satisfies every dependency.
+func (s *Set) Consistent(r *relation.Instance) bool {
+	return len(s.Violations(r)) == 0
+}
+
+// Violation is a pair of conflicting tuples and the dependency they
+// violate.
+type Violation struct {
+	T1, T2 relation.TupleID
+	FD     int // index into the set
+}
+
+// Violations lists all conflicting tuple pairs (T1 < T2) in the
+// instance, one entry per violated dependency. Pairs are found by
+// hashing on the LHS projection, so the cost is proportional to the
+// number of conflicts rather than all tuple pairs.
+func (s *Set) Violations(r *relation.Instance) []Violation {
+	var out []Violation
+	for fi, f := range s.fds {
+		groups := make(map[string][]relation.TupleID)
+		r.Range(func(id relation.TupleID, t relation.Tuple) bool {
+			k := t.Project(f.lhs).Key()
+			groups[k] = append(groups[k], id)
+			return true
+		})
+		for _, ids := range groups {
+			if len(ids) < 2 {
+				continue
+			}
+			// Within an LHS group, tuples conflict iff they differ on
+			// the RHS projection; partition by RHS value.
+			byRHS := make(map[string][]relation.TupleID)
+			var order []string
+			for _, id := range ids {
+				k := r.Tuple(id).Project(f.rhs).Key()
+				if _, seen := byRHS[k]; !seen {
+					order = append(order, k)
+				}
+				byRHS[k] = append(byRHS[k], id)
+			}
+			for i := 0; i < len(order); i++ {
+				for j := i + 1; j < len(order); j++ {
+					for _, a := range byRHS[order[i]] {
+						for _, b := range byRHS[order[j]] {
+							t1, t2 := a, b
+							if t1 > t2 {
+								t1, t2 = t2, t1
+							}
+							out = append(out, Violation{T1: t1, T2: t2, FD: fi})
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.T1 != b.T1 {
+			return a.T1 < b.T1
+		}
+		if a.T2 != b.T2 {
+			return a.T2 < b.T2
+		}
+		return a.FD < b.FD
+	})
+	return out
+}
+
+// Closure computes the attribute closure of attrs under the set
+// (Armstrong axioms fixpoint).
+func (s *Set) Closure(attrs []int) []int {
+	in := make([]bool, s.schema.Arity())
+	for _, a := range attrs {
+		if a >= 0 && a < len(in) {
+			in[a] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range s.fds {
+			all := true
+			for _, a := range f.lhs {
+				if !in[a] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, b := range f.rhs {
+				if !in[b] {
+					in[b] = true
+					changed = true
+				}
+			}
+		}
+	}
+	var out []int
+	for a, ok := range in {
+		if ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// IsSuperkey reports whether the attribute set determines the whole
+// schema.
+func (s *Set) IsSuperkey(attrs []int) bool {
+	return len(s.Closure(attrs)) == s.schema.Arity()
+}
+
+// Keys enumerates all minimal keys of the schema under the set.
+// Exponential in arity; arities here are small.
+func (s *Set) Keys() [][]int {
+	n := s.schema.Arity()
+	var keys [][]int
+	// Enumerate candidate subsets in order of increasing size so that
+	// minimality can be checked against previously found keys.
+	subsets := make([][]int, 0, 1<<uint(n))
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var sub []int
+		for a := 0; a < n; a++ {
+			if mask&(1<<uint(a)) != 0 {
+				sub = append(sub, a)
+			}
+		}
+		subsets = append(subsets, sub)
+	}
+	sort.Slice(subsets, func(i, j int) bool { return len(subsets[i]) < len(subsets[j]) })
+	for _, sub := range subsets {
+		if !s.IsSuperkey(sub) {
+			continue
+		}
+		minimal := true
+		for _, k := range keys {
+			if subsetOf(k, sub) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			keys = append(keys, sub)
+		}
+	}
+	return keys
+}
+
+func subsetOf(a, b []int) bool {
+	in := make(map[int]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	for _, x := range a {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBCNF reports whether every dependency's LHS is a superkey — the
+// normal-form condition the paper's future-work section singles out
+// (after [2]).
+func (s *Set) IsBCNF() bool {
+	for _, f := range s.fds {
+		if !s.IsSuperkey(f.lhs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies reports whether the set logically implies f (via closure).
+func (s *Set) Implies(f FD) bool {
+	cl := s.Closure(f.lhs)
+	in := make(map[int]bool, len(cl))
+	for _, a := range cl {
+		in[a] = true
+	}
+	for _, b := range f.rhs {
+		if !in[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether two sets over the same schema imply each
+// other.
+func (s *Set) Equivalent(t *Set) bool {
+	if !s.schema.Equal(t.schema) {
+		return false
+	}
+	for _, f := range s.fds {
+		if !t.Implies(f) {
+			return false
+		}
+	}
+	for _, f := range t.fds {
+		if !s.Implies(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalCover returns an equivalent set with singleton RHSs, no
+// redundant dependencies, and no redundant LHS attributes.
+func (s *Set) MinimalCover() *Set {
+	// Split RHSs.
+	work := &Set{schema: s.schema}
+	for _, f := range s.fds {
+		for _, b := range f.rhs {
+			g, err := New(s.schema, f.lhs, []int{b})
+			if err == nil {
+				work.Add(g) //nolint:errcheck // same schema
+			}
+		}
+	}
+	// Remove extraneous LHS attributes.
+	for i := 0; i < len(work.fds); i++ {
+		f := work.fds[i]
+		for len(f.lhs) > 1 {
+			reduced := false
+			for k := range f.lhs {
+				trial := append(append([]int(nil), f.lhs[:k]...), f.lhs[k+1:]...)
+				g, err := New(s.schema, trial, f.rhs)
+				if err == nil && work.Implies(g) {
+					f = g
+					work.fds[i] = g
+					reduced = true
+					break
+				}
+			}
+			if !reduced {
+				break
+			}
+		}
+	}
+	// Remove redundant dependencies.
+	for i := 0; i < len(work.fds); {
+		rest := &Set{schema: s.schema}
+		for j, g := range work.fds {
+			if j != i {
+				rest.Add(g) //nolint:errcheck // same schema
+			}
+		}
+		if rest.Implies(work.fds[i]) {
+			work.fds = append(work.fds[:i], work.fds[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return work
+}
+
+// String lists the dependencies separated by "; ".
+func (s *Set) String() string {
+	parts := make([]string, len(s.fds))
+	for i, f := range s.fds {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,195 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefcqa/internal/relation"
+)
+
+func abcdSchema() *relation.Schema {
+	return relation.MustSchema("R",
+		relation.IntAttr("A"), relation.IntAttr("B"),
+		relation.IntAttr("C"), relation.IntAttr("D"))
+}
+
+func TestClosure(t *testing.T) {
+	s := abcdSchema()
+	set := MustParseSet(s, "A -> B", "B -> C")
+	got := set.Closure([]int{0})
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("closure(A) = %v, want [0 1 2]", got)
+	}
+	if set.IsSuperkey([]int{0}) {
+		t.Error("A is not a superkey (D not determined)")
+	}
+	if !set.IsSuperkey([]int{0, 3}) {
+		t.Error("AD should be a superkey")
+	}
+	// Closure ignores out-of-range attributes defensively.
+	if got := set.Closure([]int{99}); len(got) != 0 {
+		t.Errorf("closure of out-of-range = %v", got)
+	}
+}
+
+func TestClosureProperties(t *testing.T) {
+	// Extensivity, monotonicity, idempotence on random FD sets.
+	rng := rand.New(rand.NewSource(7))
+	s := abcdSchema()
+	for iter := 0; iter < 100; iter++ {
+		set := randomFDSet(rng, s)
+		attrs := randomAttrSubset(rng, s.Arity())
+		cl := set.Closure(attrs)
+		in := map[int]bool{}
+		for _, a := range cl {
+			in[a] = true
+		}
+		for _, a := range attrs {
+			if !in[a] {
+				t.Fatalf("closure not extensive: %v not in closure(%v)=%v of %s", a, attrs, cl, set)
+			}
+		}
+		cl2 := set.Closure(cl)
+		if len(cl2) != len(cl) {
+			t.Fatalf("closure not idempotent for %s", set)
+		}
+		// Monotone: closure of a superset contains closure of the set.
+		super := append(append([]int(nil), attrs...), rng.Intn(s.Arity()))
+		clSuper := set.Closure(super)
+		inSuper := map[int]bool{}
+		for _, a := range clSuper {
+			inSuper[a] = true
+		}
+		for _, a := range cl {
+			if !inSuper[a] {
+				t.Fatalf("closure not monotone for %s", set)
+			}
+		}
+	}
+}
+
+func randomFDSet(rng *rand.Rand, s *relation.Schema) *Set {
+	set := &Set{schema: s}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		lhs := randomAttrSubset(rng, s.Arity())
+		rhs := randomAttrSubset(rng, s.Arity())
+		if len(lhs) == 0 || len(rhs) == 0 {
+			continue
+		}
+		if f, err := New(s, lhs, rhs); err == nil {
+			set.Add(f) //nolint:errcheck
+		}
+	}
+	return set
+}
+
+func randomAttrSubset(rng *rand.Rand, n int) []int {
+	var out []int
+	for a := 0; a < n; a++ {
+		if rng.Intn(2) == 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestKeys(t *testing.T) {
+	s := abcdSchema()
+	set := MustParseSet(s, "A -> B,C,D")
+	keys := set.Keys()
+	if len(keys) != 1 || len(keys[0]) != 1 || keys[0][0] != 0 {
+		t.Fatalf("Keys = %v, want [[0]]", keys)
+	}
+
+	// Cyclic determination: A->B, B->A; keys are AC.. hmm with D free:
+	// closure(A)= {A,B}, so keys must include C and D.
+	set2 := MustParseSet(s, "A -> B", "B -> A")
+	keys2 := set2.Keys()
+	if len(keys2) != 2 {
+		t.Fatalf("Keys = %v, want two keys {A,C,D} and {B,C,D}", keys2)
+	}
+	for _, k := range keys2 {
+		if len(k) != 3 {
+			t.Fatalf("key %v should have 3 attributes", k)
+		}
+	}
+}
+
+func TestIsBCNF(t *testing.T) {
+	s := abcdSchema()
+	if !MustParseSet(s, "A -> B,C,D").IsBCNF() {
+		t.Error("single key dependency should be BCNF")
+	}
+	if MustParseSet(s, "A -> B").IsBCNF() {
+		t.Error("A -> B alone is not BCNF (A is not a superkey)")
+	}
+	empty, _ := NewSet(s)
+	if !empty.IsBCNF() {
+		t.Error("empty set is vacuously BCNF")
+	}
+}
+
+func TestImpliesAndEquivalent(t *testing.T) {
+	s := abcdSchema()
+	set := MustParseSet(s, "A -> B", "B -> C")
+	if !set.Implies(MustParse(s, "A -> C")) {
+		t.Error("transitivity: A->B, B->C should imply A->C")
+	}
+	if set.Implies(MustParse(s, "C -> A")) {
+		t.Error("C -> A should not be implied")
+	}
+	eq := MustParseSet(s, "A -> B,C", "B -> C")
+	if !set.Equivalent(eq) {
+		t.Error("sets should be equivalent")
+	}
+	neq := MustParseSet(s, "A -> B")
+	if set.Equivalent(neq) {
+		t.Error("sets should not be equivalent")
+	}
+	other := relation.MustSchema("S", relation.IntAttr("A"), relation.IntAttr("B"))
+	otherSet := MustParseSet(other, "A -> B")
+	if set.Equivalent(otherSet) {
+		t.Error("different schemas cannot be equivalent")
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	s := abcdSchema()
+	// A->B with a redundant extra attribute on the LHS and a redundant
+	// transitive dependency.
+	set := MustParseSet(s, "A,B -> C", "A -> B", "A -> C")
+	mc := set.MinimalCover()
+	if !mc.Equivalent(set) {
+		t.Fatalf("minimal cover %s not equivalent to %s", mc, set)
+	}
+	for _, f := range mc.All() {
+		if len(f.RHS()) != 1 {
+			t.Errorf("cover FD %s has non-singleton RHS", f)
+		}
+	}
+	// A->B, A->C suffice: at most 2 dependencies.
+	if mc.Len() > 2 {
+		t.Errorf("cover %s should have at most 2 FDs", mc)
+	}
+}
+
+func TestMinimalCoverRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := abcdSchema()
+	for iter := 0; iter < 100; iter++ {
+		set := randomFDSet(rng, s)
+		mc := set.MinimalCover()
+		if !mc.Equivalent(set) {
+			t.Fatalf("minimal cover %q not equivalent to %q", mc, set)
+		}
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := abcdSchema()
+	set := MustParseSet(s, "A -> B", "C -> D")
+	if got := set.String(); got != "A -> B; C -> D" {
+		t.Fatalf("String = %q", got)
+	}
+}

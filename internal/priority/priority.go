@@ -1,0 +1,286 @@
+// Package priority implements the preference input of the paper
+// (§2.2): a priority ≻ is an acyclic binary relation defined only on
+// conflicting tuples — equivalently, an acyclic orientation of part of
+// the conflict graph. The package provides incremental acyclicity
+// checking, the extension order on priorities, total extensions, the
+// winnow operator ω≻ used by Algorithm 1, and priority generators for
+// the motivating scenarios (source reliability, timestamps, ranking).
+package priority
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/conflict"
+	"prefcqa/internal/relation"
+)
+
+// Priority is an acyclic orientation of a subset of the conflict
+// edges. x ≻ y ("x dominates y") means the user prefers to resolve
+// the conflict {x, y} by keeping x.
+type Priority struct {
+	g    *conflict.Graph
+	succ []*bitset.Set // succ[x] = {y : x ≻ y}
+	pred []*bitset.Set // pred[y] = {x : x ≻ y}
+	n    int           // number of oriented edges
+}
+
+// New returns the empty priority over the graph (no edge oriented).
+func New(g *conflict.Graph) *Priority {
+	n := g.Len()
+	p := &Priority{g: g, succ: make([]*bitset.Set, n), pred: make([]*bitset.Set, n)}
+	for i := 0; i < n; i++ {
+		p.succ[i] = bitset.New(n)
+		p.pred[i] = bitset.New(n)
+	}
+	return p
+}
+
+// Graph returns the conflict graph the priority orients.
+func (p *Priority) Graph() *conflict.Graph { return p.g }
+
+// Len returns the number of oriented conflict edges.
+func (p *Priority) Len() int { return p.n }
+
+// Dominates reports whether x ≻ y.
+func (p *Priority) Dominates(x, y relation.TupleID) bool {
+	return x >= 0 && x < len(p.succ) && p.succ[x].Has(y)
+}
+
+// Oriented reports whether the conflict {x, y} is oriented either way.
+func (p *Priority) Oriented(x, y relation.TupleID) bool {
+	return p.Dominates(x, y) || p.Dominates(y, x)
+}
+
+// Add orients the conflict {x, y} as x ≻ y. It fails if x and y do
+// not conflict (Definition 2 restricts priorities to conflicting
+// tuples), if the edge is already oriented the other way, or if the
+// orientation would create a cycle in ≻. Re-adding an existing
+// orientation is a no-op.
+func (p *Priority) Add(x, y relation.TupleID) error {
+	if x == y {
+		return fmt.Errorf("priority: tuple %d cannot dominate itself", x)
+	}
+	if !p.g.Adjacent(x, y) {
+		return fmt.Errorf("priority: tuples %d and %d do not conflict", x, y)
+	}
+	if p.succ[x].Has(y) {
+		return nil
+	}
+	if p.succ[y].Has(x) {
+		return fmt.Errorf("priority: conflict {%d,%d} already oriented %d ≻ %d", x, y, y, x)
+	}
+	if p.reaches(y, x) {
+		return fmt.Errorf("priority: orienting %d ≻ %d would create a cycle", x, y)
+	}
+	p.succ[x].Add(y)
+	p.pred[y].Add(x)
+	p.n++
+	return nil
+}
+
+// MustAdd is Add that panics on error, for fixtures.
+func (p *Priority) MustAdd(x, y relation.TupleID) {
+	if err := p.Add(x, y); err != nil {
+		panic(err)
+	}
+}
+
+// reaches reports whether there is a ≻-path from x to y.
+func (p *Priority) reaches(x, y relation.TupleID) bool {
+	if x == y {
+		return true
+	}
+	seen := bitset.New(len(p.succ))
+	stack := []int{x}
+	seen.Add(x)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		found := false
+		p.succ[v].Range(func(w int) bool {
+			if w == y {
+				found = true
+				return false
+			}
+			if !seen.Has(w) {
+				seen.Add(w)
+				stack = append(stack, w)
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// FromRelation builds a priority from an arbitrary acyclic binary
+// relation on tuples by keeping only the pairs that conflict (§2.2
+// notes the two approaches are equivalent). Pairs on non-conflicting
+// tuples are silently dropped; an orientation conflict or a cycle
+// among the kept pairs is an error.
+func FromRelation(g *conflict.Graph, pairs [][2]relation.TupleID) (*Priority, error) {
+	p := New(g)
+	for _, pr := range pairs {
+		if !g.Adjacent(pr[0], pr[1]) {
+			continue
+		}
+		if err := p.Add(pr[0], pr[1]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Clone returns an independent copy.
+func (p *Priority) Clone() *Priority {
+	q := &Priority{g: p.g, succ: make([]*bitset.Set, len(p.succ)), pred: make([]*bitset.Set, len(p.pred)), n: p.n}
+	for i := range p.succ {
+		q.succ[i] = p.succ[i].Clone()
+		q.pred[i] = p.pred[i].Clone()
+	}
+	return q
+}
+
+// Extends reports whether p extends q: same graph and q's orientations
+// are a subset of p's (≻q ⊆ ≻p).
+func (p *Priority) Extends(q *Priority) bool {
+	if p.g != q.g {
+		return false
+	}
+	for x := range q.succ {
+		if !q.succ[x].SubsetOf(p.succ[x]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTotal reports whether every conflict edge is oriented — a total
+// priority cannot be extended further.
+func (p *Priority) IsTotal() bool {
+	return p.n == p.g.NumEdges()
+}
+
+// Dominators returns {x : x ≻ t}. The caller must not mutate the
+// result.
+func (p *Priority) Dominators(t relation.TupleID) *bitset.Set { return p.pred[t] }
+
+// Dominated returns {y : t ≻ y}. The caller must not mutate the
+// result.
+func (p *Priority) Dominated(t relation.TupleID) *bitset.Set { return p.succ[t] }
+
+// Winnow computes ω≻ restricted to the sub-instance rest: the tuples
+// of rest not dominated by any other tuple of rest [5].
+func (p *Priority) Winnow(rest *bitset.Set) *bitset.Set {
+	out := bitset.New(len(p.succ))
+	rest.Range(func(t int) bool {
+		if t < len(p.pred) && !p.pred[t].Intersects(rest) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// UndominatedIn reports whether tuple t has no dominator inside rest.
+func (p *Priority) UndominatedIn(t relation.TupleID, rest *bitset.Set) bool {
+	return !p.pred[t].Intersects(rest)
+}
+
+// TotalExtension returns a total priority extending p. The remaining
+// edges are oriented by a topological order of the current ≻ digraph
+// (ties broken by rng if non-nil, else by tuple ID), which keeps the
+// result acyclic. Every priority extends to a total one this way.
+func (p *Priority) TotalExtension(rng *rand.Rand) *Priority {
+	order := p.topoOrder(rng)
+	rank := make([]int, len(order))
+	for i, v := range order {
+		rank[v] = i
+	}
+	q := p.Clone()
+	for _, e := range p.g.Edges() {
+		if q.Oriented(e.A, e.B) {
+			continue
+		}
+		x, y := e.A, e.B
+		if rank[x] > rank[y] {
+			x, y = y, x
+		}
+		// rank[x] < rank[y]: orienting x ≻ y follows the linear order,
+		// so no cycle can arise.
+		q.succ[x].Add(y)
+		q.pred[y].Add(x)
+		q.n++
+	}
+	return q
+}
+
+// topoOrder returns a topological order of the ≻ digraph (which is
+// acyclic by construction), with tie-breaking randomized by rng when
+// non-nil.
+func (p *Priority) topoOrder(rng *rand.Rand) []int {
+	n := len(p.succ)
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = p.pred[v].Len()
+	}
+	ready := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		i := 0
+		if rng != nil {
+			i = rng.Intn(len(ready))
+		}
+		v := ready[i]
+		ready = append(ready[:i], ready[i+1:]...)
+		order = append(order, v)
+		p.succ[v].Range(func(w int) bool {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+			return true
+		})
+	}
+	return order
+}
+
+// Edges returns the oriented pairs (x ≻ y) in deterministic order.
+func (p *Priority) Edges() [][2]relation.TupleID {
+	var out [][2]relation.TupleID
+	for x := range p.succ {
+		p.succ[x].Range(func(y int) bool {
+			out = append(out, [2]relation.TupleID{x, y})
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// String renders the oriented pairs as "{t0 > t1, t2 > t3}".
+func (p *Priority) String() string {
+	s := "{"
+	for i, e := range p.Edges() {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("t%d > t%d", e[0], e[1])
+	}
+	return s + "}"
+}

@@ -1,0 +1,143 @@
+package priority
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/conflict"
+	"prefcqa/internal/fd"
+	"prefcqa/internal/relation"
+)
+
+// graphFromSeed builds a deterministic random conflict graph from a
+// seed, for quick-check properties.
+func graphFromSeed(seed int64, n int) *conflict.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"))
+	inst := relation.NewInstance(s)
+	for i := 0; i < n; i++ {
+		inst.MustInsert(rng.Intn(4), rng.Intn(4))
+	}
+	return conflict.MustBuild(inst, fd.MustParseSet(s, "A -> B"))
+}
+
+// Property: FromRanks is acyclic and orients exactly the edges whose
+// endpoints have different ranks.
+func TestQuickFromRanksOrientation(t *testing.T) {
+	f := func(seed int64, rankSeed int64) bool {
+		g := graphFromSeed(seed, 8)
+		rrng := rand.New(rand.NewSource(rankSeed))
+		ranks := make([]int, g.Len())
+		for i := range ranks {
+			ranks[i] = rrng.Intn(3)
+		}
+		p := FromRanks(g, func(t relation.TupleID) int { return ranks[t] })
+		for _, e := range g.Edges() {
+			oriented := p.Oriented(e.A, e.B)
+			if (ranks[e.A] != ranks[e.B]) != oriented {
+				return false
+			}
+			if oriented {
+				winner := e.A
+				if ranks[e.B] < ranks[e.A] {
+					winner = e.B
+				}
+				loser := e.A + e.B - winner
+				if !p.Dominates(winner, loser) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the winnow of a nonempty set under an acyclic priority is
+// nonempty, contained in the set, and contains every ≻-maximal
+// element of the set.
+func TestQuickWinnowProperties(t *testing.T) {
+	f := func(seed int64, density float64, subsetSeed int64) bool {
+		if density < 0 {
+			density = -density
+		}
+		for density > 1 {
+			density /= 2
+		}
+		g := graphFromSeed(seed, 8)
+		prng := rand.New(rand.NewSource(seed + 1))
+		p := Random(g, density, prng)
+		srng := rand.New(rand.NewSource(subsetSeed))
+		rest := bitset.New(g.Len())
+		for v := 0; v < g.Len(); v++ {
+			if srng.Intn(2) == 0 {
+				rest.Add(v)
+			}
+		}
+		if rest.Empty() {
+			rest.Add(0)
+		}
+		w := p.Winnow(rest)
+		if !w.SubsetOf(rest) {
+			return false
+		}
+		if w.Empty() {
+			return false // acyclicity guarantees a maximal element
+		}
+		// Every member of w is undominated within rest.
+		ok := true
+		w.Range(func(x int) bool {
+			if p.Dominators(x).Intersects(rest) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TotalExtension extends, totalizes, and preserves
+// acyclicity for arbitrary base densities.
+func TestQuickTotalExtension(t *testing.T) {
+	f := func(seed int64, density float64) bool {
+		if density < 0 {
+			density = -density
+		}
+		for density > 1 {
+			density /= 2
+		}
+		g := graphFromSeed(seed, 8)
+		rng := rand.New(rand.NewSource(seed + 7))
+		p := Random(g, density, rng)
+		q := p.TotalExtension(rng)
+		if !q.IsTotal() || !q.Extends(p) {
+			return false
+		}
+		// Acyclic: no vertex reaches itself via a successor.
+		for v := 0; v < g.Len(); v++ {
+			cyclic := false
+			q.Dominated(v).Range(func(w int) bool {
+				if q.reaches(w, v) {
+					cyclic = true
+					return false
+				}
+				return true
+			})
+			if cyclic {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

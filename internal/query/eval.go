@@ -1,0 +1,353 @@
+package query
+
+import (
+	"fmt"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/relation"
+)
+
+// Model is a finite first-order structure a formula is evaluated
+// against: a set of visible tuples per relation. Repairs are
+// evaluated as views — an instance plus a tuple-ID subset — without
+// materializing the repair.
+type Model interface {
+	// Schema returns the schema of a relation, if present.
+	Schema(rel string) (*relation.Schema, bool)
+	// Relations lists the relation names in the model.
+	Relations() []string
+	// Tuples iterates the visible tuples of rel; stop early by
+	// returning false.
+	Tuples(rel string, yield func(relation.Tuple) bool)
+	// Contains reports whether the visible part of rel has the tuple.
+	Contains(rel string, t relation.Tuple) bool
+}
+
+// InstanceModel exposes a whole instance as a single-relation model.
+type InstanceModel struct{ Inst *relation.Instance }
+
+// Schema implements Model.
+func (m InstanceModel) Schema(rel string) (*relation.Schema, bool) {
+	if rel == m.Inst.Schema().Name() {
+		return m.Inst.Schema(), true
+	}
+	return nil, false
+}
+
+// Relations implements Model.
+func (m InstanceModel) Relations() []string { return []string{m.Inst.Schema().Name()} }
+
+// Tuples implements Model.
+func (m InstanceModel) Tuples(rel string, yield func(relation.Tuple) bool) {
+	if rel != m.Inst.Schema().Name() {
+		return
+	}
+	m.Inst.Range(func(_ relation.TupleID, t relation.Tuple) bool { return yield(t) })
+}
+
+// Contains implements Model.
+func (m InstanceModel) Contains(rel string, t relation.Tuple) bool {
+	return rel == m.Inst.Schema().Name() && m.Inst.Contains(t)
+}
+
+// SubsetModel exposes a subset of an instance (e.g. a repair) as a
+// single-relation model.
+type SubsetModel struct {
+	Inst *relation.Instance
+	IDs  *bitset.Set
+}
+
+// Schema implements Model.
+func (m SubsetModel) Schema(rel string) (*relation.Schema, bool) {
+	if rel == m.Inst.Schema().Name() {
+		return m.Inst.Schema(), true
+	}
+	return nil, false
+}
+
+// Relations implements Model.
+func (m SubsetModel) Relations() []string { return []string{m.Inst.Schema().Name()} }
+
+// Tuples implements Model.
+func (m SubsetModel) Tuples(rel string, yield func(relation.Tuple) bool) {
+	if rel != m.Inst.Schema().Name() {
+		return
+	}
+	m.IDs.Range(func(id int) bool {
+		if id < m.Inst.Len() {
+			return yield(m.Inst.Tuple(id))
+		}
+		return true
+	})
+}
+
+// Contains implements Model.
+func (m SubsetModel) Contains(rel string, t relation.Tuple) bool {
+	if rel != m.Inst.Schema().Name() {
+		return false
+	}
+	id, ok := m.Inst.Lookup(t)
+	return ok && m.IDs.Has(id)
+}
+
+// DBModel exposes a multi-relation database with one visible subset
+// per relation. A nil subset means the whole relation is visible.
+type DBModel struct {
+	DB      *relation.Database
+	Subsets map[string]*bitset.Set
+}
+
+// Schema implements Model.
+func (m DBModel) Schema(rel string) (*relation.Schema, bool) {
+	inst, ok := m.DB.Relation(rel)
+	if !ok {
+		return nil, false
+	}
+	return inst.Schema(), true
+}
+
+// Relations implements Model.
+func (m DBModel) Relations() []string { return m.DB.Names() }
+
+// Tuples implements Model.
+func (m DBModel) Tuples(rel string, yield func(relation.Tuple) bool) {
+	inst, ok := m.DB.Relation(rel)
+	if !ok {
+		return
+	}
+	sub := m.Subsets[rel]
+	if sub == nil {
+		inst.Range(func(_ relation.TupleID, t relation.Tuple) bool { return yield(t) })
+		return
+	}
+	sub.Range(func(id int) bool {
+		if id < inst.Len() {
+			return yield(inst.Tuple(id))
+		}
+		return true
+	})
+}
+
+// Contains implements Model.
+func (m DBModel) Contains(rel string, t relation.Tuple) bool {
+	inst, ok := m.DB.Relation(rel)
+	if !ok {
+		return false
+	}
+	id, ok := inst.Lookup(t)
+	if !ok {
+		return false
+	}
+	sub := m.Subsets[rel]
+	return sub == nil || sub.Has(id)
+}
+
+// Eval evaluates a closed formula over the model in the standard
+// model-theoretic sense (r' |= Q), with quantifiers ranging over the
+// active domain of the model extended with the formula's constants.
+// It returns an error on free variables, unknown relations, arity
+// mismatches, or order comparisons over names.
+//
+// Existential quantifiers whose body is a conjunction with relational
+// atoms covering all quantified variables are evaluated by a
+// backtracking join over the atoms (sound for active-domain
+// semantics: a satisfying assignment must match the atoms, and
+// matched tuples only carry active-domain values); everything else
+// falls back to domain iteration. EvalNaive skips the join path.
+func Eval(e Expr, m Model) (bool, error) {
+	if fv := FreeVars(e); len(fv) != 0 {
+		return false, fmt.Errorf("query: formula is not closed, free variables %v", fv)
+	}
+	ev := &evaluator{m: m, domain: activeDomain(m, e), join: true}
+	return ev.eval(e, map[string]relation.Value{})
+}
+
+// EvalNaive is Eval with the join optimization disabled: quantifiers
+// always iterate the active domain. Exposed for differential testing
+// and the evaluator ablation benchmarks.
+func EvalNaive(e Expr, m Model) (bool, error) {
+	if fv := FreeVars(e); len(fv) != 0 {
+		return false, fmt.Errorf("query: formula is not closed, free variables %v", fv)
+	}
+	ev := &evaluator{m: m, domain: activeDomain(m, e)}
+	return ev.eval(e, map[string]relation.Value{})
+}
+
+// activeDomain collects the distinct values of all visible tuples
+// plus the formula's constants.
+func activeDomain(m Model, e Expr) []relation.Value {
+	seen := map[string]bool{}
+	var out []relation.Value
+	add := func(v relation.Value) {
+		k := v.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	for _, rel := range m.Relations() {
+		m.Tuples(rel, func(t relation.Tuple) bool {
+			for _, v := range t {
+				add(v)
+			}
+			return true
+		})
+	}
+	for _, v := range Constants(e) {
+		add(v)
+	}
+	return out
+}
+
+type evaluator struct {
+	m      Model
+	domain []relation.Value
+	join   bool // enable the backtracking-join fast path
+}
+
+func (ev *evaluator) eval(e Expr, env map[string]relation.Value) (bool, error) {
+	switch n := e.(type) {
+	case Bool:
+		return n.Value, nil
+	case Atom:
+		return ev.evalAtom(n, env)
+	case Cmp:
+		return ev.evalCmp(n, env)
+	case Not:
+		v, err := ev.eval(n.Body, env)
+		return !v, err
+	case And:
+		l, err := ev.eval(n.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return ev.eval(n.R, env)
+	case Or:
+		l, err := ev.eval(n.L, env)
+		if err != nil || l {
+			return l, err
+		}
+		return ev.eval(n.R, env)
+	case Quant:
+		return ev.evalQuant(n, env, 0)
+	default:
+		return false, fmt.Errorf("query: cannot evaluate node %T", e)
+	}
+}
+
+func (ev *evaluator) evalQuant(q Quant, env map[string]relation.Value, i int) (bool, error) {
+	if ev.join && i == 0 {
+		if q.All {
+			// ∀x̄.φ ≡ ¬∃x̄.¬φ, which the join path can often handle
+			// (e.g. guarded universals NOT R(x̄) OR ψ).
+			v, err := ev.eval(Quant{Vars: q.Vars, Body: NNF(Not{Body: q.Body})}, env)
+			return !v, err
+		}
+		if done, res, err := ev.evalExistsJoin(q, env); done {
+			return res, err
+		}
+	}
+	if i == len(q.Vars) {
+		return ev.eval(q.Body, env)
+	}
+	name := q.Vars[i]
+	saved, had := env[name]
+	defer func() {
+		if had {
+			env[name] = saved
+		} else {
+			delete(env, name)
+		}
+	}()
+	for _, v := range ev.domain {
+		env[name] = v
+		res, err := ev.evalQuant(q, env, i+1)
+		if err != nil {
+			return false, err
+		}
+		if q.All && !res {
+			return false, nil
+		}
+		if !q.All && res {
+			return true, nil
+		}
+	}
+	return q.All, nil
+}
+
+func (ev *evaluator) resolve(t Term, env map[string]relation.Value) (relation.Value, error) {
+	switch x := t.(type) {
+	case Const:
+		return x.Value, nil
+	case Var:
+		v, ok := env[x.Name]
+		if !ok {
+			return relation.Value{}, fmt.Errorf("query: unbound variable %s", x.Name)
+		}
+		return v, nil
+	default:
+		return relation.Value{}, fmt.Errorf("query: unknown term %T", t)
+	}
+}
+
+func (ev *evaluator) evalAtom(a Atom, env map[string]relation.Value) (bool, error) {
+	schema, ok := ev.m.Schema(a.Rel)
+	if !ok {
+		return false, fmt.Errorf("query: unknown relation %q", a.Rel)
+	}
+	if len(a.Args) != schema.Arity() {
+		return false, fmt.Errorf("query: %s expects %d arguments, got %d", a.Rel, schema.Arity(), len(a.Args))
+	}
+	tup := make(relation.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		v, err := ev.resolve(t, env)
+		if err != nil {
+			return false, err
+		}
+		// A value of the wrong kind cannot be in the relation.
+		if v.Kind() != schema.Attr(i).Kind {
+			return false, nil
+		}
+		tup[i] = v
+	}
+	return ev.m.Contains(a.Rel, tup), nil
+}
+
+func (ev *evaluator) evalCmp(c Cmp, env map[string]relation.Value) (bool, error) {
+	l, err := ev.resolve(c.L, env)
+	if err != nil {
+		return false, err
+	}
+	r, err := ev.resolve(c.R, env)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case EQ:
+		return l.Equal(r), nil
+	case NE:
+		return !l.Equal(r), nil
+	}
+	// Order comparisons are only defined on N (§2). Quantified
+	// variables range over the whole active domain, so a name reaching
+	// an order comparison is simply false rather than an error.
+	if l.Kind() != relation.KindInt || r.Kind() != relation.KindInt {
+		return false, nil
+	}
+	cv, err := l.Compare(r)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case LT:
+		return cv < 0, nil
+	case LE:
+		return cv <= 0, nil
+	case GT:
+		return cv > 0, nil
+	case GE:
+		return cv >= 0, nil
+	default:
+		return false, fmt.Errorf("query: unknown comparison operator %v", c.Op)
+	}
+}

@@ -1,0 +1,45 @@
+package query
+
+import "testing"
+
+// FuzzParse checks that the parser never panics on arbitrary input
+// and that accepted formulas round-trip through the printer. Run with
+// `go test -fuzz=FuzzParse ./internal/query` to explore; the seed
+// corpus runs as part of the normal test suite.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"TRUE",
+		"R(1, 'a')",
+		"EXISTS x, y . R(x, y) AND x < y",
+		"FORALL v . NOT Mgr(v, 'R&D', 40, 3) OR v = v",
+		"((R(1)))",
+		"NOT NOT x != -3",
+		"'it''s' = \"q\"",
+		"EXISTS x . (R(x) OR S(x)) AND x >= 0",
+		"R(1) AND",
+		")(",
+		"EXISTS . R(1)",
+		"'unterminated",
+		"x <> y",
+		"R(1,2,3,4,5,6,7,8)",
+		"exists and or not",
+		"R(𝛼)", // non-ASCII letters are identifiers
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := e.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not re-parse: %v", printed, src, err)
+		}
+		if back.String() != printed {
+			t.Fatalf("round trip unstable: %q -> %q", printed, back.String())
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package query
+
+import (
+	"fmt"
+
+	"prefcqa/internal/relation"
+)
+
+// The backtracking-join fast path for existential quantifiers.
+//
+// An EXISTS whose body flattens into a conjunction can be answered by
+// joining its positive relational atoms: every satisfying assignment
+// must embed the atoms into the model's tuples, so iterating matching
+// tuples enumerates exactly the candidate bindings — no |domain|^k
+// scan. Residual conjuncts (comparisons, negated atoms, disjunctions,
+// nested quantifiers) are evaluated under the completed binding. The
+// path applies only when the positive atoms cover every quantified
+// variable; otherwise the caller falls back to domain iteration.
+
+// evalExistsJoin attempts the join path. done=false means the shape
+// is unsupported and the naive path must run.
+func (ev *evaluator) evalExistsJoin(q Quant, env map[string]relation.Value) (done, result bool, err error) {
+	conjs := flattenAnd(q.Body)
+	quantified := make(map[string]bool, len(q.Vars))
+	for _, v := range q.Vars {
+		quantified[v] = true
+	}
+	var atoms []Atom
+	var residual []Expr
+	covered := map[string]bool{}
+	for _, c := range conjs {
+		a, ok := c.(Atom)
+		if !ok {
+			residual = append(residual, c)
+			continue
+		}
+		atoms = append(atoms, a)
+		for _, t := range a.Args {
+			if v, isVar := t.(Var); isVar && quantified[v.Name] {
+				covered[v.Name] = true
+			}
+		}
+	}
+	if len(atoms) == 0 {
+		return false, false, nil
+	}
+	for _, v := range q.Vars {
+		if !covered[v] {
+			// A variable occurring only in residual conjuncts needs
+			// domain iteration.
+			return false, false, nil
+		}
+	}
+	res, err := ev.joinAtoms(atoms, residual, env, quantified)
+	return true, res, err
+}
+
+// flattenAnd returns the conjuncts of an And-tree.
+func flattenAnd(e Expr) []Expr {
+	if a, ok := e.(And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []Expr{e}
+}
+
+// joinAtoms backtracks over the atoms, extending env with bindings
+// for the quantified variables, and evaluates the residual conjuncts
+// once all atoms are embedded.
+func (ev *evaluator) joinAtoms(atoms []Atom, residual []Expr, env map[string]relation.Value, quantified map[string]bool) (bool, error) {
+	if len(atoms) == 0 {
+		for _, c := range residual {
+			v, err := ev.eval(c, env)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	a := atoms[0]
+	schema, ok := ev.m.Schema(a.Rel)
+	if !ok {
+		return false, errUnknownRelation(a.Rel)
+	}
+	if len(a.Args) != schema.Arity() {
+		return false, errArity(a.Rel, schema.Arity(), len(a.Args))
+	}
+	found := false
+	var loopErr error
+	ev.m.Tuples(a.Rel, func(t relation.Tuple) bool {
+		var bound []string
+		match := true
+		for i, term := range a.Args {
+			switch x := term.(type) {
+			case Const:
+				if !x.Value.Equal(t[i]) {
+					match = false
+				}
+			case Var:
+				if val, has := env[x.Name]; has {
+					if !val.Equal(t[i]) {
+						match = false
+					}
+				} else if quantified[x.Name] {
+					env[x.Name] = t[i]
+					bound = append(bound, x.Name)
+				} else {
+					// A variable that is neither bound nor quantified
+					// here cannot occur in a well-formed evaluation.
+					loopErr = errUnbound(x.Name)
+					match = false
+				}
+			}
+			if !match || loopErr != nil {
+				break
+			}
+		}
+		if match && loopErr == nil {
+			res, err := ev.joinAtoms(atoms[1:], residual, env, quantified)
+			if err != nil {
+				loopErr = err
+			} else if res {
+				found = true
+			}
+		}
+		for _, name := range bound {
+			delete(env, name)
+		}
+		return !found && loopErr == nil
+	})
+	return found, loopErr
+}
+
+// Error helpers shared with the naive evaluator.
+
+func errUnknownRelation(rel string) error {
+	return fmt.Errorf("query: unknown relation %q", rel)
+}
+
+func errArity(rel string, want, got int) error {
+	return fmt.Errorf("query: %s expects %d arguments, got %d", rel, want, got)
+}
+
+func errUnbound(name string) error {
+	return fmt.Errorf("query: unbound variable %s", name)
+}

@@ -1,0 +1,392 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"prefcqa/internal/relation"
+)
+
+// Parse parses a formula in the concrete syntax described in the
+// package documentation.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %q after end of formula", p.peek().text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for fixtures and examples.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokOp // one of = != <> < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: position %d: unexpected '!'", i)
+			}
+		case c == '<':
+			switch {
+			case i+1 < len(src) && src[i+1] == '=':
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+			case i+1 < len(src) && src[i+1] == '>':
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := byte(c)
+			j := i + 1
+			var b strings.Builder
+			closed := false
+			for j < len(src) {
+				if src[j] == quote {
+					if j+1 < len(src) && src[j+1] == quote { // doubled quote
+						b.WriteByte(quote)
+						j += 2
+						continue
+					}
+					closed = true
+					j++
+					break
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("query: position %d: unterminated string", i)
+			}
+			toks = append(toks, token{tokString, b.String(), i})
+			i = j
+		case c == '-' || unicode.IsDigit(c):
+			j := i + 1
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			if j == i+1 && c == '-' {
+				return nil, fmt.Errorf("query: position %d: unexpected '-'", i)
+			}
+			toks = append(toks, token{tokInt, src[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(src) {
+				r := rune(src[j])
+				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+					j++
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: position %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("query: position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) keyword() string {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return ""
+	}
+	return strings.ToUpper(t.text)
+}
+
+// formula := quantified | or
+func (p *parser) formula() (Expr, error) {
+	if kw := p.keyword(); kw == "EXISTS" || kw == "FORALL" {
+		p.next()
+		var vars []string
+		for {
+			t := p.peek()
+			if t.kind != tokIdent {
+				return nil, p.errorf("expected variable name, got %q", t.text)
+			}
+			if isKeyword(strings.ToUpper(t.text)) {
+				return nil, p.errorf("keyword %q cannot be a variable", t.text)
+			}
+			vars = append(vars, t.text)
+			p.next()
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.peek().kind != tokDot {
+			return nil, p.errorf("expected '.' after quantified variables, got %q", p.peek().text)
+		}
+		p.next()
+		body, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return Quant{All: kw == "FORALL", Vars: vars, Body: body}, nil
+	}
+	return p.or()
+}
+
+// or := and { OR and }
+func (p *parser) or() (Expr, error) {
+	left, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword() == "OR" {
+		p.next()
+		right, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+// and := unary { AND unary }
+func (p *parser) and() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword() == "AND" {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+// unary := NOT unary | primary
+func (p *parser) unary() (Expr, error) {
+	if p.keyword() == "NOT" {
+		p.next()
+		body, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Body: body}, nil
+	}
+	return p.primary()
+}
+
+// primary := '(' formula ')' | TRUE | FALSE | quantified | atom | cmp
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		e, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, p.errorf("expected ')', got %q", p.peek().text)
+		}
+		p.next()
+		return e, nil
+	case p.keyword() == "TRUE":
+		p.next()
+		return Bool{Value: true}, nil
+	case p.keyword() == "FALSE":
+		p.next()
+		return Bool{Value: false}, nil
+	case p.keyword() == "EXISTS" || p.keyword() == "FORALL":
+		return p.formula()
+	case t.kind == tokIdent && p.toks[p.i+1].kind == tokLParen:
+		return p.atom()
+	default:
+		return p.comparison()
+	}
+}
+
+// atom := ident '(' term {',' term} ')'
+func (p *parser) atom() (Expr, error) {
+	rel := p.next().text
+	p.next() // '('
+	var args []Term
+	if p.peek().kind == tokRParen {
+		return nil, p.errorf("relation %s needs at least one argument", rel)
+	}
+	for {
+		tm, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, tm)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().kind != tokRParen {
+		return nil, p.errorf("expected ')' in %s atom, got %q", rel, p.peek().text)
+	}
+	p.next()
+	return Atom{Rel: rel, Args: args}, nil
+}
+
+// comparison := term op term
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokOp {
+		return nil, p.errorf("expected comparison operator, got %q", t.text)
+	}
+	p.next()
+	var op CmpOp
+	switch t.text {
+	case "=":
+		op = EQ
+	case "!=":
+		op = NE
+	case "<":
+		op = LT
+	case "<=":
+		op = LE
+	case ">":
+		op = GT
+	case ">=":
+		op = GE
+	}
+	r, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Op: op, L: l, R: r}, nil
+}
+
+// term := ident | int | string
+func (p *parser) term() (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		if isKeyword(strings.ToUpper(t.text)) {
+			return nil, p.errorf("keyword %q cannot be a term", t.text)
+		}
+		p.next()
+		return Var{Name: t.text}, nil
+	case tokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q: %v", t.text, err)
+		}
+		return Const{Value: relation.Int(n)}, nil
+	case tokString:
+		p.next()
+		return Const{Value: relation.Name(t.text)}, nil
+	default:
+		return nil, p.errorf("expected term, got %q", t.text)
+	}
+}
+
+func isKeyword(up string) bool {
+	switch up {
+	case "AND", "OR", "NOT", "EXISTS", "FORALL", "TRUE", "FALSE":
+		return true
+	}
+	return false
+}

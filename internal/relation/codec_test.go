@@ -1,0 +1,101 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+const mgrCSV = `Name:name,Dept:name,Salary:int,Reports:int
+Mary,R&D,40,3
+John,R&D,10,2
+Mary,IT,20,1
+John,PR,30,4
+`
+
+func TestReadCSV(t *testing.T) {
+	inst, err := ReadCSV("Mgr", strings.NewReader(mgrCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Schema().Name() != "Mgr" || inst.Schema().Arity() != 4 {
+		t.Fatalf("schema = %s", inst.Schema())
+	}
+	if inst.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", inst.Len())
+	}
+	if !inst.Contains(Tuple{Name("Mary"), Name("IT"), Int(20), Int(1)}) {
+		t.Fatal("missing tuple")
+	}
+	if inst.Schema().Attr(2).Kind != KindInt {
+		t.Fatal("Salary should be int")
+	}
+}
+
+func TestReadCSVDeduplicates(t *testing.T) {
+	src := "A:int\n1\n1\n2\n"
+	inst, err := ReadCSV("R", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (set semantics)", inst.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing kind", "A,B:int\n"},
+		{"bad kind", "A:float\n"},
+		{"bad int", "A:int\nxyz\n"},
+		{"empty", ""},
+		{"bad relation name", ""},
+	}
+	for _, c := range cases[:4] {
+		if _, err := ReadCSV("R", strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := ReadCSV("bad name", strings.NewReader("A:int\n")); err == nil {
+		t.Error("invalid relation name should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	inst, err := ReadCSV("Mgr", strings.NewReader(mgrCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("Mgr", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-reading written CSV: %v\n%s", err, buf.String())
+	}
+	if back.Len() != inst.Len() {
+		t.Fatalf("round trip lost tuples: %d != %d", back.Len(), inst.Len())
+	}
+	inst.Range(func(_ TupleID, tup Tuple) bool {
+		if !back.Contains(tup) {
+			t.Errorf("round trip lost %v", tup)
+		}
+		return true
+	})
+}
+
+func TestCSVCommaInName(t *testing.T) {
+	inst := NewInstance(MustSchema("R", NameAttr("A")))
+	inst.MustInsert("x,y")
+	var buf strings.Builder
+	if err := WriteCSV(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("R", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Contains(Tuple{Name("x,y")}) {
+		t.Fatalf("comma-containing name lost: %s", buf.String())
+	}
+}

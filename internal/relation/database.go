@@ -1,0 +1,81 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Database is a named collection of relation instances. The paper
+// presents the framework over a single relation for clarity and notes
+// it extends to multiple relations along the lines of [7]; Database is
+// that extension: constraints and priorities stay intra-relation,
+// queries may span relations.
+type Database struct {
+	rels  map[string]*Instance
+	order []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Instance)}
+}
+
+// AddRelation creates an empty instance of the schema and registers it
+// under the schema's name.
+func (db *Database) AddRelation(schema *Schema) (*Instance, error) {
+	if _, dup := db.rels[schema.Name()]; dup {
+		return nil, fmt.Errorf("relation: database already has relation %q", schema.Name())
+	}
+	inst := NewInstance(schema)
+	db.rels[schema.Name()] = inst
+	db.order = append(db.order, schema.Name())
+	return inst, nil
+}
+
+// AddInstance registers an existing instance under its schema name.
+func (db *Database) AddInstance(inst *Instance) error {
+	name := inst.Schema().Name()
+	if _, dup := db.rels[name]; dup {
+		return fmt.Errorf("relation: database already has relation %q", name)
+	}
+	db.rels[name] = inst
+	db.order = append(db.order, name)
+	return nil
+}
+
+// Relation returns the named instance.
+func (db *Database) Relation(name string) (*Instance, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// Names returns the relation names in registration order.
+func (db *Database) Names() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// Len returns the number of relations.
+func (db *Database) Len() int { return len(db.order) }
+
+// TotalTuples returns the number of tuples across all relations.
+func (db *Database) TotalTuples() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// String lists relations in name order.
+func (db *Database) String() string {
+	names := db.Names()
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = db.rels[n].String()
+	}
+	return strings.Join(parts, "\n")
+}

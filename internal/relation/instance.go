@@ -1,0 +1,268 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefcqa/internal/bitset"
+)
+
+// Tuple is one row of a relation. Tuples are compared by value; the
+// instance enforces set semantics.
+type Tuple []Value
+
+// TupleID identifies a tuple inside one Instance. IDs are dense,
+// starting at 0, in insertion order; they never change once assigned.
+type TupleID = int
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding of the tuple, used for
+// set-semantics deduplication.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		b = v.appendKey(b)
+	}
+	return string(b)
+}
+
+// Project returns the subtuple at the given attribute positions.
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// String renders "(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Instance is a finite set of tuples over one schema. Insertion
+// assigns dense TupleIDs; duplicate inserts return the existing ID.
+type Instance struct {
+	schema *Schema
+	tuples []Tuple
+	byKey  map[string]TupleID
+}
+
+// NewInstance returns an empty instance of the schema.
+func NewInstance(schema *Schema) *Instance {
+	if schema == nil {
+		panic("relation: nil schema")
+	}
+	return &Instance{schema: schema, byKey: make(map[string]TupleID)}
+}
+
+// Schema returns the instance's schema.
+func (r *Instance) Schema() *Schema { return r.schema }
+
+// Len returns the number of (distinct) tuples.
+func (r *Instance) Len() int { return len(r.tuples) }
+
+// typeCheck validates a tuple against the schema.
+func (r *Instance) typeCheck(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("relation: %s expects %d values, got %d", r.schema.Name(), r.schema.Arity(), len(t))
+	}
+	for i, v := range t {
+		if v.Kind() != r.schema.Attr(i).Kind {
+			return fmt.Errorf("relation: %s.%s expects %s, got %s %s",
+				r.schema.Name(), r.schema.Attr(i).Name, r.schema.Attr(i).Kind, v.Kind(), v)
+		}
+	}
+	return nil
+}
+
+// Insert adds a tuple. It returns the tuple's ID and whether the
+// tuple was new; inserting a duplicate is not an error (set
+// semantics) and returns the existing ID.
+func (r *Instance) Insert(t Tuple) (TupleID, bool, error) {
+	if err := r.typeCheck(t); err != nil {
+		return -1, false, err
+	}
+	k := t.Key()
+	if id, ok := r.byKey[k]; ok {
+		return id, false, nil
+	}
+	id := TupleID(len(r.tuples))
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.tuples = append(r.tuples, cp)
+	r.byKey[k] = id
+	return id, true, nil
+}
+
+// InsertValues coerces native Go values (strings → names, ints →
+// integers) and inserts the resulting tuple.
+func (r *Instance) InsertValues(vals ...any) (TupleID, error) {
+	t := make(Tuple, len(vals))
+	for i, x := range vals {
+		v, err := CoerceValue(x)
+		if err != nil {
+			return -1, err
+		}
+		t[i] = v
+	}
+	id, _, err := r.Insert(t)
+	return id, err
+}
+
+// MustInsert is InsertValues that panics on error, for fixtures.
+func (r *Instance) MustInsert(vals ...any) TupleID {
+	id, err := r.InsertValues(vals...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Tuple returns the tuple with the given ID. The caller must not
+// mutate the result.
+func (r *Instance) Tuple(id TupleID) Tuple {
+	return r.tuples[id]
+}
+
+// Lookup returns the ID of an equal tuple, if present.
+func (r *Instance) Lookup(t Tuple) (TupleID, bool) {
+	id, ok := r.byKey[t.Key()]
+	return id, ok
+}
+
+// Contains reports whether an equal tuple is present.
+func (r *Instance) Contains(t Tuple) bool {
+	_, ok := r.Lookup(t)
+	return ok
+}
+
+// Range iterates tuples in ID order; stop early by returning false.
+func (r *Instance) Range(yield func(id TupleID, t Tuple) bool) {
+	for id, t := range r.tuples {
+		if !yield(TupleID(id), t) {
+			return
+		}
+	}
+}
+
+// AllIDs returns the set of all tuple IDs.
+func (r *Instance) AllIDs() *bitset.Set {
+	return bitset.Full(len(r.tuples))
+}
+
+// Subset materializes the tuples selected by the given ID set as a
+// fresh Instance (same schema). Mostly for display; algorithms work on
+// the ID sets directly.
+func (r *Instance) Subset(ids *bitset.Set) *Instance {
+	out := NewInstance(r.schema)
+	ids.Range(func(id int) bool {
+		if id < len(r.tuples) {
+			out.Insert(r.tuples[id]) //nolint:errcheck // re-inserting typed tuples cannot fail
+		}
+		return true
+	})
+	return out
+}
+
+// Clone returns an independent copy of the instance.
+func (r *Instance) Clone() *Instance {
+	out := NewInstance(r.schema)
+	for _, t := range r.tuples {
+		out.Insert(t) //nolint:errcheck // same schema
+	}
+	return out
+}
+
+// Union inserts every tuple of other (same schema) into r. It is the
+// source-integration operation of Example 1.
+func (r *Instance) Union(other *Instance) error {
+	if !r.schema.Equal(other.schema) {
+		return fmt.Errorf("relation: union of different schemas %s and %s", r.schema, other.schema)
+	}
+	for _, t := range other.tuples {
+		if _, _, err := r.Insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortedIDs returns all tuple IDs ordered by tuple value (Order), for
+// deterministic rendering.
+func (r *Instance) SortedIDs() []TupleID {
+	ids := make([]TupleID, len(r.tuples))
+	for i := range ids {
+		ids[i] = TupleID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return tupleLess(r.tuples[ids[a]], r.tuples[ids[b]])
+	})
+	return ids
+}
+
+func tupleLess(a, b Tuple) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if c := a[i].Order(b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ActiveDomain appends every value occurring in the selected tuples to
+// dst and returns it. Pass nil ids for the whole instance.
+func (r *Instance) ActiveDomain(ids *bitset.Set, dst []Value) []Value {
+	add := func(t Tuple) {
+		dst = append(dst, t...)
+	}
+	if ids == nil {
+		for _, t := range r.tuples {
+			add(t)
+		}
+	} else {
+		ids.Range(func(id int) bool {
+			if id < len(r.tuples) {
+				add(r.tuples[id])
+			}
+			return true
+		})
+	}
+	return dst
+}
+
+// String renders the instance as a deterministic multi-line listing.
+func (r *Instance) String() string {
+	var b strings.Builder
+	b.WriteString(r.schema.String())
+	b.WriteString(" {")
+	for i, id := range r.SortedIDs() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte(' ')
+		b.WriteString(r.tuples[id].String())
+	}
+	b.WriteString(" }")
+	return b.String()
+}

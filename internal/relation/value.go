@@ -1,0 +1,197 @@
+// Package relation implements the typed relational data model of the
+// paper: relations over two disjoint domains — uninterpreted names D
+// and natural numbers N (§2). Instances have set semantics and assign
+// each tuple a dense TupleID so the combinatorial machinery (conflict
+// graphs, repairs, priorities) can operate on bit sets.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the domain of an attribute or value.
+type Kind uint8
+
+const (
+	// KindName is the domain D of uninterpreted constants: only
+	// equality and inequality are defined on names.
+	KindName Kind = iota
+	// KindInt is the domain N: =, ≠, <, > have their natural
+	// interpretation (§2).
+	KindInt
+)
+
+// String returns "name" or "int".
+func (k Kind) String() string {
+	switch k {
+	case KindName:
+		return "name"
+	case KindInt:
+		return "int"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single database constant: either a name from D or an
+// integer from N. The zero value is the empty name.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Name returns the name constant v ∈ D.
+func Name(s string) Value { return Value{kind: KindName, s: s} }
+
+// Int returns the integer constant v ∈ N.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Kind reports which domain the value belongs to.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsName returns the name content. It panics on integer values; use
+// Kind to discriminate first.
+func (v Value) AsName() string {
+	if v.kind != KindName {
+		panic("relation: AsName on int value")
+	}
+	return v.s
+}
+
+// AsInt returns the integer content. It panics on name values; use
+// Kind to discriminate first.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("relation: AsInt on name value")
+	}
+	return v.i
+}
+
+// Equal reports whether two values are the same constant. Constants
+// with different names are different, and the domains are disjoint, so
+// a name never equals an integer.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	if v.kind == KindInt {
+		return v.i == w.i
+	}
+	return v.s == w.s
+}
+
+// Order totally orders values for deterministic output: integers
+// before names, integers by <, names lexicographically. It is NOT the
+// query-language comparison (which is only defined on integers); use
+// Compare for that.
+func (v Value) Order(w Value) int {
+	if v.kind != w.kind {
+		if v.kind == KindInt {
+			return -1
+		}
+		return 1
+	}
+	if v.kind == KindInt {
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(v.s, w.s)
+}
+
+// Compare implements the query-language order comparison, which the
+// paper defines only on the integer domain N. It returns -1, 0 or 1,
+// or an error when either operand is a name.
+func (v Value) Compare(w Value) (int, error) {
+	if v.kind != KindInt || w.kind != KindInt {
+		return 0, fmt.Errorf("relation: order comparison needs two int values, got %s and %s", v.kind, w.kind)
+	}
+	switch {
+	case v.i < w.i:
+		return -1, nil
+	case v.i > w.i:
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// String renders integers bare and names single-quoted, matching the
+// query-language constant syntax.
+func (v Value) String() string {
+	if v.kind == KindInt {
+		return strconv.FormatInt(v.i, 10)
+	}
+	return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+}
+
+// appendKey appends an unambiguous encoding of v, used to build map
+// keys for tuples and projections.
+func (v Value) appendKey(b []byte) []byte {
+	if v.kind == KindInt {
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, v.i, 10)
+	} else {
+		b = append(b, 'n')
+		b = strconv.AppendInt(b, int64(len(v.s)), 10)
+		b = append(b, ':')
+		b = append(b, v.s...)
+	}
+	return append(b, ';')
+}
+
+// ParseValue parses the textual form produced by Value.String:
+// a decimal integer, or a single- or double-quoted name. As a
+// convenience for data files, an unquoted token that does not parse as
+// an integer is accepted as a name.
+func ParseValue(s string) (Value, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return Value{}, fmt.Errorf("relation: empty value")
+	}
+	if (t[0] == '\'' || t[0] == '"') && len(t) >= 2 && t[len(t)-1] == t[0] {
+		inner := t[1 : len(t)-1]
+		quote := string(t[0])
+		return Name(strings.ReplaceAll(inner, quote+quote, quote)), nil
+	}
+	if i, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return Int(i), nil
+	}
+	return Name(t), nil
+}
+
+// CoerceValue converts native Go values to a Value: Value itself,
+// string → name, and the integer types → int. It is the bridge used by
+// the convenience insertion APIs.
+func CoerceValue(x any) (Value, error) {
+	switch v := x.(type) {
+	case Value:
+		return v, nil
+	case string:
+		return Name(v), nil
+	case int:
+		return Int(int64(v)), nil
+	case int8:
+		return Int(int64(v)), nil
+	case int16:
+		return Int(int64(v)), nil
+	case int32:
+		return Int(int64(v)), nil
+	case int64:
+		return Int(v), nil
+	case uint8:
+		return Int(int64(v)), nil
+	case uint16:
+		return Int(int64(v)), nil
+	case uint32:
+		return Int(int64(v)), nil
+	default:
+		return Value{}, fmt.Errorf("relation: cannot coerce %T to a value", x)
+	}
+}

@@ -1,0 +1,174 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	n := Name("Mary")
+	i := Int(42)
+	if n.Kind() != KindName || i.Kind() != KindInt {
+		t.Fatal("Kind mismatch")
+	}
+	if n.AsName() != "Mary" {
+		t.Fatalf("AsName = %q", n.AsName())
+	}
+	if i.AsInt() != 42 {
+		t.Fatalf("AsInt = %d", i.AsInt())
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	assertPanics(t, func() { Name("x").AsInt() })
+	assertPanics(t, func() { Int(1).AsName() })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Name("a"), Name("a"), true},
+		{Name("a"), Name("b"), false},
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		// Domains are disjoint: the name "1" is not the integer 1.
+		{Name("1"), Int(1), false},
+		{Value{}, Name(""), true}, // zero value is empty name
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if c, err := Int(1).Compare(Int(2)); err != nil || c != -1 {
+		t.Errorf("1 vs 2: %d, %v", c, err)
+	}
+	if c, err := Int(5).Compare(Int(5)); err != nil || c != 0 {
+		t.Errorf("5 vs 5: %d, %v", c, err)
+	}
+	if c, err := Int(9).Compare(Int(2)); err != nil || c != 1 {
+		t.Errorf("9 vs 2: %d, %v", c, err)
+	}
+	// The paper only interprets <,> over N; names are uninterpreted.
+	if _, err := Name("a").Compare(Name("b")); err == nil {
+		t.Error("comparing names should fail")
+	}
+	if _, err := Int(1).Compare(Name("b")); err == nil {
+		t.Error("comparing int to name should fail")
+	}
+}
+
+func TestValueOrderTotal(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		return x.Order(y) == -y.Order(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		x, y := Name(a), Name(b)
+		return x.Order(y) == -y.Order(x)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	// Ints sort before names.
+	if Int(999).Order(Name("")) != -1 {
+		t.Error("ints should order before names")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := Int(-7).String(); got != "-7" {
+		t.Errorf("Int String = %q", got)
+	}
+	if got := Name("R&D").String(); got != "'R&D'" {
+		t.Errorf("Name String = %q", got)
+	}
+	if got := Name("it's").String(); got != "'it''s'" {
+		t.Errorf("Name with quote String = %q", got)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{" -3 ", Int(-3)},
+		{"'Mary'", Name("Mary")},
+		{`"John"`, Name("John")},
+		{"'it''s'", Name("it's")},
+		{"R&D", Name("R&D")}, // bare non-integer token
+		{"'42'", Name("42")}, // quoted integer is a name
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseValue("  "); err == nil {
+		t.Error("ParseValue of blank should fail")
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	f := func(i int64, s string) bool {
+		vi, err1 := ParseValue(Int(i).String())
+		vn, err2 := ParseValue(Name(s).String())
+		return err1 == nil && err2 == nil && vi.Equal(Int(i)) && vn.Equal(Name(s))
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerceValue(t *testing.T) {
+	for _, x := range []any{int(1), int8(1), int16(1), int32(1), int64(1), uint8(1), uint16(1), uint32(1)} {
+		v, err := CoerceValue(x)
+		if err != nil || !v.Equal(Int(1)) {
+			t.Errorf("CoerceValue(%T) = %v, %v", x, v, err)
+		}
+	}
+	if v, err := CoerceValue("x"); err != nil || !v.Equal(Name("x")) {
+		t.Errorf("CoerceValue(string) = %v, %v", v, err)
+	}
+	if v, err := CoerceValue(Int(9)); err != nil || !v.Equal(Int(9)) {
+		t.Errorf("CoerceValue(Value) = %v, %v", v, err)
+	}
+	if _, err := CoerceValue(3.14); err == nil {
+		t.Error("CoerceValue(float64) should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindName.String() != "name" || KindInt.String() != "int" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}

@@ -1,0 +1,204 @@
+// Package repair implements Definition 1: a repair of r w.r.t. F is a
+// maximal subset of r consistent with F — equivalently, a maximal
+// independent set of the conflict graph. The package enumerates,
+// counts, samples, and checks repairs. Enumeration runs per connected
+// component (Bron–Kerbosch with pivoting on the complement graph) and
+// composes componentwise, so instances like Example 4's r_n with 2^n
+// repairs can be counted without enumeration.
+package repair
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/conflict"
+)
+
+// ErrStopped is returned by enumeration functions when the yield
+// callback asked to stop early.
+var ErrStopped = errors.New("repair: enumeration stopped by caller")
+
+// ErrOverflow is returned by Count when the number of repairs exceeds
+// math.MaxInt64.
+var ErrOverflow = errors.New("repair: repair count overflows int64")
+
+// IsRepair reports whether s is a repair of the instance underlying g:
+// an independent set such that every tuple outside s conflicts with
+// some tuple of s. Runs in polynomial time (first row of Fig. 5).
+func IsRepair(g *conflict.Graph, s *bitset.Set) bool {
+	return g.IsMaximalIndependent(s)
+}
+
+// EnumerateComponent yields every maximal independent set of the
+// subgraph induced by the vertices in comp. The yielded set is reused
+// between calls; clone it to retain. Returns ErrStopped if the yield
+// callback returned false.
+func EnumerateComponent(g *conflict.Graph, comp []int, yield func(*bitset.Set) bool) error {
+	compSet := bitset.FromSlice(comp)
+	r := bitset.New(g.Len())
+	p := compSet.Clone()
+	x := bitset.New(g.Len())
+	return bronKerbosch(g, r, p, x, yield)
+}
+
+// bronKerbosch enumerates maximal independent sets: maximal cliques of
+// the complement graph. P and X hold candidate/excluded vertices;
+// "neighbors in the complement" of v are the non-neighbors of v in g.
+// Pivoting picks u ∈ P ∪ X minimizing the branching set P \ N̄(u) =
+// P ∩ (n(u) ∪ {u}).
+func bronKerbosch(g *conflict.Graph, r, p, x *bitset.Set, yield func(*bitset.Set) bool) error {
+	if p.Empty() && x.Empty() {
+		if !yield(r) {
+			return ErrStopped
+		}
+		return nil
+	}
+	// Choose pivot u from P ∪ X with the smallest branch set
+	// P ∩ v(u); branch on exactly those vertices.
+	var branch *bitset.Set
+	best := -1
+	pick := func(u int) bool {
+		b := bitset.Intersect(p, g.Vicinity(u))
+		if best < 0 || b.Len() < best {
+			best = b.Len()
+			branch = b
+		}
+		return best > 0 // can't do better than 0
+	}
+	p.Range(pick)
+	if best != 0 {
+		x.Range(pick)
+	}
+	var err error
+	branch.Range(func(v int) bool {
+		// R ∪ {v}; new P and X lose v's vicinity (complement
+		// neighborhood restriction).
+		r.Add(v)
+		np := bitset.Difference(p, g.Vicinity(v))
+		nx := bitset.Difference(x, g.Vicinity(v))
+		err = bronKerbosch(g, r, np, nx, yield)
+		r.Remove(v)
+		if err != nil {
+			return false
+		}
+		p.Remove(v)
+		x.Add(v)
+		return true
+	})
+	return err
+}
+
+// Enumerate yields every repair of the instance underlying g. Repairs
+// are produced as the componentwise union of per-component maximal
+// independent sets. The yielded set is reused; clone to retain.
+// Returns ErrStopped on early stop, nil otherwise.
+func Enumerate(g *conflict.Graph, yield func(*bitset.Set) bool) error {
+	comps := g.Components()
+	// Pre-materialize per-component choices only for components, one
+	// at a time, via nested recursion to avoid holding all choices of
+	// all components at once — except that backtracking re-enumerates
+	// inner components exponentially. Materializing per component is
+	// the right trade: each component's repair list is small.
+	choices := make([][]*bitset.Set, len(comps))
+	for i, comp := range comps {
+		err := EnumerateComponent(g, comp, func(s *bitset.Set) bool {
+			choices[i] = append(choices[i], s.Clone())
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return Combine(g.Len(), choices, yield)
+}
+
+// Combine yields every union of one choice per component. The yielded
+// set is reused; clone to retain.
+func Combine(n int, choices [][]*bitset.Set, yield func(*bitset.Set) bool) error {
+	cur := bitset.New(n)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(choices) {
+			if !yield(cur) {
+				return ErrStopped
+			}
+			return nil
+		}
+		for _, c := range choices[i] {
+			cur.UnionWith(c)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			cur.DifferenceWith(c)
+		}
+		return nil
+	}
+	if len(choices) == 0 {
+		if !yield(cur) {
+			return ErrStopped
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// All materializes every repair. Use only when the repair count is
+// known to be small; prefer Enumerate.
+func All(g *conflict.Graph) []*bitset.Set {
+	var out []*bitset.Set
+	Enumerate(g, func(s *bitset.Set) bool { //nolint:errcheck // yield never stops
+		out = append(out, s.Clone())
+		return true
+	})
+	return out
+}
+
+// CountComponent returns the number of maximal independent sets of the
+// component.
+func CountComponent(g *conflict.Graph, comp []int) int64 {
+	var n int64
+	EnumerateComponent(g, comp, func(*bitset.Set) bool { //nolint:errcheck // never stops
+		n++
+		return true
+	})
+	return n
+}
+
+// Count returns the number of repairs as the product of per-component
+// counts, or ErrOverflow if it exceeds int64.
+func Count(g *conflict.Graph) (int64, error) {
+	total := int64(1)
+	for _, comp := range g.Components() {
+		c := CountComponent(g, comp)
+		if c == 0 {
+			return 0, nil // cannot happen: every graph has a MIS
+		}
+		if total > math.MaxInt64/c {
+			return 0, ErrOverflow
+		}
+		total *= c
+	}
+	return total, nil
+}
+
+// Sample returns a uniformly-greedy random repair: a random
+// permutation of the tuples is scanned, adding each tuple that does
+// not conflict with the chosen ones. (The distribution is not uniform
+// over repairs; it is a cheap generator for tests and probes.)
+func Sample(g *conflict.Graph, rng *rand.Rand) *bitset.Set {
+	s := bitset.New(g.Len())
+	for _, v := range rng.Perm(g.Len()) {
+		if !g.Neighbors(v).Intersects(s) {
+			s.Add(v)
+		}
+	}
+	return s
+}
+
+// Restrict returns the intersection of a repair with a component's
+// vertex set.
+func Restrict(s *bitset.Set, comp []int) *bitset.Set {
+	return bitset.Intersect(s, bitset.FromSlice(comp))
+}

@@ -1,0 +1,211 @@
+// Package workload generates the instances, dependencies and
+// priorities used by tests, examples and the experiment harness. It
+// contains the paper's examples verbatim (Examples 1/3, 4, 7, 8, 9)
+// and parametric families whose conflict-graph shapes scale them up:
+//
+//	Pairs(n)        Example 4: n disjoint conflict edges, 2^n repairs
+//	Chain(n)        Example 9: a conflict path of n tuples (two FDs)
+//	Clusters(m, k)  m independent key-violation cliques of size k
+//	Bipartite(m, k) K_{m,k} mutual-conflict components (§3.3 shape)
+//	Integration(..) multi-source union with reliability ranks (§1)
+//	Random(...)     random instances over R(A,B,C) with two FDs
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prefcqa/internal/conflict"
+	"prefcqa/internal/fd"
+	"prefcqa/internal/priority"
+	"prefcqa/internal/relation"
+)
+
+// Scenario bundles a generated instance with its dependencies,
+// conflict graph and priority.
+type Scenario struct {
+	Name string
+	Desc string
+	Inst *relation.Instance
+	FDs  *fd.Set
+	Pri  *priority.Priority
+}
+
+// Graph returns the scenario's conflict graph.
+func (s *Scenario) Graph() *conflict.Graph { return s.Pri.Graph() }
+
+func build(name, desc string, inst *relation.Instance, fds *fd.Set) *Scenario {
+	g := conflict.MustBuild(inst, fds)
+	return &Scenario{Name: name, Desc: desc, Inst: inst, FDs: fds, Pri: priority.New(g)}
+}
+
+// Pairs builds Example 4's instance r_n = {(0,0),(0,1),...,(n-1,0),
+// (n-1,1)} over R(A,B) with A -> B: n independent conflict pairs and
+// 2^n repairs. Figure 1 shows n = 4.
+func Pairs(n int) *Scenario {
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"))
+	inst := relation.NewInstance(s)
+	for i := 0; i < n; i++ {
+		inst.MustInsert(i, 0)
+		inst.MustInsert(i, 1)
+	}
+	return build(fmt.Sprintf("pairs(%d)", n),
+		"Example 4: n disjoint conflict edges, 2^n repairs",
+		inst, fd.MustParseSet(s, "A -> B"))
+}
+
+// Chain builds a conflict path of n tuples over R(A,B,C,D) with
+// F = {A -> B, C -> D}, generalizing Example 9: tuple i conflicts
+// tuple i+1, alternating between the two dependencies. The returned
+// priority orients every edge i ≻ i+1 (the paper's chain priority).
+func Chain(n int) *Scenario {
+	if n < 1 {
+		panic("workload: Chain needs n >= 1")
+	}
+	s := relation.MustSchema("R",
+		relation.IntAttr("A"), relation.IntAttr("B"),
+		relation.IntAttr("C"), relation.IntAttr("D"))
+	inst := relation.NewInstance(s)
+	// Tuple i: A-group pairs (2i, 2i+1) share A value; C-group pairs
+	// (2i+1, 2i+2) share C value. Values chosen so exactly the path
+	// edges appear.
+	for i := 0; i < n; i++ {
+		a := (i + 1) / 2 // tuples 2k-1, 2k share a-group k
+		c := i / 2       // tuples 2k, 2k+1 share c-group k
+		b := i % 2       // alternate to create the A->B conflict
+		d := (i + 1) % 2 // alternate to create the C->D conflict
+		inst.MustInsert(a, b, c+1000, d)
+	}
+	sc := build(fmt.Sprintf("chain(%d)", n),
+		"Example 9 generalized: a conflict path under two FDs",
+		inst, fd.MustParseSet(s, "A -> B", "C -> D"))
+	for i := 0; i+1 < n; i++ {
+		sc.Pri.MustAdd(i, i+1)
+	}
+	return sc
+}
+
+// Clusters builds m independent clusters of k mutually conflicting
+// tuples (key violations: same key, k distinct values) over R(K,V)
+// with K -> V. Each cluster is a k-clique, so there are k^m repairs.
+func Clusters(m, k int) *Scenario {
+	s := relation.MustSchema("R", relation.IntAttr("K"), relation.IntAttr("V"))
+	inst := relation.NewInstance(s)
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			inst.MustInsert(i, j)
+		}
+	}
+	return build(fmt.Sprintf("clusters(%d,%d)", m, k),
+		"m independent key-violation cliques of size k",
+		inst, fd.MustParseSet(s, "K -> V"))
+}
+
+// Bipartite builds one complete bipartite mutual-conflict component
+// of n tuples over R(A,B,C,D,E) with F = {A -> B, C -> D}: even-ID
+// tuples form one side, odd-ID tuples the other, and every cross-side
+// pair conflicts — the §3.3 shape where tuples are involved in
+// conflicts from more than one dependency. The two repairs are the
+// sides; consecutive IDs are always adjacent, so chain priorities
+// (i ≻ i+1) can be added directly. Bipartite(5) with the chain
+// priority is the reconstruction of the paper's Example 9 (Fig. 4).
+func Bipartite(n int) *Scenario {
+	s := relation.MustSchema("R",
+		relation.IntAttr("A"), relation.IntAttr("B"),
+		relation.IntAttr("C"), relation.IntAttr("D"),
+		relation.IntAttr("E"))
+	inst := relation.NewInstance(s)
+	// All tuples share the A-group and the C-group; the B and D
+	// values are constant per side, so conflicts (under both FDs) are
+	// exactly the cross-side pairs.
+	for i := 0; i < n; i++ {
+		side := i%2 + 1
+		inst.MustInsert(1, side, 1, side, i)
+	}
+	return build(fmt.Sprintf("bipartite(%d)", n),
+		"complete bipartite mutual-conflict component under two FDs",
+		inst, fd.MustParseSet(s, "A -> B", "C -> D"))
+}
+
+// ChainBipartite is Bipartite(n) with the chain priority
+// t0 ≻ t1 ≻ ... ≻ t(n-1); for n = 5 it reconstructs the intended
+// content of the paper's Example 9: S-Rep keeps both sides, G-Rep and
+// C-Rep keep only the even side.
+func ChainBipartite(n int) *Scenario {
+	sc := Bipartite(n)
+	for i := 0; i+1 < n; i++ {
+		sc.Pri.MustAdd(i, i+1)
+	}
+	sc.Name = fmt.Sprintf("chain-bipartite(%d)", n)
+	return sc
+}
+
+// Source is one input of the Integration scenario: a consistent
+// relation with a reliability rank (0 = most reliable).
+type Source struct {
+	Inst *relation.Instance
+	Rank int
+}
+
+// Integration unions the sources (Example 1) and derives the
+// reliability priority of Example 3: a tuple from a more reliable
+// source dominates conflicting tuples from less reliable ones.
+func Integration(fds *fd.Set, sources ...Source) (*Scenario, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("workload: Integration needs at least one source")
+	}
+	merged := relation.NewInstance(sources[0].Inst.Schema())
+	rank := map[relation.TupleID]int{}
+	for _, src := range sources {
+		ok := true
+		src.Inst.Range(func(_ relation.TupleID, t relation.Tuple) bool {
+			id, fresh, err := merged.Insert(t)
+			if err != nil {
+				ok = false
+				return false
+			}
+			if !fresh {
+				// The same tuple contributed twice keeps its best
+				// (smallest) rank.
+				if src.Rank < rank[id] {
+					rank[id] = src.Rank
+				}
+				return true
+			}
+			rank[id] = src.Rank
+			return true
+		})
+		if !ok {
+			return nil, fmt.Errorf("workload: source schema mismatch")
+		}
+	}
+	g, err := conflict.Build(merged, fds)
+	if err != nil {
+		return nil, err
+	}
+	pri := priority.FromRanks(g, func(t relation.TupleID) int { return rank[t] })
+	return &Scenario{
+		Name: fmt.Sprintf("integration(%d sources)", len(sources)),
+		Desc: "Example 1/3: union of sources with reliability priority",
+		Inst: merged, FDs: fds, Pri: pri,
+	}, nil
+}
+
+// Random builds a random instance of n tuples over R(A,B,C) with
+// F = {A -> B, B -> C} and attribute values drawn from [0, vals),
+// plus a random acyclic priority of the given density.
+func Random(rng *rand.Rand, n, vals int, density float64) *Scenario {
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"), relation.IntAttr("C"))
+	inst := relation.NewInstance(s)
+	for i := 0; i < n; i++ {
+		inst.MustInsert(rng.Intn(vals), rng.Intn(vals), rng.Intn(vals))
+	}
+	fds := fd.MustParseSet(s, "A -> B", "B -> C")
+	g := conflict.MustBuild(inst, fds)
+	return &Scenario{
+		Name: fmt.Sprintf("random(%d,%d,%.2f)", n, vals, density),
+		Desc: "random two-FD instance with random priority",
+		Inst: inst, FDs: fds,
+		Pri: priority.Random(g, density, rng),
+	}
+}

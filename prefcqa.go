@@ -1,0 +1,486 @@
+// Package prefcqa is a library for preference-driven querying of
+// inconsistent relational databases, implementing Staworko, Chomicki
+// and Marcinkowski, "Preference-Driven Querying of Inconsistent
+// Relational Databases" (EDBT 2006 Workshops).
+//
+// A database may violate its functional dependencies (e.g. after
+// integrating autonomous sources). Instead of cleaning it — deleting
+// tuples and losing information — the library answers queries with
+// certainty semantics over the database's repairs (maximal consistent
+// subsets), optionally narrowed by user preferences between
+// conflicting tuples to one of the paper's preferred-repair families:
+//
+//	Rep     all repairs (classic consistent query answers)
+//	Local   L-Rep: locally optimal repairs
+//	SemiGlobal S-Rep: semi-globally optimal repairs
+//	Global  G-Rep: globally optimal repairs
+//	Common  C-Rep: outcomes of the winnow-based cleaning (Algorithm 1)
+//
+// Quick start:
+//
+//	db := prefcqa.New()
+//	mgr, _ := db.CreateRelation("Mgr",
+//	    prefcqa.NameAttr("Name"), prefcqa.NameAttr("Dept"),
+//	    prefcqa.IntAttr("Salary"), prefcqa.IntAttr("Reports"))
+//	mary, _ := mgr.Insert("Mary", "R&D", 40, 3)
+//	john, _ := mgr.Insert("John", "R&D", 10, 2)
+//	_ = mgr.AddFD("Dept -> Name, Salary, Reports")
+//	_ = mgr.Prefer(mary, john) // resolve their conflict toward Mary
+//	ans, _ := db.Query(prefcqa.Global,
+//	    "EXISTS d, s, r . Mgr('Mary', d, s, r)")
+//	fmt.Println(ans) // true / false / undetermined
+package prefcqa
+
+import (
+	"fmt"
+	"io"
+
+	"prefcqa/internal/axioms"
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/clean"
+	"prefcqa/internal/conflict"
+	"prefcqa/internal/core"
+	"prefcqa/internal/cqa"
+	"prefcqa/internal/fd"
+	"prefcqa/internal/priority"
+	"prefcqa/internal/query"
+	"prefcqa/internal/relation"
+)
+
+// Core data-model types, re-exported from the engine.
+type (
+	// Value is a typed constant: a name (domain D) or an integer
+	// (domain N).
+	Value = relation.Value
+	// Tuple is one row of a relation.
+	Tuple = relation.Tuple
+	// TupleID identifies an inserted tuple within its relation.
+	TupleID = relation.TupleID
+	// Attribute is a named, typed column.
+	Attribute = relation.Attribute
+	// Schema describes a relation.
+	Schema = relation.Schema
+	// Instance is a set of tuples over one schema.
+	Instance = relation.Instance
+	// Binding is one certain answer to an open query.
+	Binding = cqa.Binding
+	// Family selects a preferred-repair family.
+	Family = core.Family
+	// Answer is a three-valued consistent-query-answer verdict.
+	Answer = cqa.Answer
+	// AxiomReport records which of P1-P4 held on probing.
+	AxiomReport = axioms.Report
+)
+
+// The preferred-repair families (§3 of the paper).
+const (
+	Rep        = core.Rep
+	Local      = core.Local
+	SemiGlobal = core.SemiGlobal
+	Global     = core.Global
+	Common     = core.Common
+)
+
+// Three-valued answers.
+const (
+	True         = cqa.CertainlyTrue
+	False        = cqa.CertainlyFalse
+	Undetermined = cqa.Undetermined
+)
+
+// Name builds a name constant (domain D).
+func Name(s string) Value { return relation.Name(s) }
+
+// Int builds an integer constant (domain N).
+func Int(i int64) Value { return relation.Int(i) }
+
+// NameAttr declares a name-typed attribute.
+func NameAttr(name string) Attribute { return relation.NameAttr(name) }
+
+// IntAttr declares an integer-typed attribute.
+func IntAttr(name string) Attribute { return relation.IntAttr(name) }
+
+// ParseFamily parses a family name such as "rep", "local", "g-rep".
+func ParseFamily(s string) (Family, error) { return core.ParseFamily(s) }
+
+// NewSchema builds a relation schema.
+func NewSchema(name string, attrs ...Attribute) (*Schema, error) {
+	return relation.NewSchema(name, attrs...)
+}
+
+// NewInstance returns an empty instance of the schema.
+func NewInstance(schema *Schema) *Instance { return relation.NewInstance(schema) }
+
+// ReadCSV parses an instance from CSV with a typed header
+// ("attr:kind" cells, kind ∈ {name, int}); see WriteCSV for the
+// inverse. This is the on-disk format of the cmd tools.
+func ReadCSV(relName string, src io.Reader) (*Instance, error) {
+	return relation.ReadCSV(relName, src)
+}
+
+// WriteCSV writes an instance in the format ReadCSV accepts.
+func WriteCSV(dst io.Writer, inst *Instance) error { return relation.WriteCSV(dst, inst) }
+
+// DB is a database of possibly-inconsistent relations with
+// per-relation functional dependencies and tuple preferences.
+type DB struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{rels: make(map[string]*Relation)}
+}
+
+// Relation is one relation of the database together with its
+// dependencies and preferences.
+type Relation struct {
+	inst  *relation.Instance
+	fds   *fd.Set
+	prefs [][2]TupleID
+
+	built *cqa.Relation // nil when stale
+}
+
+// CreateRelation adds an empty relation with the given schema.
+func (db *DB) CreateRelation(name string, attrs ...Attribute) (*Relation, error) {
+	if _, dup := db.rels[name]; dup {
+		return nil, fmt.Errorf("prefcqa: relation %q already exists", name)
+	}
+	schema, err := relation.NewSchema(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	fds, err := fd.NewSet(schema)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relation{inst: relation.NewInstance(schema), fds: fds}
+	db.rels[name] = r
+	db.order = append(db.order, name)
+	return r, nil
+}
+
+// AddInstance registers an existing instance (with no dependencies
+// yet) under its schema name.
+func (db *DB) AddInstance(inst *Instance) (*Relation, error) {
+	name := inst.Schema().Name()
+	if _, dup := db.rels[name]; dup {
+		return nil, fmt.Errorf("prefcqa: relation %q already exists", name)
+	}
+	fds, err := fd.NewSet(inst.Schema())
+	if err != nil {
+		return nil, err
+	}
+	r := &Relation{inst: inst, fds: fds}
+	db.rels[name] = r
+	db.order = append(db.order, name)
+	return r, nil
+}
+
+// Relation returns a previously created relation.
+func (db *DB) Relation(name string) (*Relation, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// Relations lists the relation names in creation order.
+func (db *DB) Relations() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.inst.Schema() }
+
+// Instance returns the relation's (possibly inconsistent) instance.
+func (r *Relation) Instance() *Instance { return r.inst }
+
+// Insert adds a row from native Go values (string → name, integer
+// types → int) and returns its tuple ID. Duplicate inserts return
+// the existing ID (set semantics).
+func (r *Relation) Insert(vals ...any) (TupleID, error) {
+	id, err := r.inst.InsertValues(vals...)
+	if err == nil {
+		r.built = nil
+	}
+	return id, err
+}
+
+// MustInsert is Insert that panics on error, for fixtures.
+func (r *Relation) MustInsert(vals ...any) TupleID {
+	id, err := r.Insert(vals...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddFD declares a functional dependency, e.g. "Dept -> Name, Salary".
+func (r *Relation) AddFD(spec string) error {
+	f, err := fd.Parse(r.inst.Schema(), spec)
+	if err != nil {
+		return err
+	}
+	if err := r.fds.Add(f); err != nil {
+		return err
+	}
+	r.built = nil
+	return nil
+}
+
+// FDs renders the declared dependencies.
+func (r *Relation) FDs() string { return r.fds.String() }
+
+// Prefer records that tuple x should win its conflict against tuple
+// y (x ≻ y). Following Definition 2, pairs of non-conflicting tuples
+// are accepted and ignored; contradictory or cyclic preferences are
+// reported when the priority is built.
+func (r *Relation) Prefer(x, y TupleID) error {
+	if x < 0 || y < 0 || x >= r.inst.Len() || y >= r.inst.Len() {
+		return fmt.Errorf("prefcqa: preference on unknown tuple IDs (%d, %d)", x, y)
+	}
+	r.prefs = append(r.prefs, [2]TupleID{x, y})
+	r.built = nil
+	return nil
+}
+
+// PreferByRank derives preferences from a rank function (smaller rank
+// = more trusted, e.g. source reliability or recency): every conflict
+// between tuples of different ranks is oriented toward the smaller
+// rank. Rank-derived preferences are recorded alongside any explicit
+// Prefer pairs; a contradiction between the two surfaces as an error
+// on the next query or repair operation.
+func (r *Relation) PreferByRank(rank func(TupleID) int) error {
+	built, err := r.build()
+	if err != nil {
+		return err
+	}
+	g := built.Pri.Graph()
+	for _, e := range g.Edges() {
+		ra, rb := rank(e.A), rank(e.B)
+		switch {
+		case ra < rb:
+			r.prefs = append(r.prefs, [2]TupleID{e.A, e.B})
+		case rb < ra:
+			r.prefs = append(r.prefs, [2]TupleID{e.B, e.A})
+		}
+	}
+	r.built = nil
+	return nil
+}
+
+// build (re)constructs the conflict graph and priority.
+func (r *Relation) build() (*cqa.Relation, error) {
+	if r.built != nil {
+		return r.built, nil
+	}
+	rel, err := cqa.NewRelation(r.inst, r.fds)
+	if err != nil {
+		return nil, err
+	}
+	pri, err := priority.FromRelation(rel.Pri.Graph(), r.prefs)
+	if err != nil {
+		return nil, err
+	}
+	rel.Pri = pri
+	r.built = rel
+	return rel, nil
+}
+
+// Graph returns the relation's conflict graph (built on demand).
+func (r *Relation) Graph() (*conflict.Graph, error) {
+	built, err := r.build()
+	if err != nil {
+		return nil, err
+	}
+	return built.Pri.Graph(), nil
+}
+
+// Conflicts returns the number of conflicting tuple pairs.
+func (r *Relation) Conflicts() (int, error) {
+	g, err := r.Graph()
+	if err != nil {
+		return 0, err
+	}
+	return g.NumEdges(), nil
+}
+
+// Consistent reports whether the relation satisfies its dependencies.
+func (r *Relation) Consistent() (bool, error) {
+	n, err := r.Conflicts()
+	return n == 0, err
+}
+
+// input assembles the cqa.Input across all relations.
+func (db *DB) input() (cqa.Input, error) {
+	rels := make([]*cqa.Relation, 0, len(db.order))
+	for _, name := range db.order {
+		built, err := db.rels[name].build()
+		if err != nil {
+			return cqa.Input{}, fmt.Errorf("prefcqa: relation %s: %w", name, err)
+		}
+		rels = append(rels, built)
+	}
+	return cqa.NewInput(rels...)
+}
+
+// Query evaluates a closed first-order query under the family's
+// preferred-repair semantics and returns true, false or undetermined.
+func (db *DB) Query(f Family, src string) (Answer, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	in, err := db.input()
+	if err != nil {
+		return 0, err
+	}
+	return cqa.Evaluate(f, in, q)
+}
+
+// Certain reports whether true is the f-consistent answer to the
+// closed query.
+func (db *DB) Certain(f Family, src string) (bool, error) {
+	a, err := db.Query(f, src)
+	if err != nil {
+		return false, err
+	}
+	return a == True, nil
+}
+
+// Possible reports whether the closed query holds in at least one
+// preferred repair of the family (brave semantics).
+func (db *DB) Possible(f Family, src string) (bool, error) {
+	a, err := db.Query(f, src)
+	if err != nil {
+		return false, err
+	}
+	return a != False, nil
+}
+
+// QueryOpen evaluates an open query (free variables allowed) and
+// returns its certain answers: the bindings under which the query
+// holds in every preferred repair.
+func (db *DB) QueryOpen(f Family, src string) ([]Binding, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	in, err := db.input()
+	if err != nil {
+		return nil, err
+	}
+	return cqa.FreeAnswers(f, in, q)
+}
+
+// Repairs materializes the family's preferred repairs of one relation
+// as instances. Use CountRepairs first — the result can be
+// exponential.
+func (db *DB) Repairs(f Family, rel string) ([]*Instance, error) {
+	r, ok := db.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	built, err := r.build()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Instance
+	core.Enumerate(f, built.Pri, func(s *bitset.Set) bool { //nolint:errcheck // never stops
+		out = append(out, r.inst.Subset(s))
+		return true
+	})
+	return out, nil
+}
+
+// CountRepairs returns the number of preferred repairs of a relation.
+func (db *DB) CountRepairs(f Family, rel string) (int64, error) {
+	r, ok := db.rels[rel]
+	if !ok {
+		return 0, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	built, err := r.build()
+	if err != nil {
+		return 0, err
+	}
+	return core.Count(f, built.Pri)
+}
+
+// IsPreferredRepair checks whether the given tuple subset of a
+// relation is a preferred repair of the family (the repair-checking
+// problem of §4.1).
+func (db *DB) IsPreferredRepair(f Family, rel string, ids []TupleID) (bool, error) {
+	r, ok := db.rels[rel]
+	if !ok {
+		return false, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	built, err := r.build()
+	if err != nil {
+		return false, err
+	}
+	return core.Check(f, built.Pri, bitset.FromSlice(ids)), nil
+}
+
+// Clean runs Algorithm 1 on the relation: winnow-driven cleaning
+// under the recorded preferences, deterministic choice order. The
+// result is always a single repair; with total preferences it is the
+// unique one (Proposition 1).
+func (db *DB) Clean(rel string) (*Instance, error) {
+	r, ok := db.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	built, err := r.build()
+	if err != nil {
+		return nil, err
+	}
+	return r.inst.Subset(clean.Deterministic(built.Pri)), nil
+}
+
+// CleanNaive runs the naive cleaning baseline the paper argues
+// against (§1, §5 [14]): conflicts without a recorded preference drop
+// BOTH tuples. The result is consistent but in general not maximal —
+// disjunctive information is lost. Provided for comparison with
+// Clean and with preferred consistent query answering.
+func (db *DB) CleanNaive(rel string) (*Instance, error) {
+	r, ok := db.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	built, err := r.build()
+	if err != nil {
+		return nil, err
+	}
+	return r.inst.Subset(clean.Naive(built.Pri)), nil
+}
+
+// CheckAxioms probes properties P1-P4 for the family on the
+// relation's current priority.
+func (db *DB) CheckAxioms(f Family, rel string) (AxiomReport, error) {
+	r, ok := db.rels[rel]
+	if !ok {
+		return AxiomReport{}, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	built, err := r.build()
+	if err != nil {
+		return AxiomReport{}, err
+	}
+	return axioms.Check(axioms.FromCore(f), built.Pri, axioms.Options{}), nil
+}
+
+// ConflictGraphDOT renders the relation's conflict graph in Graphviz
+// format.
+func (db *DB) ConflictGraphDOT(rel string) (string, error) {
+	r, ok := db.rels[rel]
+	if !ok {
+		return "", fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	g, err := r.Graph()
+	if err != nil {
+		return "", err
+	}
+	return g.DOT(), nil
+}
