@@ -15,6 +15,7 @@ import (
 	"prefcqa/internal/core"
 	"prefcqa/internal/cqa"
 	"prefcqa/internal/denial"
+	"prefcqa/internal/fd"
 	"prefcqa/internal/priority"
 	"prefcqa/internal/query"
 	"prefcqa/internal/relation"
@@ -329,6 +330,120 @@ func BenchmarkAblationFullEnumerationCount(b *testing.B) {
 		if n != 1<<12 {
 			b.Fatalf("n=%d", n)
 		}
+	}
+}
+
+// --- Parallel component-sharded engine (docs/ARCHITECTURE.md) ---
+
+// engineConfigs are the two headline configurations: the sequential
+// reference path and the parallel memoizing engine.
+func engineConfigs() []struct {
+	name string
+	eng  *core.Engine
+} {
+	return []struct {
+		name string
+		eng  *core.Engine
+	}{
+		{"sequential", core.Sequential()},
+		{"parallel", core.NewEngine()},
+	}
+}
+
+// multiChains builds m disjoint conflict chains of n tuples each
+// (Chain(n) repeated with disjoint attribute groups), every edge
+// oriented along the chain. G-Rep choice computation on a chain is
+// quadratic in its Fibonacci-many repairs, so per-component work
+// dominates — the shape the component-sharded engine targets.
+func multiChains(m, n int) *priority.Priority {
+	s := relation.MustSchema("R",
+		relation.IntAttr("A"), relation.IntAttr("B"),
+		relation.IntAttr("C"), relation.IntAttr("D"))
+	inst := relation.NewInstance(s)
+	for j := 0; j < m; j++ {
+		off := int64(j+1) * 1_000_000
+		for i := 0; i < n; i++ {
+			a := int64((i+1)/2) + off
+			c := int64(i/2) + 1000 + off
+			inst.MustInsert(a, int64(i%2), c, int64((i+1)%2))
+		}
+	}
+	g := conflict.MustBuild(inst, fd.MustParseSet(s, "A -> B", "C -> D"))
+	p := priority.New(g)
+	for j := 0; j < m; j++ {
+		for i := 0; i+1 < n; i++ {
+			p.MustAdd(j*n+i, j*n+i+1)
+		}
+	}
+	return p
+}
+
+// Counting G-Rep over 8 disjoint conflict chains (an 8-component
+// conflict graph with expensive components): the engine shards the
+// components across workers and serves the structurally identical
+// chains from its cache, so the parallel configuration computes one
+// chain where the sequential path computes eight — every iteration.
+func BenchmarkEngineCountSequentialVsParallel(b *testing.B) {
+	for _, cfg := range engineConfigs() {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := multiChains(8, 10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := cfg.eng.Count(core.Global, p)
+				if err != nil || c == 0 {
+					b.Fatalf("count = %d, %v", c, err)
+				}
+			}
+		})
+	}
+}
+
+// Full enumeration of L-Rep over a multi-component instance: the
+// cross-product walk streams while later components are computed.
+func BenchmarkEngineEnumerateSequentialVsParallel(b *testing.B) {
+	for _, cfg := range engineConfigs() {
+		b.Run(cfg.name, func(b *testing.B) {
+			sc := workload.Clusters(10, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				cfg.eng.Enumerate(core.Local, sc.Pri, func(*bitset.Set) bool { n++; return true }) //nolint:errcheck
+				if n == 0 {
+					b.Fatal("empty family")
+				}
+			}
+		})
+	}
+}
+
+// End-to-end CQA on the parallel engine: a ground G-Rep query against
+// a multi-chain instance. The pruned path recomputes the touched
+// chain's G-Rep choices on every evaluation; the memoizing engine
+// computes them once and serves every later query from the cache —
+// the "repeated queries against the same instance" scenario.
+func BenchmarkEngineCQASequentialVsParallel(b *testing.B) {
+	for _, cfg := range engineConfigs() {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := multiChains(8, 10)
+			in, err := cqa.NewInput(&cqa.Relation{
+				Inst: p.Graph().Instance(), FDs: p.Graph().FDs(), Pri: p,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in = in.WithEngine(cfg.eng)
+			// Chain 0's first tuple: in the unique G-Rep outcome.
+			q := query.MustParse("R(1000000, 0, 1001000, 1)")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := cqa.Evaluate(core.Global, in, q)
+				if err != nil || a != cqa.CertainlyTrue {
+					b.Fatalf("%v %v", a, err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module prefcqa
+
+go 1.22

@@ -14,6 +14,7 @@ package clean
 
 import (
 	"errors"
+	"sort"
 
 	"prefcqa/internal/bitset"
 	"prefcqa/internal/priority"
@@ -150,25 +151,44 @@ func componentOutcomes(p *priority.Priority, rest *bitset.Set) []*bitset.Set {
 		})
 	}
 	rec(rest.Clone(), bitset.New(g.Len()))
-	// Deterministic order.
-	keys := make([]string, 0, len(outcomes))
-	for k := range outcomes {
-		keys = append(keys, k)
-	}
-	sortStrings(keys)
+	// Deterministic order: lexicographic on the sorted element lists.
+	// This order is preserved by any order-preserving renumbering of
+	// the component's vertices, so structurally identical components
+	// enumerate their outcomes in corresponding order — a property the
+	// memoizing evaluation engine relies on to stay bit-for-bit
+	// identical to the sequential path.
 	out := make([]*bitset.Set, 0, len(outcomes))
-	for _, k := range keys {
-		out = append(out, outcomes[k])
+	elems := make([][]int, 0, len(outcomes))
+	for _, s := range outcomes {
+		out = append(out, s)
+		elems = append(elems, s.Slice())
 	}
+	sort.Sort(&byElems{sets: out, elems: elems})
 	return out
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+// byElems sorts sets lexicographically on their precomputed element
+// lists (one Slice() per set instead of two per comparison).
+type byElems struct {
+	sets  []*bitset.Set
+	elems [][]int
+}
+
+func (b *byElems) Len() int { return len(b.sets) }
+
+func (b *byElems) Swap(i, j int) {
+	b.sets[i], b.sets[j] = b.sets[j], b.sets[i]
+	b.elems[i], b.elems[j] = b.elems[j], b.elems[i]
+}
+
+func (b *byElems) Less(i, j int) bool {
+	as, bs := b.elems[i], b.elems[j]
+	for k := 0; k < len(as) && k < len(bs); k++ {
+		if as[k] != bs[k] {
+			return as[k] < bs[k]
 		}
 	}
+	return len(as) < len(bs)
 }
 
 // Naive performs the [14]-style cleaning the paper contrasts with

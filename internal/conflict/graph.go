@@ -8,7 +8,9 @@ package conflict
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"prefcqa/internal/bitset"
 	"prefcqa/internal/fd"
@@ -20,11 +22,12 @@ import (
 // [0, N). Edges are labelled with the (first) dependency that creates
 // the conflict, for explanation output.
 type Graph struct {
-	inst  *relation.Instance
-	fds   *fd.Set
-	adj   []*bitset.Set
-	edges []Edge
-	comps [][]int // connected components, computed lazily
+	inst      *relation.Instance
+	fds       *fd.Set
+	adj       []*bitset.Set
+	edges     []Edge
+	compsOnce sync.Once
+	comps     [][]int // connected components, computed lazily
 }
 
 // Edge is one conflict: tuples A < B violating dependency FD (index
@@ -170,11 +173,14 @@ func (g *Graph) ConflictClosure(s *bitset.Set) *bitset.Set {
 
 // Components returns the connected components as sorted vertex lists,
 // ordered by smallest vertex. Isolated vertices (tuples in no
-// conflict) form singleton components.
+// conflict) form singleton components. The result is memoized and
+// safe for concurrent use; callers must not mutate it.
 func (g *Graph) Components() [][]int {
-	if g.comps != nil {
-		return g.comps
-	}
+	g.compsOnce.Do(g.computeComponents)
+	return g.comps
+}
+
+func (g *Graph) computeComponents() {
 	n := len(g.adj)
 	comp := make([]int, n)
 	for i := range comp {
@@ -205,7 +211,39 @@ func (g *Graph) Components() [][]int {
 		comps = append(comps, members)
 	}
 	g.comps = comps
-	return comps
+}
+
+// ComponentSignature returns a canonical encoding of the subgraph
+// induced by comp (a sorted vertex list, as produced by Components):
+// vertices are renumbered to local indices 0..k-1 in sorted order and
+// the induced edges are listed in lexicographic order. Two components
+// — of the same graph or of different graphs — have equal signatures
+// iff the order-preserving renumbering of their vertex lists is a
+// graph isomorphism between them. Signatures are therefore stable
+// across instances and are the cache key of the memoizing evaluation
+// engine.
+func (g *Graph) ComponentSignature(comp []int) string {
+	local := make(map[int]int, len(comp))
+	for i, v := range comp {
+		local[v] = i
+	}
+	var b strings.Builder
+	b.Grow(4 + 6*len(comp))
+	b.WriteString(strconv.Itoa(len(comp)))
+	b.WriteByte(';')
+	for i, v := range comp {
+		g.adj[v].Range(func(u int) bool {
+			j, in := local[u]
+			if in && j > i {
+				b.WriteString(strconv.Itoa(i))
+				b.WriteByte('-')
+				b.WriteString(strconv.Itoa(j))
+				b.WriteByte(';')
+			}
+			return true
+		})
+	}
+	return b.String()
 }
 
 // ConflictingVertices returns the set of tuples involved in at least

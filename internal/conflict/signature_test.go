@@ -1,0 +1,71 @@
+package conflict
+
+import (
+	"testing"
+
+	"prefcqa/internal/fd"
+	"prefcqa/internal/relation"
+)
+
+// TestComponentSignatureStable: structurally identical components get
+// equal signatures regardless of their global tuple IDs, and
+// different structures get different signatures.
+func TestComponentSignatureStable(t *testing.T) {
+	s := relation.MustSchema("R", relation.IntAttr("K"), relation.IntAttr("V"))
+	inst := relation.NewInstance(s)
+	// Component 0: a 3-clique (IDs 0-2); component 1: a single edge
+	// (IDs 3-4); component 2: another 3-clique (IDs 5-7); component 3:
+	// an isolated tuple (ID 8).
+	for j := 0; j < 3; j++ {
+		inst.MustInsert(1, j)
+	}
+	inst.MustInsert(2, 0)
+	inst.MustInsert(2, 1)
+	for j := 0; j < 3; j++ {
+		inst.MustInsert(3, j)
+	}
+	inst.MustInsert(4, 0)
+	g := MustBuild(inst, fd.MustParseSet(s, "K -> V"))
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("components = %d, want 4", len(comps))
+	}
+	sig := make([]string, len(comps))
+	for i, c := range comps {
+		sig[i] = g.ComponentSignature(c)
+	}
+	if sig[0] != sig[2] {
+		t.Errorf("isomorphic 3-cliques: %q != %q", sig[0], sig[2])
+	}
+	if sig[0] == sig[1] || sig[1] == sig[3] || sig[0] == sig[3] {
+		t.Errorf("distinct structures share a signature: %q %q %q", sig[0], sig[1], sig[3])
+	}
+	// The signature must be expressed in local indices: the 2nd clique
+	// (global IDs 5-7) encodes the same "0-1;0-2;1-2" edge list.
+	if want := "3;0-1;0-2;1-2;"; sig[2] != want {
+		t.Errorf("signature = %q, want %q", sig[2], want)
+	}
+}
+
+// TestComponentsConcurrent: the lazy component memoization is safe
+// under concurrent first use (run with -race).
+func TestComponentsConcurrent(t *testing.T) {
+	s := relation.MustSchema("R", relation.IntAttr("K"), relation.IntAttr("V"))
+	inst := relation.NewInstance(s)
+	for i := 0; i < 50; i++ {
+		inst.MustInsert(i, 0)
+		inst.MustInsert(i, 1)
+	}
+	g := MustBuild(inst, fd.MustParseSet(s, "K -> V"))
+	done := make(chan [][]int, 8)
+	for w := 0; w < 8; w++ {
+		go func() { done <- g.Components() }()
+	}
+	first := <-done
+	for w := 1; w < 8; w++ {
+		got := <-done
+		if len(got) != len(first) {
+			t.Fatalf("racy Components(): %d vs %d components", len(got), len(first))
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/priority"
+	"prefcqa/internal/repair"
+)
+
+// Engine evaluates preferred-repair families over the connected
+// components of the conflict graph with a configurable worker pool
+// and an optional memoization cache.
+//
+// Every family decomposes componentwise (see ComponentChoices), so
+// the per-component choice sets — the expensive part of enumeration,
+// counting and CQA — are independent units of work. The engine shards
+// them across workers and streams results to the consumer:
+//
+//   - Count multiplies per-component counts in completion order, so
+//     it finishes as soon as the slowest component does;
+//   - Enumerate walks the cross-product while later components are
+//     still being computed, blocking only when the walk reaches a
+//     component whose choices are not ready yet.
+//
+// With memoization enabled, choice sets are cached keyed by
+// (family, component signature, priority orientation): structurally
+// identical components — ubiquitous in practice (key-violation
+// clusters, singleton components, repeated queries against the same
+// instance) — are computed once and remapped, which is a large win
+// even on a single CPU.
+//
+// All configurations produce bit-for-bit identical results to the
+// sequential reference path (Sequential), in identical order. An
+// Engine is safe for concurrent use.
+type Engine struct {
+	workers int   // <= 0: use GOMAXPROCS
+	memo    *memo // nil: memoization disabled
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithWorkers sets the number of component workers. n <= 0 selects
+// runtime.GOMAXPROCS(0); n == 1 evaluates components inline on the
+// calling goroutine.
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithMemo enables or disables the per-component choice-set cache.
+func WithMemo(on bool) EngineOption {
+	return func(e *Engine) {
+		if on {
+			e.memo = newMemo()
+		} else {
+			e.memo = nil
+		}
+	}
+}
+
+// NewEngine returns an engine with the given options. The default is
+// a GOMAXPROCS-sized worker pool with memoization enabled.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{workers: 0, memo: newMemo()}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// sequential is the shared reference engine behind the package-level
+// functions: one worker, no cache.
+var sequential = &Engine{workers: 1}
+
+// Sequential returns the reference engine: single-threaded, no
+// memoization. Every other configuration must produce identical
+// results; the property tests assert this.
+func Sequential() *Engine { return sequential }
+
+// Workers returns the configured worker count (0 means GOMAXPROCS).
+func (e *Engine) Workers() int { return e.workers }
+
+// Memoizing reports whether the choice-set cache is enabled.
+func (e *Engine) Memoizing() bool { return e.memo != nil }
+
+// CacheStats returns the cumulative cache hit and miss counts (both
+// zero when memoization is disabled).
+func (e *Engine) CacheStats() (hits, misses int64) {
+	if e.memo == nil {
+		return 0, 0
+	}
+	return e.memo.hits.Load(), e.memo.misses.Load()
+}
+
+// ComponentChoices is Engine-level ComponentChoices: the choice sets
+// of every component, computed by the worker pool (and served from
+// the cache when possible), in component order.
+func (e *Engine) ComponentChoices(f Family, p *priority.Priority) [][]*bitset.Set {
+	return e.ChoicesFor(f, p, p.Graph().Components())
+}
+
+// ChoicesFor computes the choice sets of the given components only —
+// the building block of the CQA component pruning, which restricts
+// evaluation to the components a ground query touches.
+func (e *Engine) ChoicesFor(f Family, p *priority.Priority, comps [][]int) [][]*bitset.Set {
+	pend := e.startChoices(f, p, comps)
+	pend.waitAll()
+	return pend.lists
+}
+
+// Enumerate yields every preferred repair of the family, identical in
+// content and order to the sequential path. The yielded set is reused
+// between calls; clone it to retain. Returns repair.ErrStopped if the
+// callback stopped early. The cross-product walk overlaps with the
+// per-component computation: the walk blocks only when it reaches a
+// component whose choices are not ready yet.
+func (e *Engine) Enumerate(f Family, p *priority.Priority, yield func(*bitset.Set) bool) error {
+	comps := p.Graph().Components()
+	cur := bitset.New(p.Graph().Len())
+	if len(comps) == 0 {
+		if !yield(cur) {
+			return repair.ErrStopped
+		}
+		return nil
+	}
+	pend := e.startChoices(f, p, comps)
+	defer pend.cancel()
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(comps) {
+			if !yield(cur) {
+				return repair.ErrStopped
+			}
+			return nil
+		}
+		for _, c := range pend.wait(i) {
+			cur.UnionWith(c)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			cur.DifferenceWith(c)
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// All materializes every preferred repair of the family, in the same
+// order as the sequential path.
+func (e *Engine) All(f Family, p *priority.Priority) []*bitset.Set {
+	var out []*bitset.Set
+	e.Enumerate(f, p, func(s *bitset.Set) bool { //nolint:errcheck // yield never stops
+		out = append(out, s.Clone())
+		return true
+	})
+	return out
+}
+
+// Count returns |X-Rep| as the product of per-component counts, or
+// repair.ErrOverflow when it exceeds int64. Counts are merged in
+// component completion order as workers finish, so Count never
+// materializes or waits on the full cross-product.
+func (e *Engine) Count(f Family, p *priority.Priority) (int64, error) {
+	comps := p.Graph().Components()
+	if len(comps) == 0 {
+		return 1, nil
+	}
+	pend := e.startChoices(f, p, comps)
+	defer pend.cancel()
+	total := int64(1)
+	for range comps {
+		i := <-pend.done
+		c := int64(len(pend.lists[i]))
+		if c == 0 {
+			return 0, nil
+		}
+		if total > math.MaxInt64/c {
+			return 0, repair.ErrOverflow
+		}
+		total *= c
+	}
+	return total, nil
+}
+
+// One returns a single preferred repair of the family — the first in
+// enumeration order. Every family is non-empty for every priority
+// (P1 holds for Rep, L, S, G, C; Props. 2–4, 6), so One always
+// succeeds on a well-formed priority.
+func (e *Engine) One(f Family, p *priority.Priority) *bitset.Set {
+	var out *bitset.Set
+	e.Enumerate(f, p, func(s *bitset.Set) bool { //nolint:errcheck // stops after first
+		out = s.Clone()
+		return false
+	})
+	return out
+}
+
+// componentChoices computes (or recalls) the choice sets of one
+// component.
+func (e *Engine) componentChoices(f Family, p *priority.Priority, comp []int) []*bitset.Set {
+	if e.memo == nil {
+		return ChoicesForComponent(f, p, comp)
+	}
+	key := componentKey(f, p, comp)
+	if cached, ok := e.memo.get(key); ok {
+		return remapToGlobal(cached, comp)
+	}
+	choices := ChoicesForComponent(f, p, comp)
+	e.memo.put(key, remapToLocal(choices, comp))
+	return choices
+}
+
+// componentKey builds the cache key of a component: the family, the
+// canonical structure signature (conflict.ComponentSignature), and —
+// for the priority-sensitive families — the orientation of each
+// induced edge in the signature's edge order. Two components with
+// equal keys have isomorphic induced subgraphs and priorities under
+// the order-preserving renumbering, so their choice sets correspond
+// elementwise and in order.
+func componentKey(f Family, p *priority.Priority, comp []int) string {
+	g := p.Graph()
+	var b strings.Builder
+	b.WriteByte(byte('0' + int(f)))
+	b.WriteByte('|')
+	b.WriteString(g.ComponentSignature(comp))
+	if f == Rep {
+		return b.String() // repairs ignore the priority
+	}
+	b.WriteByte('|')
+	local := make(map[int]int, len(comp))
+	for i, v := range comp {
+		local[v] = i
+	}
+	for i, v := range comp {
+		g.Neighbors(v).Range(func(u int) bool {
+			if j, in := local[u]; in && j > i {
+				switch {
+				case p.Dominates(v, u):
+					b.WriteByte('>')
+				case p.Dominates(u, v):
+					b.WriteByte('<')
+				default:
+					b.WriteByte('.')
+				}
+			}
+			return true
+		})
+	}
+	return b.String()
+}
+
+// remapToLocal translates choice sets from global tuple IDs to local
+// component indices (positions in the sorted comp list).
+func remapToLocal(choices []*bitset.Set, comp []int) []*bitset.Set {
+	local := make(map[int]int, len(comp))
+	for i, v := range comp {
+		local[v] = i
+	}
+	out := make([]*bitset.Set, len(choices))
+	for ci, c := range choices {
+		s := bitset.New(len(comp))
+		c.Range(func(v int) bool {
+			s.Add(local[v])
+			return true
+		})
+		out[ci] = s
+	}
+	return out
+}
+
+// remapToGlobal translates cached local-index choice sets onto a
+// concrete component's global tuple IDs. Because the renumbering is
+// order-preserving, the result equals what direct computation on this
+// component would produce, in the same order.
+func remapToGlobal(choices []*bitset.Set, comp []int) []*bitset.Set {
+	out := make([]*bitset.Set, len(choices))
+	for ci, c := range choices {
+		s := bitset.New(comp[len(comp)-1] + 1)
+		c.Range(func(i int) bool {
+			s.Add(comp[i])
+			return true
+		})
+		out[ci] = s
+	}
+	return out
+}
+
+// memoMaxEntries bounds the cache; beyond it new entries are dropped
+// (the cache is an optimization, never load-bearing).
+const memoMaxEntries = 1 << 16
+
+// memo is the concurrency-safe (family, component signature) →
+// choice-set cache. Values are stored in local index space so hits
+// are shared between structurally identical components of any
+// instance.
+type memo struct {
+	mu     sync.RWMutex
+	m      map[string][]*bitset.Set
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newMemo() *memo {
+	return &memo{m: make(map[string][]*bitset.Set)}
+}
+
+func (c *memo) get(key string) ([]*bitset.Set, bool) {
+	c.mu.RLock()
+	v, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (c *memo) put(key string, v []*bitset.Set) {
+	c.mu.Lock()
+	if len(c.m) < memoMaxEntries {
+		c.m[key] = v
+	}
+	c.mu.Unlock()
+}

@@ -1,13 +1,16 @@
 package core
 
 import (
-	"math"
-
 	"prefcqa/internal/bitset"
 	"prefcqa/internal/clean"
 	"prefcqa/internal/priority"
 	"prefcqa/internal/repair"
 )
+
+// The package-level functions below evaluate on the sequential
+// reference engine (one worker, no cache). They define the semantics
+// every Engine configuration must reproduce bit-for-bit; use an
+// Engine for parallelism and memoization.
 
 // ComponentChoices returns, for every connected component of the
 // conflict graph, the list of component restrictions of preferred
@@ -19,12 +22,7 @@ import (
 //   - C-Rep decomposes because Algorithm 1's choices in different
 //     components commute (clean.ComponentOutcomes).
 func ComponentChoices(f Family, p *priority.Priority) [][]*bitset.Set {
-	comps := p.Graph().Components()
-	choices := make([][]*bitset.Set, len(comps))
-	for i, comp := range comps {
-		choices[i] = ChoicesForComponent(f, p, comp)
-	}
-	return choices
+	return sequential.ComponentChoices(f, p)
 }
 
 // ChoicesForComponent returns the component restrictions of the
@@ -59,35 +57,19 @@ func ChoicesForComponent(f Family, p *priority.Priority, comp []int) []*bitset.S
 // set is reused between calls; clone it to retain. Returns
 // repair.ErrStopped if the callback stopped early.
 func Enumerate(f Family, p *priority.Priority, yield func(*bitset.Set) bool) error {
-	return repair.Combine(p.Graph().Len(), ComponentChoices(f, p), yield)
+	return sequential.Enumerate(f, p, yield)
 }
 
 // All materializes every preferred repair of the family. Use only
 // when the count is known to be small; prefer Enumerate.
 func All(f Family, p *priority.Priority) []*bitset.Set {
-	var out []*bitset.Set
-	Enumerate(f, p, func(s *bitset.Set) bool { //nolint:errcheck // yield never stops
-		out = append(out, s.Clone())
-		return true
-	})
-	return out
+	return sequential.All(f, p)
 }
 
 // Count returns |X-Rep| as the product of per-component counts, or
 // repair.ErrOverflow when it exceeds int64.
 func Count(f Family, p *priority.Priority) (int64, error) {
-	total := int64(1)
-	for _, list := range ComponentChoices(f, p) {
-		c := int64(len(list))
-		if c == 0 {
-			return 0, nil
-		}
-		if total > math.MaxInt64/c {
-			return 0, repair.ErrOverflow
-		}
-		total *= c
-	}
-	return total, nil
+	return sequential.Count(f, p)
 }
 
 // One returns a single preferred repair of the family — the first in
@@ -95,10 +77,5 @@ func Count(f Family, p *priority.Priority) (int64, error) {
 // (P1 holds for Rep, L, S, G, C; Props. 2–4, 6), so One always
 // succeeds on a well-formed priority.
 func One(f Family, p *priority.Priority) *bitset.Set {
-	var out *bitset.Set
-	Enumerate(f, p, func(s *bitset.Set) bool { //nolint:errcheck // stops after first
-		out = s.Clone()
-		return false
-	})
-	return out
+	return sequential.One(f, p)
 }

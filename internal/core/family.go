@@ -11,6 +11,12 @@
 //	C-Rep   common repairs = Algorithm 1 output (§3.5, Prop. 7)
 //
 // The families form a chain C ⊆ G ⊆ S ⊆ L ⊆ Rep (Props. 3, 4, 6).
+//
+// All evaluation decomposes over the connected components of the
+// conflict graph. The package-level Enumerate/All/Count/One functions
+// run on a sequential reference path; Engine evaluates the same
+// decomposition on a worker pool with optional memoization of
+// per-component choice sets, producing bit-for-bit identical results.
 package core
 
 import (

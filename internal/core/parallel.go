@@ -1,0 +1,103 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/priority"
+)
+
+// effectiveWorkers resolves the configured worker count against the
+// machine and the number of work items.
+func (e *Engine) effectiveWorkers(items int) int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// pendingChoices is the streaming hand-off between the component
+// workers and a consumer. lists[i] becomes valid once ready[i] is
+// closed; done receives each index exactly once, in completion order.
+type pendingChoices struct {
+	lists   [][]*bitset.Set
+	ready   []chan struct{}
+	done    chan int
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// startChoices computes the choice sets of the given components on
+// the engine's worker pool. With one worker (or one component) the
+// computation runs inline on the calling goroutine, making the
+// sequential path allocation- and scheduling-free.
+func (e *Engine) startChoices(f Family, p *priority.Priority, comps [][]int) *pendingChoices {
+	n := len(comps)
+	pend := &pendingChoices{
+		lists: make([][]*bitset.Set, n),
+		ready: make([]chan struct{}, n),
+		done:  make(chan int, n),
+	}
+	for i := range pend.ready {
+		pend.ready[i] = make(chan struct{})
+	}
+	workers := e.effectiveWorkers(n)
+	if workers <= 1 {
+		for i, comp := range comps {
+			pend.lists[i] = e.componentChoices(f, p, comp)
+			close(pend.ready[i])
+			pend.done <- i
+		}
+		return pend
+	}
+	// Components() is memoized inside the graph; touching it here (the
+	// caller already did, to build comps) keeps workers read-only.
+	var next atomic.Int64
+	pend.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer pend.wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || pend.stopped.Load() {
+					return
+				}
+				pend.lists[i] = e.componentChoices(f, p, comps[i])
+				close(pend.ready[i])
+				pend.done <- i
+			}
+		}()
+	}
+	return pend
+}
+
+// wait blocks until component i's choices are available and returns
+// them.
+func (p *pendingChoices) wait(i int) []*bitset.Set {
+	<-p.ready[i]
+	return p.lists[i]
+}
+
+// waitAll blocks until every component's choices are available.
+func (p *pendingChoices) waitAll() {
+	for i := range p.ready {
+		<-p.ready[i]
+	}
+}
+
+// cancel tells the workers to stop after their in-flight component
+// and waits for them to exit. Safe to call at any point, including
+// after full consumption.
+func (p *pendingChoices) cancel() {
+	p.stopped.Store(true)
+	p.wg.Wait()
+}

@@ -1,11 +1,17 @@
 // Package cqa computes preferred consistent query answers
 // (Definition 3): true is the X-consistent answer to a closed query Q
-// iff Q holds in every preferred repair of the family X. The engine
-// evaluates repairs as views, enumerates preferred repairs with early
+// iff Q holds in every preferred repair of the family X. Evaluation
+// treats repairs as views, enumerates preferred repairs with early
 // exit, prunes to the components a ground query actually touches, and
 // implements the polynomial-time ground quantifier-free algorithm for
 // the plain Rep family (first row of Fig. 5, after Chomicki &
 // Marcinkowski [6]).
+//
+// Per-component repair choices come from a core.Engine (Input.Engine;
+// sequential by default): both the ground pruned path and the
+// quantified full-enumeration path consume the engine's sharded,
+// optionally memoized per-component results, so repeated evaluation
+// against the same instance skips recomputation.
 package cqa
 
 import (
@@ -44,6 +50,26 @@ func NewRelation(inst *relation.Instance, fds *fd.Set) (*Relation, error) {
 type Input struct {
 	DB   *relation.Database
 	Rels []*Relation
+	// Engine evaluates the per-component repair choices. Nil selects
+	// the sequential reference engine; set it (or use WithEngine) to
+	// shard components across workers and memoize choice sets.
+	Engine *core.Engine
+}
+
+// WithEngine returns a copy of the input evaluating on the given
+// engine.
+func (in Input) WithEngine(e *core.Engine) Input {
+	in.Engine = e
+	return in
+}
+
+// engine resolves the evaluation engine, defaulting to the sequential
+// reference engine.
+func (in Input) engine() *core.Engine {
+	if in.Engine != nil {
+		return in.Engine
+	}
+	return core.Sequential()
 }
 
 // NewInput assembles an Input (and the underlying Database) from
@@ -106,8 +132,11 @@ func (in Input) model(subsets map[string]*bitset.Set) query.Model {
 // forEachPreferredRepair enumerates the preferred repairs of the
 // whole database — the product of per-relation preferred repairs —
 // and calls visit with one subset per relation. visit returns false
-// to stop.
+// to stop. Per-relation repairs come from the input's engine, so the
+// inner re-enumerations hit the engine's choice-set cache when
+// memoization is on.
 func (in Input) forEachPreferredRepair(f core.Family, visit func(map[string]*bitset.Set) bool) {
+	eng := in.engine()
 	subsets := make(map[string]*bitset.Set, len(in.Rels))
 	var rec func(i int) bool
 	rec = func(i int) bool {
@@ -117,7 +146,7 @@ func (in Input) forEachPreferredRepair(f core.Family, visit func(map[string]*bit
 		r := in.Rels[i]
 		name := r.Inst.Schema().Name()
 		cont := true
-		core.Enumerate(f, r.Pri, func(s *bitset.Set) bool { //nolint:errcheck // stop propagates via cont
+		eng.Enumerate(f, r.Pri, func(s *bitset.Set) bool { //nolint:errcheck // stop propagates via cont
 			subsets[name] = s
 			cont = rec(i + 1)
 			return cont
@@ -269,7 +298,9 @@ func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error)
 		}
 	}
 	// Per relation, collect the choices of the touched components
-	// only.
+	// only. The engine shards the touched components across its
+	// workers and serves repeated structures from its cache.
+	eng := in.engine()
 	type relChoices struct {
 		name    string
 		choices [][]*bitset.Set
@@ -282,14 +313,16 @@ func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error)
 			continue
 		}
 		g := r.Pri.Graph()
-		var lists [][]*bitset.Set
+		var comps [][]int
 		for _, comp := range g.Components() {
 			if bitset.FromSlice(comp).Intersects(tch) {
-				cs := core.ChoicesForComponent(f, r.Pri, comp)
-				if len(cs) == 0 {
-					return 0, fmt.Errorf("cqa: component with no preferred choice (P1 violated?)")
-				}
-				lists = append(lists, cs)
+				comps = append(comps, comp)
+			}
+		}
+		lists := eng.ChoicesFor(f, r.Pri, comps)
+		for _, cs := range lists {
+			if len(cs) == 0 {
+				return 0, fmt.Errorf("cqa: component with no preferred choice (P1 violated?)")
 			}
 		}
 		work = append(work, relChoices{name: name, choices: lists})

@@ -1,0 +1,149 @@
+package prefcqa_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"prefcqa"
+)
+
+// families under test, with names for diagnostics.
+var allFamilies = []struct {
+	name string
+	f    prefcqa.Family
+}{
+	{"Rep", prefcqa.Rep},
+	{"L-Rep", prefcqa.Local},
+	{"S-Rep", prefcqa.SemiGlobal},
+	{"G-Rep", prefcqa.Global},
+	{"C-Rep", prefcqa.Common},
+}
+
+// buildRandomDB materializes the same random relation into a fresh DB
+// per engine configuration. Conflicts are oriented by a random rank
+// (rank-derived preferences are always acyclic).
+func buildRandomDB(t *testing.T, seed int64, n int, opts ...prefcqa.Option) *prefcqa.DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := prefcqa.New(opts...)
+	r, err := db.CreateRelation("R",
+		prefcqa.IntAttr("A"), prefcqa.IntAttr("B"), prefcqa.IntAttr("C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r.MustInsert(rng.Intn(3), rng.Intn(3), rng.Intn(3))
+	}
+	if err := r.AddFD("A -> B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddFD("B -> C"); err != nil {
+		t.Fatal(err)
+	}
+	ranks := make([]int, r.Instance().Len())
+	for i := range ranks {
+		ranks[i] = rng.Intn(4)
+	}
+	if err := r.PreferByRank(func(id prefcqa.TupleID) int { return ranks[int(id)] }); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// repairFingerprint renders the materialized repairs order-sensitively
+// so the comparison also covers enumeration order.
+func repairFingerprint(t *testing.T, db *prefcqa.DB, f prefcqa.Family) string {
+	t.Helper()
+	reps, err := db.Repairs(f, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	for _, inst := range reps {
+		var rows []string
+		inst.Range(func(_ prefcqa.TupleID, tup prefcqa.Tuple) bool {
+			rows = append(rows, tup.String())
+			return true
+		})
+		sort.Strings(rows)
+		out += fmt.Sprint(rows) + "\n"
+	}
+	return out
+}
+
+// TestParallelismEquivalence: repairs, counts, and certain answers
+// agree between WithParallelism(1) and WithParallelism(8) — with and
+// without the cache — across all families on randomized instances.
+func TestParallelismEquivalence(t *testing.T) {
+	queries := []string{
+		"EXISTS x, y, z . R(x, y, z)",
+		"R(0, 0, 0) OR R(1, 1, 1)",
+		"FORALL x, y, z . NOT R(x, y, z) OR x < 2 OR y < 2 OR z < 2",
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		n := 8 + int(seed)%4
+		seq := buildRandomDB(t, seed, n,
+			prefcqa.WithParallelism(1), prefcqa.WithCache(false))
+		par := buildRandomDB(t, seed, n,
+			prefcqa.WithParallelism(8), prefcqa.WithCache(true))
+		parNoCache := buildRandomDB(t, seed, n,
+			prefcqa.WithParallelism(8), prefcqa.WithCache(false))
+		for _, fam := range allFamilies {
+			wantCount, err := seq.CountRepairs(fam.f, "R")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantReps := repairFingerprint(t, seq, fam.f)
+			for name, db := range map[string]*prefcqa.DB{"parallel+cache": par, "parallel": parNoCache} {
+				gotCount, err := db.CountRepairs(fam.f, "R")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotCount != wantCount {
+					t.Errorf("seed %d, %s, %s: count = %d, want %d",
+						seed, fam.name, name, gotCount, wantCount)
+				}
+				if got := repairFingerprint(t, db, fam.f); got != wantReps {
+					t.Errorf("seed %d, %s, %s: repairs differ\nseq:\n%spar:\n%s",
+						seed, fam.name, name, wantReps, got)
+				}
+				for _, q := range queries {
+					want, err := seq.Query(fam.f, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := db.Query(fam.f, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Errorf("seed %d, %s, %s, %q: answer = %v, want %v",
+							seed, fam.name, name, q, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismOpenQueryEquivalence: certain answers to open
+// queries also agree between engine configurations.
+func TestParallelismOpenQueryEquivalence(t *testing.T) {
+	seq := buildRandomDB(t, 42, 9, prefcqa.WithParallelism(1), prefcqa.WithCache(false))
+	par := buildRandomDB(t, 42, 9, prefcqa.WithParallelism(8), prefcqa.WithCache(true))
+	for _, fam := range allFamilies {
+		want, err := seq.QueryOpen(fam.f, "EXISTS y . R(x, y, z)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.QueryOpen(fam.f, "EXISTS y . R(x, y, z)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Errorf("%s: open answers differ:\nseq: %v\npar: %v", fam.name, want, got)
+		}
+	}
+}

@@ -34,6 +34,7 @@ package prefcqa
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"prefcqa/internal/axioms"
 	"prefcqa/internal/bitset"
@@ -123,14 +124,50 @@ func WriteCSV(dst io.Writer, inst *Instance) error { return relation.WriteCSV(ds
 
 // DB is a database of possibly-inconsistent relations with
 // per-relation functional dependencies and tuple preferences.
+//
+// Query evaluation runs on a parallel engine: per-component repair
+// choice sets are sharded across a worker pool and, by default,
+// memoized across queries (see WithParallelism and WithCache). All
+// engine configurations return identical results. A DB is not safe
+// for concurrent mutation; build it first, then query freely.
 type DB struct {
-	rels  map[string]*Relation
-	order []string
+	rels   map[string]*Relation
+	order  []string
+	engine *core.Engine
+
+	parallelism int
+	cache       bool
 }
 
-// New returns an empty database.
-func New() *DB {
-	return &DB{rels: make(map[string]*Relation)}
+// Option configures a DB at construction time.
+type Option func(*DB)
+
+// WithParallelism sets how many workers evaluate conflict-graph
+// components concurrently. n == 1 evaluates sequentially on the
+// calling goroutine; n <= 0 (the default) uses runtime.GOMAXPROCS.
+// Results are identical for every setting.
+func WithParallelism(n int) Option {
+	return func(db *DB) { db.parallelism = n }
+}
+
+// WithCache enables or disables memoization of per-component repair
+// choice sets (default on). Cached entries are keyed by the component
+// structure and preference orientation, so structurally identical
+// components — within one instance or across repeated queries — are
+// evaluated once.
+func WithCache(on bool) Option {
+	return func(db *DB) { db.cache = on }
+}
+
+// New returns an empty database. With no options the evaluation
+// engine uses a GOMAXPROCS-sized worker pool with memoization on.
+func New(opts ...Option) *DB {
+	db := &DB{rels: make(map[string]*Relation), parallelism: 0, cache: true}
+	for _, opt := range opts {
+		opt(db)
+	}
+	db.engine = core.NewEngine(core.WithWorkers(db.parallelism), core.WithMemo(db.cache))
+	return db
 }
 
 // Relation is one relation of the database together with its
@@ -140,7 +177,8 @@ type Relation struct {
 	fds   *fd.Set
 	prefs [][2]TupleID
 
-	built *cqa.Relation // nil when stale
+	mu    sync.Mutex
+	built *cqa.Relation // nil when stale; guarded by mu
 }
 
 // CreateRelation adds an empty relation with the given schema.
@@ -272,8 +310,12 @@ func (r *Relation) PreferByRank(rank func(TupleID) int) error {
 	return nil
 }
 
-// build (re)constructs the conflict graph and priority.
+// build (re)constructs the conflict graph and priority. The lock
+// makes concurrent queries against an already-populated DB safe; it
+// does not protect against concurrent mutation.
 func (r *Relation) build() (*cqa.Relation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.built != nil {
 		return r.built, nil
 	}
@@ -324,7 +366,11 @@ func (db *DB) input() (cqa.Input, error) {
 		}
 		rels = append(rels, built)
 	}
-	return cqa.NewInput(rels...)
+	in, err := cqa.NewInput(rels...)
+	if err != nil {
+		return cqa.Input{}, err
+	}
+	return in.WithEngine(db.engine), nil
 }
 
 // Query evaluates a closed first-order query under the family's
@@ -389,7 +435,7 @@ func (db *DB) Repairs(f Family, rel string) ([]*Instance, error) {
 		return nil, err
 	}
 	var out []*Instance
-	core.Enumerate(f, built.Pri, func(s *bitset.Set) bool { //nolint:errcheck // never stops
+	db.engine.Enumerate(f, built.Pri, func(s *bitset.Set) bool { //nolint:errcheck // never stops
 		out = append(out, r.inst.Subset(s))
 		return true
 	})
@@ -406,7 +452,7 @@ func (db *DB) CountRepairs(f Family, rel string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return core.Count(f, built.Pri)
+	return db.engine.Count(f, built.Pri)
 }
 
 // IsPreferredRepair checks whether the given tuple subset of a
