@@ -8,6 +8,10 @@
 //	prefbench -quick     # small sizes (seconds)
 //	prefbench -exp fig5  # one experiment: fig1 fig2 fig3 fig4 props
 //	                     # clean fig5check fig5cqa denial pruning
+//	prefbench -json      # machine-readable benchmark suite (ns/op,
+//	                     # B/op, allocs/op, repairs/sec) on stdout —
+//	                     # the source of the checked-in BENCH_*.json
+//	                     # trajectory snapshots
 package main
 
 import (
@@ -36,11 +40,19 @@ var experiments = []struct {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (or 'all')")
-		quick = flag.Bool("quick", false, "small input sizes")
+		exp      = flag.String("exp", "all", "experiment to run (or 'all')")
+		quick    = flag.Bool("quick", false, "small input sizes")
+		jsonMode = flag.Bool("json", false, "emit machine-readable benchmark results as JSON")
 	)
 	flag.Parse()
 	opts := bench.Options{Quick: *quick}
+	if *jsonMode {
+		if err := bench.JSON(opts).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "prefbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	ran := 0
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {

@@ -79,8 +79,12 @@ func (db *DB) ExplainTuple(f Family, rel string, id TupleID) (TupleReport, error
 		}
 		rep.Conflicts = append(rep.Conflicts, ConflictInfo{With: other, FD: r.fds.FD(e.FD).String()})
 	}
-	rep.DominatedBy = built.Pri.Dominators(id).Slice()
-	rep.Dominates = built.Pri.Dominated(id).Slice()
+	for _, d := range built.Pri.Dominators(id) {
+		rep.DominatedBy = append(rep.DominatedBy, TupleID(d))
+	}
+	for _, d := range built.Pri.Dominated(id) {
+		rep.Dominates = append(rep.Dominates, TupleID(d))
+	}
 	sort.Slice(rep.Conflicts, func(i, j int) bool { return rep.Conflicts[i].With < rep.Conflicts[j].With })
 
 	// Membership across the preferred repairs: only the components

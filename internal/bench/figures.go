@@ -44,10 +44,9 @@ func Fig1(o Options) []*Table {
 	g := exact.Graph()
 	for t := 0; t < g.Len(); t++ {
 		var ns []string
-		g.Neighbors(t).Range(func(u int) bool {
-			ns = append(ns, exact.Inst.Tuple(u).String())
-			return true
-		})
+		for _, u := range g.Neighbors(t) {
+			ns = append(ns, exact.Inst.Tuple(int(u)).String())
+		}
 		shape.AddRow(exact.Inst.Tuple(t).String(), fmt.Sprint(ns))
 	}
 	shape.Note = "paper: n disjoint edges {(i,0)-(i,1)}; repairs = all of {0,1}^n"

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/clean"
+	"prefcqa/internal/conflict"
+	"prefcqa/internal/core"
+	"prefcqa/internal/cqa"
+	"prefcqa/internal/priority"
+	"prefcqa/internal/relation"
+	"prefcqa/internal/repair"
+	"prefcqa/internal/workload"
+)
+
+// Metric is one machine-readable benchmark result. NsPerOp, BytesPerOp
+// and AllocsPerOp mirror `go test -bench -benchmem`; Extra carries
+// metric-specific throughput numbers (e.g. repairs_per_sec).
+type Metric struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the JSON document emitted by `prefbench -json`. Checked-in
+// snapshots (BENCH_<pr>.json) accumulate the performance trajectory of
+// the repo across PRs.
+type Report struct {
+	Schema      string   `json:"schema"`
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	CPUs        int      `json:"cpus"`
+	Quick       bool     `json:"quick"`
+	Results     []Metric `json:"results"`
+}
+
+// measure runs fn under the testing benchmark harness and records the
+// result. extra maps metric names to per-op counts that are converted
+// to per-second rates (count * 1e9 / ns_per_op).
+func measure(name string, extra map[string]float64, fn func(b *testing.B)) Metric {
+	r := testing.Benchmark(fn)
+	m := Metric{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if len(extra) > 0 && m.NsPerOp > 0 {
+		m.Extra = map[string]float64{}
+		for k, perOp := range extra {
+			m.Extra[k+"_per_sec"] = perOp * 1e9 / m.NsPerOp
+		}
+	}
+	return m
+}
+
+// JSON runs the machine-readable benchmark suite. The suite is the
+// stable core of the repo's performance surface: conflict-graph
+// construction, priority generation, per-component enumeration,
+// componentwise counting, cleaning, and ground CQA.
+func JSON(o Options) Report {
+	rep := Report{
+		Schema:      "prefbench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Quick:       o.Quick,
+	}
+	pick := func(quick, full int) int {
+		if o.Quick {
+			return quick
+		}
+		return full
+	}
+
+	// Conflict-graph construction (CSR streaming build).
+	pairsN := pick(1024, 4096)
+	pairs := workload.Pairs(pairsN)
+	rep.add(measure("conflict_build/pairs", map[string]float64{"tuples": float64(2 * pairsN)}, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			conflict.MustBuild(pairs.Inst, pairs.FDs)
+		}
+	}))
+	clustersM := pick(10_000, 50_000)
+	big := workload.Clusters(clustersM, 2)
+	rep.add(measure("conflict_build/clusters", map[string]float64{"tuples": float64(2 * clustersM)}, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			conflict.MustBuild(big.Inst, big.FDs)
+		}
+	}))
+
+	// Priority generation over every conflict edge.
+	bigG := big.Graph()
+	rep.add(measure("priority_from_ranks/clusters", map[string]float64{"edges": float64(clustersM)}, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			priority.FromRanks(bigG, func(id relation.TupleID) int { return id % 2 })
+		}
+	}))
+
+	// Per-component enumeration: allocation-free local Bron–Kerbosch.
+	chain := workload.Chain(pick(16, 24))
+	chainComp := chain.Graph().Components()[0]
+	sets := float64(repair.CountComponent(chain.Graph(), chainComp))
+	rep.add(measure("component_enumeration/chain", map[string]float64{"repairs": sets}, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repair.CountComponent(chain.Graph(), chainComp)
+		}
+	}))
+
+	// Componentwise counting on the large sparse instance, per family,
+	// on the production engine (workers + memo).
+	bigP := priority.FromRanks(bigG, func(id relation.TupleID) int { return id % 2 })
+	eng := core.NewEngine()
+	for _, f := range []core.Family{core.Local, core.Global, core.Common} {
+		f := f
+		rep.add(measure("engine_count/"+f.String()+"/clusters",
+			map[string]float64{"components": float64(clustersM)}, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Count(f, bigP); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+
+	// Full enumeration throughput in repairs/sec.
+	enumSc := workload.Clusters(pick(8, 10), 3)
+	enumCount := 0
+	core.Enumerate(core.Rep, enumSc.Pri, func(*bitset.Set) bool { enumCount++; return true }) //nolint:errcheck
+	rep.add(measure("enumerate/rep/clusters", map[string]float64{"repairs": float64(enumCount)}, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Enumerate(core.Rep, enumSc.Pri, func(*bitset.Set) bool { return true }) //nolint:errcheck
+		}
+	}))
+
+	// Algorithm 1 cleaning.
+	cleanSc := workload.Clusters(pick(400, 1600), 3)
+	cleanP := cleanSc.Pri.TotalExtension(nil)
+	rep.add(measure("clean_deterministic/clusters",
+		map[string]float64{"tuples": float64(cleanSc.Inst.Len())}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clean.Deterministic(cleanP)
+			}
+		}))
+
+	// Ground quantifier-free CQA (the PTIME witness-cover path).
+	cqaN := pick(16, 32)
+	cqaSc := workload.Pairs(cqaN)
+	in, err := cqa.NewInput(&cqa.Relation{Inst: cqaSc.Inst, FDs: cqaSc.FDs, Pri: cqaSc.Pri})
+	if err == nil {
+		q := groundOrQuery(cqaN)
+		rep.add(measure("ground_cqa/pairs", nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cqa.GroundQFEvaluate(in, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	return rep
+}
+
+func (r *Report) add(m Metric) { r.Results = append(r.Results, m) }
+
+// WriteJSON renders the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -261,6 +261,107 @@ func (s *Set) Key() string {
 	return b.String()
 }
 
+// Words is a fixed-capacity dense bit set over a small universe
+// [0, k), backed by caller-provided storage (typically a slice of a
+// shared scratch arena). Unlike Set, Words never grows and its
+// operations never allocate: it is the currency of the
+// component-local hot paths (Bron–Kerbosch, winnow simulation), where
+// k is a component size rather than the instance size. All binary
+// operations require operands of equal length.
+type Words []uint64
+
+// WordsLen returns the number of uint64 words needed to hold a
+// universe of k elements.
+func WordsLen(k int) int { return (k + wordBits - 1) / wordBits }
+
+// Add inserts i. The caller must ensure i < len(w)*64.
+func (w Words) Add(i int) { w[i/wordBits] |= 1 << uint(i%wordBits) }
+
+// Remove deletes i.
+func (w Words) Remove(i int) { w[i/wordBits] &^= 1 << uint(i%wordBits) }
+
+// Has reports whether i is in the set.
+func (w Words) Has(i int) bool { return w[i/wordBits]&(1<<uint(i%wordBits)) != 0 }
+
+// Empty reports whether the set has no elements.
+func (w Words) Empty() bool {
+	for _, x := range w {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of elements.
+func (w Words) Len() int {
+	n := 0
+	for _, x := range w {
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
+// Clear removes all elements.
+func (w Words) Clear() {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// Fill sets w to {0, ..., k-1}. k must not exceed the capacity.
+func (w Words) Fill(k int) {
+	w.Clear()
+	for i := 0; i < k/wordBits; i++ {
+		w[i] = ^uint64(0)
+	}
+	if r := k % wordBits; r != 0 {
+		w[k/wordBits] = (1 << uint(r)) - 1
+	}
+}
+
+// Copy overwrites w with src (equal lengths).
+func (w Words) Copy(src Words) { copy(w, src) }
+
+// IntersectInto sets dst = a ∩ b (equal lengths) and returns |dst|.
+func IntersectInto(dst, a, b Words) int {
+	n := 0
+	for i := range dst {
+		x := a[i] & b[i]
+		dst[i] = x
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
+// AndNotInto sets dst = a \ b (equal lengths).
+func AndNotInto(dst, a, b Words) {
+	for i := range dst {
+		dst[i] = a[i] &^ b[i]
+	}
+}
+
+// Range calls yield for each element in increasing order, stopping
+// early if yield returns false.
+func (w Words) Range(yield func(i int) bool) {
+	for wi, x := range w {
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			if !yield(wi*wordBits + b) {
+				return
+			}
+			x &^= 1 << uint(b)
+		}
+	}
+}
+
+// ToSet copies the contents into a fresh growable Set.
+func (w Words) ToSet() *Set {
+	s := &Set{words: make([]uint64, len(w))}
+	copy(s.words, w)
+	return s
+}
+
 // String renders the set as "{e1 e2 ...}" in increasing order.
 func (s *Set) String() string {
 	var b strings.Builder

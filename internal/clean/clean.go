@@ -50,7 +50,9 @@ func Clean(p *priority.Priority, choose Choice) (*bitset.Set, error) {
 		}
 		out.Add(x)
 		rest.Remove(x)
-		rest.DifferenceWith(g.Neighbors(x))
+		for _, u := range g.Neighbors(x) {
+			rest.Remove(int(u))
+		}
 	}
 	return out, nil
 }
@@ -71,7 +73,9 @@ func Deterministic(p *priority.Priority) *bitset.Set {
 			x := w.Min()
 			out.Add(x)
 			rest.Remove(x)
-			rest.DifferenceWith(g.Neighbors(x))
+			for _, u := range g.Neighbors(x) {
+				rest.Remove(int(u))
+			}
 		}
 	}
 	return out
@@ -87,7 +91,7 @@ func AllOutcomes(p *priority.Priority) []*bitset.Set {
 	comps := g.Components()
 	choices := make([][]*bitset.Set, len(comps))
 	for i, comp := range comps {
-		choices[i] = componentOutcomes(p, bitset.FromSlice(comp))
+		choices[i] = ComponentOutcomes(p, comp)
 	}
 	var out []*bitset.Set
 	cur := bitset.New(g.Len())
@@ -108,49 +112,66 @@ func AllOutcomes(p *priority.Priority) []*bitset.Set {
 }
 
 // ComponentOutcomes returns every distinct result of Algorithm 1
-// restricted to the subgraph induced by comp. Because choices in
-// different components commute, C-Rep is the componentwise product of
-// these outcome lists.
+// restricted to the subgraph induced by comp (a sorted vertex list),
+// as sets of global TupleIDs. Because choices in different components
+// commute, C-Rep is the componentwise product of these outcome lists.
 func ComponentOutcomes(p *priority.Priority, comp []int) []*bitset.Set {
-	return componentOutcomes(p, bitset.FromSlice(comp))
+	l := p.Graph().Project(comp)
+	local := LocalOutcomes(p.Localize(l))
+	out := make([]*bitset.Set, len(local))
+	for i, s := range local {
+		gs := bitset.New(0)
+		s.Range(func(j int) bool {
+			gs.Add(l.Global(j))
+			return true
+		})
+		out[i] = gs
+	}
+	return out
 }
 
-// componentOutcomes explores all choice sequences of Algorithm 1
-// restricted to one component. Outcomes are deduplicated; the search
-// memoizes visited rest-sets.
-func componentOutcomes(p *priority.Priority, rest *bitset.Set) []*bitset.Set {
-	g := p.Graph()
+// LocalOutcomes explores all choice sequences of Algorithm 1 on one
+// component-local view, returning the distinct outcomes as sets over
+// local indices [0, k). Outcomes are deduplicated; the search
+// memoizes visited (rest, acc) states. All scratch state is k-sized.
+func LocalOutcomes(pl *priority.Local) []*bitset.Set {
+	l := pl.View()
+	k := l.Len()
 	seenRest := map[string]bool{}
 	outcomes := map[string]*bitset.Set{}
 	var rec func(rest, acc *bitset.Set)
 	rec = func(rest, acc *bitset.Set) {
 		if rest.Empty() {
-			k := acc.Key()
-			if _, ok := outcomes[k]; !ok {
-				outcomes[k] = acc.Clone()
+			key := acc.Key()
+			if _, ok := outcomes[key]; !ok {
+				outcomes[key] = acc.Clone()
 			}
 			return
 		}
 		// Memoization on rest alone is sound within a component run:
 		// acc is determined by the removed vicinities, but different
 		// accs can reach the same rest; key on both.
-		k := rest.Key() + "|" + acc.Key()
-		if seenRest[k] {
+		key := rest.Key() + "|" + acc.Key()
+		if seenRest[key] {
 			return
 		}
-		seenRest[k] = true
-		w := p.Winnow(rest)
-		w.Range(func(x int) bool {
+		seenRest[key] = true
+		rest.Range(func(x int) bool {
+			if !pl.UndominatedIn(x, rest) {
+				return true // x ∉ ω≻(rest)
+			}
 			nrest := rest.Clone()
 			nrest.Remove(x)
-			nrest.DifferenceWith(g.Neighbors(x))
+			for _, u := range l.Neighbors(x) {
+				nrest.Remove(int(u))
+			}
 			nacc := acc.Clone()
 			nacc.Add(x)
 			rec(nrest, nacc)
 			return true
 		})
 	}
-	rec(rest.Clone(), bitset.New(g.Len()))
+	rec(bitset.Full(k), bitset.New(k))
 	// Deterministic order: lexicographic on the sorted element lists.
 	// This order is preserved by any order-preserving renumbering of
 	// the component's vertices, so structurally identical components
@@ -202,13 +223,12 @@ func Naive(p *priority.Priority) *bitset.Set {
 	out := bitset.New(g.Len())
 	for t := 0; t < g.Len(); t++ {
 		keep := true
-		g.Neighbors(t).Range(func(u int) bool {
-			if !p.Dominates(t, u) {
+		for _, u := range g.Neighbors(t) {
+			if !p.Dominates(t, int(u)) {
 				keep = false // either dominated or unresolved
-				return false
+				break
 			}
-			return true
-		})
+		}
 		if keep {
 			out.Add(t)
 		}

@@ -132,7 +132,9 @@ func TestAllOutcomesMatchesChoiceBruteForce(t *testing.T) {
 			p.Winnow(rest).Range(func(x int) bool {
 				nrest := rest.Clone()
 				nrest.Remove(x)
-				nrest.DifferenceWith(g.Neighbors(x))
+				for _, u := range g.Neighbors(x) {
+					nrest.Remove(int(u))
+				}
 				nacc := acc.Clone()
 				nacc.Add(x)
 				rec(nrest, nacc)

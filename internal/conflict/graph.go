@@ -3,6 +3,12 @@
 // with respect to some functional dependency. Conflict graphs are the
 // compact representation of repairs — the set of all repairs equals
 // the set of all maximal independent sets of the graph.
+//
+// The graph is stored in CSR (compressed sparse row) form: one flat
+// sorted neighbor array indexed by per-vertex offsets. Memory is
+// O(n + m) — n tuples, m conflicts — rather than the O(n²) of a dense
+// per-vertex bit matrix, which is what the paper's tractability story
+// (sparse conflicts, small components) demands at scale.
 package conflict
 
 import (
@@ -22,12 +28,20 @@ import (
 // [0, N). Edges are labelled with the (first) dependency that creates
 // the conflict, for explanation output.
 type Graph struct {
-	inst      *relation.Instance
-	fds       *fd.Set
-	adj       []*bitset.Set
-	edges     []Edge
+	inst *relation.Instance
+	fds  *fd.Set
+
+	// CSR adjacency: the neighbors of vertex v are
+	// nbrs[off[v]:off[v+1]], sorted ascending.
+	off  []int32
+	nbrs []int32
+
+	edges []Edge
+
 	compsOnce sync.Once
 	comps     [][]int // connected components, computed lazily
+	compID    []int32 // vertex -> component index
+	localIdx  []int32 // vertex -> position in its (sorted) component
 }
 
 // Edge is one conflict: tuples A < B violating dependency FD (index
@@ -38,27 +52,45 @@ type Edge struct {
 }
 
 // Build computes the conflict graph of the instance. Conflicting pairs
-// are discovered per dependency by hashing on the LHS projection, so
-// construction is linear in |r| plus the number of conflicts.
+// are discovered per dependency by hashing on the LHS projection, and
+// streamed straight into CSR form, so both time and memory are linear
+// in |r| plus the number of conflicts.
 func Build(inst *relation.Instance, fds *fd.Set) (*Graph, error) {
 	if !inst.Schema().Equal(fds.Schema()) {
 		return nil, fmt.Errorf("conflict: instance schema %s does not match dependency schema %s",
 			inst.Schema(), fds.Schema())
 	}
 	n := inst.Len()
-	g := &Graph{inst: inst, fds: fds, adj: make([]*bitset.Set, n)}
-	for i := range g.adj {
-		g.adj[i] = bitset.New(n)
-	}
-	seen := make(map[[2]int]bool)
-	for _, v := range fds.Violations(inst) {
-		p := [2]int{v.T1, v.T2}
-		g.adj[v.T1].Add(v.T2)
-		g.adj[v.T2].Add(v.T1)
-		if !seen[p] {
-			seen[p] = true
-			g.edges = append(g.edges, Edge{A: v.T1, B: v.T2, FD: v.FD})
+	g := &Graph{inst: inst, fds: fds}
+	// Violations are sorted by (T1, T2, FD); consecutive duplicates are
+	// the same pair under a second dependency, which adds no edge.
+	viols := fds.Violations(inst)
+	for _, v := range viols {
+		if k := len(g.edges); k > 0 && g.edges[k-1].A == v.T1 && g.edges[k-1].B == v.T2 {
+			continue
 		}
+		g.edges = append(g.edges, Edge{A: v.T1, B: v.T2, FD: v.FD})
+	}
+	// Counting pass: degree per vertex, then prefix sums into offsets.
+	g.off = make([]int32, n+1)
+	for _, e := range g.edges {
+		g.off[e.A+1]++
+		g.off[e.B+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.off[v+1] += g.off[v]
+	}
+	// Fill pass. Edges are sorted by (A, B) with A < B, so each row
+	// receives first its smaller neighbors (ascending) and then its
+	// larger ones (ascending): rows come out sorted with no extra sort.
+	g.nbrs = make([]int32, g.off[n])
+	cursor := make([]int32, n)
+	copy(cursor, g.off[:n])
+	for _, e := range g.edges {
+		g.nbrs[cursor[e.A]] = int32(e.B)
+		cursor[e.A]++
+		g.nbrs[cursor[e.B]] = int32(e.A)
+		cursor[e.B]++
 	}
 	return g, nil
 }
@@ -79,51 +111,50 @@ func (g *Graph) Instance() *relation.Instance { return g.inst }
 func (g *Graph) FDs() *fd.Set { return g.fds }
 
 // Len returns the number of vertices (= tuples).
-func (g *Graph) Len() int { return len(g.adj) }
+func (g *Graph) Len() int { return len(g.off) - 1 }
 
 // NumEdges returns the number of conflicts.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
-// Edges returns a copy of the conflict list (A < B, deterministic
-// order).
+// Edges returns a copy of the conflict list (A < B, sorted by (A, B)).
 func (g *Graph) Edges() []Edge {
-	out := append([]Edge(nil), g.edges...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
-	return out
+	return append([]Edge(nil), g.edges...)
 }
 
-// Adjacent reports whether tuples a and b conflict.
+// Adjacent reports whether tuples a and b conflict, by binary search
+// in a's neighbor row.
 func (g *Graph) Adjacent(a, b relation.TupleID) bool {
-	return a >= 0 && a < len(g.adj) && g.adj[a].Has(b)
+	if a < 0 || a >= g.Len() {
+		return false
+	}
+	row := g.nbrs[g.off[a]:g.off[a+1]]
+	t := int32(b)
+	i := sort.Search(len(row), func(k int) bool { return row[k] >= t })
+	return i < len(row) && row[i] == t
 }
 
-// Neighbors returns n(t): the set of tuples conflicting with t. The
-// caller must not mutate the result.
-func (g *Graph) Neighbors(t relation.TupleID) *bitset.Set { return g.adj[t] }
-
-// Vicinity returns v(t) = {t} ∪ n(t).
-func (g *Graph) Vicinity(t relation.TupleID) *bitset.Set {
-	v := g.adj[t].Clone()
-	v.Add(t)
-	return v
+// Neighbors returns n(t): the tuples conflicting with t, as a sorted
+// slice view into the CSR array. The caller must not mutate it.
+func (g *Graph) Neighbors(t relation.TupleID) []int32 {
+	return g.nbrs[g.off[t]:g.off[t+1]]
 }
 
 // Degree returns |n(t)|.
-func (g *Graph) Degree(t relation.TupleID) int { return g.adj[t].Len() }
+func (g *Graph) Degree(t relation.TupleID) int { return int(g.off[t+1] - g.off[t]) }
 
 // IsIndependent reports whether no two tuples in the set conflict,
 // i.e. the selected sub-instance is consistent.
 func (g *Graph) IsIndependent(s *bitset.Set) bool {
 	ok := true
 	s.Range(func(t int) bool {
-		if g.adj[t].Intersects(s) {
-			ok = false
-			return false
+		if t >= g.Len() {
+			return true
+		}
+		for _, u := range g.Neighbors(t) {
+			if s.Has(int(u)) {
+				ok = false
+				return false
+			}
 		}
 		return true
 	})
@@ -137,8 +168,18 @@ func (g *Graph) IsMaximalIndependent(s *bitset.Set) bool {
 	if !g.IsIndependent(s) {
 		return false
 	}
-	for t := 0; t < len(g.adj); t++ {
-		if !s.Has(t) && !g.adj[t].Intersects(s) {
+	for t := 0; t < g.Len(); t++ {
+		if s.Has(t) {
+			continue
+		}
+		blocked := false
+		for _, u := range g.Neighbors(t) {
+			if s.Has(int(u)) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
 			return false
 		}
 	}
@@ -148,10 +189,10 @@ func (g *Graph) IsMaximalIndependent(s *bitset.Set) bool {
 // ConflictClosure extends s with every tuple reachable through
 // conflict edges — the union of the components touching s.
 func (g *Graph) ConflictClosure(s *bitset.Set) *bitset.Set {
-	out := bitset.New(len(g.adj))
+	out := bitset.New(g.Len())
 	var stack []int
 	s.Range(func(t int) bool {
-		if t < len(g.adj) && !out.Has(t) {
+		if t < g.Len() && !out.Has(t) {
 			out.Add(t)
 			stack = append(stack, t)
 		}
@@ -160,13 +201,12 @@ func (g *Graph) ConflictClosure(s *bitset.Set) *bitset.Set {
 	for len(stack) > 0 {
 		t := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		g.adj[t].Range(func(u int) bool {
-			if !out.Has(u) {
-				out.Add(u)
-				stack = append(stack, u)
+		for _, u := range g.Neighbors(t) {
+			if !out.Has(int(u)) {
+				out.Add(int(u))
+				stack = append(stack, int(u))
 			}
-			return true
-		})
+		}
 	}
 	return out
 }
@@ -180,34 +220,51 @@ func (g *Graph) Components() [][]int {
 	return g.comps
 }
 
+// ComponentOf returns the index (into Components()) of the component
+// containing vertex v.
+func (g *Graph) ComponentOf(v relation.TupleID) int {
+	g.compsOnce.Do(g.computeComponents)
+	return int(g.compID[v])
+}
+
+// LocalIndexOf returns v's position within its sorted component — the
+// component-local index used by the projection machinery.
+func (g *Graph) LocalIndexOf(v relation.TupleID) int {
+	g.compsOnce.Do(g.computeComponents)
+	return int(g.localIdx[v])
+}
+
 func (g *Graph) computeComponents() {
-	n := len(g.adj)
-	comp := make([]int, n)
-	for i := range comp {
-		comp[i] = -1
+	n := g.Len()
+	g.compID = make([]int32, n)
+	g.localIdx = make([]int32, n)
+	for i := range g.compID {
+		g.compID[i] = -1
 	}
 	var comps [][]int
 	for v := 0; v < n; v++ {
-		if comp[v] >= 0 {
+		if g.compID[v] >= 0 {
 			continue
 		}
-		id := len(comps)
+		id := int32(len(comps))
 		var members []int
 		stack := []int{v}
-		comp[v] = id
+		g.compID[v] = id
 		for len(stack) > 0 {
 			t := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			members = append(members, t)
-			g.adj[t].Range(func(u int) bool {
-				if comp[u] < 0 {
-					comp[u] = id
-					stack = append(stack, u)
+			for _, u := range g.Neighbors(t) {
+				if g.compID[u] < 0 {
+					g.compID[u] = id
+					stack = append(stack, int(u))
 				}
-				return true
-			})
+			}
 		}
 		sort.Ints(members)
+		for i, m := range members {
+			g.localIdx[m] = int32(i)
+		}
 		comps = append(comps, members)
 	}
 	g.comps = comps
@@ -223,25 +280,20 @@ func (g *Graph) computeComponents() {
 // across instances and are the cache key of the memoizing evaluation
 // engine.
 func (g *Graph) ComponentSignature(comp []int) string {
-	local := make(map[int]int, len(comp))
-	for i, v := range comp {
-		local[v] = i
-	}
 	var b strings.Builder
 	b.Grow(4 + 6*len(comp))
 	b.WriteString(strconv.Itoa(len(comp)))
 	b.WriteByte(';')
 	for i, v := range comp {
-		g.adj[v].Range(func(u int) bool {
-			j, in := local[u]
-			if in && j > i {
+		for _, u := range g.Neighbors(v) {
+			j := sort.SearchInts(comp, int(u))
+			if j < len(comp) && comp[j] == int(u) && j > i {
 				b.WriteString(strconv.Itoa(i))
 				b.WriteByte('-')
 				b.WriteString(strconv.Itoa(j))
 				b.WriteByte(';')
 			}
-			return true
-		})
+		}
 	}
 	return b.String()
 }
@@ -249,9 +301,9 @@ func (g *Graph) ComponentSignature(comp []int) string {
 // ConflictingVertices returns the set of tuples involved in at least
 // one conflict.
 func (g *Graph) ConflictingVertices() *bitset.Set {
-	s := bitset.New(len(g.adj))
-	for t, a := range g.adj {
-		if !a.Empty() {
+	s := bitset.New(g.Len())
+	for t := 0; t < g.Len(); t++ {
+		if g.Degree(t) > 0 {
 			s.Add(t)
 		}
 	}
@@ -263,7 +315,7 @@ func (g *Graph) ConflictingVertices() *bitset.Set {
 func (g *Graph) DOT() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "graph %s {\n", g.inst.Schema().Name())
-	for t := 0; t < len(g.adj); t++ {
+	for t := 0; t < g.Len(); t++ {
 		fmt.Fprintf(&b, "  t%d [label=%q];\n", t, g.inst.Tuple(t).String())
 	}
 	for _, e := range g.Edges() {
@@ -277,16 +329,15 @@ func (g *Graph) DOT() string {
 // experiment harness to reproduce Figures 1–4.
 func (g *Graph) ASCII() string {
 	var b strings.Builder
-	for t := 0; t < len(g.adj); t++ {
+	for t := 0; t < g.Len(); t++ {
 		fmt.Fprintf(&b, "%-28s --", g.inst.Tuple(t).String())
-		if g.adj[t].Empty() {
+		if g.Degree(t) == 0 {
 			b.WriteString(" (no conflicts)")
 		}
-		g.adj[t].Range(func(u int) bool {
+		for _, u := range g.Neighbors(t) {
 			b.WriteByte(' ')
-			b.WriteString(g.inst.Tuple(u).String())
-			return true
-		})
+			b.WriteString(g.inst.Tuple(int(u)).String())
+		}
 		b.WriteByte('\n')
 	}
 	return b.String()

@@ -102,7 +102,7 @@ func TestEdgeLabels(t *testing.T) {
 	}
 }
 
-func TestNeighborsVicinity(t *testing.T) {
+func TestNeighbors(t *testing.T) {
 	// Star: tc conflicts ta and tb (Example 8 shape).
 	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"), relation.IntAttr("C"))
 	inst := relation.NewInstance(s)
@@ -111,14 +111,21 @@ func TestNeighborsVicinity(t *testing.T) {
 	tc := inst.MustInsert(1, 2, 3)
 	g := MustBuild(inst, fd.MustParseSet(s, "A -> B"))
 
-	if !g.Neighbors(tc).Equal(bitset.FromSlice([]int{ta, tb})) {
-		t.Fatalf("n(tc) = %v", g.Neighbors(tc))
+	got := g.Neighbors(tc)
+	if len(got) != 2 || int(got[0]) != ta || int(got[1]) != tb {
+		t.Fatalf("n(tc) = %v, want sorted [%d %d]", got, ta, tb)
 	}
-	if !g.Vicinity(tc).Equal(bitset.FromSlice([]int{ta, tb, tc})) {
-		t.Fatalf("v(tc) = %v", g.Vicinity(tc))
-	}
-	if g.Neighbors(ta).Has(tb) {
+	if g.Adjacent(ta, tb) {
 		t.Fatal("duplicates w.r.t. the FD must not be adjacent")
+	}
+	// Neighbor rows are sorted — Adjacent's binary-search invariant.
+	for v := 0; v < g.Len(); v++ {
+		row := g.Neighbors(v)
+		for i := 1; i < len(row); i++ {
+			if row[i-1] >= row[i] {
+				t.Fatalf("row %d not strictly sorted: %v", v, row)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,105 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefcqa/internal/fd"
+	"prefcqa/internal/relation"
+)
+
+// randomGraph builds a random two-FD conflict graph for projection
+// round-trip properties.
+func randomGraph(seed int64, n int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"), relation.IntAttr("C"))
+	inst := relation.NewInstance(s)
+	for i := 0; i < n; i++ {
+		inst.MustInsert(rng.Intn(4), rng.Intn(4), rng.Intn(4))
+	}
+	return MustBuild(inst, fd.MustParseSet(s, "A -> B", "B -> C"))
+}
+
+// TestProjectComponent checks that the component projection is the
+// order-preserving renumbering of the induced subgraph.
+func TestProjectComponent(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := randomGraph(seed, 12)
+		for _, comp := range g.Components() {
+			l := g.Project(comp)
+			if l.Len() != len(comp) {
+				t.Fatalf("seed %d: Len = %d, want %d", seed, l.Len(), len(comp))
+			}
+			for i, v := range comp {
+				if l.Global(i) != v {
+					t.Fatalf("seed %d: Global(%d) = %d, want %d", seed, i, l.Global(i), v)
+				}
+				row := l.Neighbors(i)
+				if len(row) != g.Degree(v) {
+					t.Fatalf("seed %d: degree mismatch at %d", seed, v)
+				}
+				for x := 1; x < len(row); x++ {
+					if row[x-1] >= row[x] {
+						t.Fatalf("seed %d: local row %d not sorted: %v", seed, i, row)
+					}
+				}
+				for _, j := range row {
+					if !g.Adjacent(v, comp[j]) {
+						t.Fatalf("seed %d: spurious local edge %d-%d", seed, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProjectSubset checks the general (non-component) projection
+// filters out non-members.
+func TestProjectSubset(t *testing.T) {
+	g := randomGraph(3, 12)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var sub []int
+		for v := 0; v < g.Len(); v++ {
+			if rng.Intn(2) == 0 {
+				sub = append(sub, v)
+			}
+		}
+		l := g.Project(sub)
+		for i, v := range sub {
+			// Local row must be exactly the members of n(v) ∩ sub.
+			want := 0
+			for _, u := range g.Neighbors(v) {
+				for _, w := range sub {
+					if int(u) == w {
+						want++
+					}
+				}
+			}
+			row := l.Neighbors(i)
+			if len(row) != want {
+				t.Fatalf("trial %d: row %d has %d entries, want %d", trial, i, len(row), want)
+			}
+			for _, j := range row {
+				if !g.Adjacent(v, sub[j]) {
+					t.Fatalf("trial %d: spurious edge", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestComponentIndex(t *testing.T) {
+	g := randomGraph(5, 16)
+	comps := g.Components()
+	for ci, comp := range comps {
+		for li, v := range comp {
+			if g.ComponentOf(v) != ci {
+				t.Fatalf("ComponentOf(%d) = %d, want %d", v, g.ComponentOf(v), ci)
+			}
+			if g.LocalIndexOf(v) != li {
+				t.Fatalf("LocalIndexOf(%d) = %d, want %d", v, g.LocalIndexOf(v), li)
+			}
+		}
+	}
+}

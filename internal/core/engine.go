@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -109,7 +110,11 @@ func (e *Engine) ComponentChoices(f Family, p *priority.Priority) [][]*bitset.Se
 func (e *Engine) ChoicesFor(f Family, p *priority.Priority, comps [][]int) [][]*bitset.Set {
 	pend := e.startChoices(f, p, comps)
 	pend.waitAll()
-	return pend.lists
+	out := make([][]*bitset.Set, len(comps))
+	for i := range comps {
+		out[i] = pend.wait(i)
+	}
+	return out
 }
 
 // Enumerate yields every preferred repair of the family, identical in
@@ -174,7 +179,7 @@ func (e *Engine) Count(f Family, p *priority.Priority) (int64, error) {
 	total := int64(1)
 	for range comps {
 		i := <-pend.done
-		c := int64(len(pend.lists[i]))
+		c := int64(pend.count(i))
 		if c == 0 {
 			return 0, nil
 		}
@@ -199,19 +204,28 @@ func (e *Engine) One(f Family, p *priority.Priority) *bitset.Set {
 	return out
 }
 
-// componentChoices computes (or recalls) the choice sets of one
-// component.
-func (e *Engine) componentChoices(f Family, p *priority.Priority, comp []int) []*bitset.Set {
+// componentLocalChoices computes (or recalls) the choice sets of one
+// component, in component-local index space — exactly the
+// representation the memo cache stores, so a hit is returned as-is
+// and a miss computes locally and caches. Lifting to global TupleIDs
+// is the consumer's concern (pendingChoices.wait / ChoicesForComponent):
+// counting paths never lift, and no remap-to-local step exists
+// anymore. Callers must treat the result as immutable — it may be
+// shared with the cache and other components.
+func (e *Engine) componentLocalChoices(f Family, p *priority.Priority, comp []int) []*bitset.Set {
+	if len(comp) == 0 {
+		return []*bitset.Set{bitset.New(0)}
+	}
 	if e.memo == nil {
-		return ChoicesForComponent(f, p, comp)
+		return localChoices(f, p, comp)
 	}
 	key := componentKey(f, p, comp)
 	if cached, ok := e.memo.get(key); ok {
-		return remapToGlobal(cached, comp)
+		return cached
 	}
-	choices := ChoicesForComponent(f, p, comp)
-	e.memo.put(key, remapToLocal(choices, comp))
-	return choices
+	local := localChoices(f, p, comp)
+	e.memo.put(key, local)
+	return local
 }
 
 // componentKey builds the cache key of a component: the family, the
@@ -231,13 +245,11 @@ func componentKey(f Family, p *priority.Priority, comp []int) string {
 		return b.String() // repairs ignore the priority
 	}
 	b.WriteByte('|')
-	local := make(map[int]int, len(comp))
 	for i, v := range comp {
-		local[v] = i
-	}
-	for i, v := range comp {
-		g.Neighbors(v).Range(func(u int) bool {
-			if j, in := local[u]; in && j > i {
+		for _, u32 := range g.Neighbors(v) {
+			u := int(u32)
+			j := sort.SearchInts(comp, u)
+			if j < len(comp) && comp[j] == u && j > i {
 				switch {
 				case p.Dominates(v, u):
 					b.WriteByte('>')
@@ -247,46 +259,9 @@ func componentKey(f Family, p *priority.Priority, comp []int) string {
 					b.WriteByte('.')
 				}
 			}
-			return true
-		})
+		}
 	}
 	return b.String()
-}
-
-// remapToLocal translates choice sets from global tuple IDs to local
-// component indices (positions in the sorted comp list).
-func remapToLocal(choices []*bitset.Set, comp []int) []*bitset.Set {
-	local := make(map[int]int, len(comp))
-	for i, v := range comp {
-		local[v] = i
-	}
-	out := make([]*bitset.Set, len(choices))
-	for ci, c := range choices {
-		s := bitset.New(len(comp))
-		c.Range(func(v int) bool {
-			s.Add(local[v])
-			return true
-		})
-		out[ci] = s
-	}
-	return out
-}
-
-// remapToGlobal translates cached local-index choice sets onto a
-// concrete component's global tuple IDs. Because the renumbering is
-// order-preserving, the result equals what direct computation on this
-// component would produce, in the same order.
-func remapToGlobal(choices []*bitset.Set, comp []int) []*bitset.Set {
-	out := make([]*bitset.Set, len(choices))
-	for ci, c := range choices {
-		s := bitset.New(comp[len(comp)-1] + 1)
-		c.Range(func(i int) bool {
-			s.Add(comp[i])
-			return true
-		})
-		out[ci] = s
-	}
-	return out
 }
 
 // memoMaxEntries bounds the cache; beyond it new entries are dropped

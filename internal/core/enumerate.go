@@ -2,9 +2,7 @@ package core
 
 import (
 	"prefcqa/internal/bitset"
-	"prefcqa/internal/clean"
 	"prefcqa/internal/priority"
-	"prefcqa/internal/repair"
 )
 
 // The package-level functions below evaluate on the sequential
@@ -26,31 +24,16 @@ func ComponentChoices(f Family, p *priority.Priority) [][]*bitset.Set {
 }
 
 // ChoicesForComponent returns the component restrictions of the
-// family's preferred repairs for a single connected component.
+// family's preferred repairs for a single connected component. The
+// computation runs in component-local index space (local.go) and the
+// results are lifted back to global TupleIDs here.
 func ChoicesForComponent(f Family, p *priority.Priority, comp []int) []*bitset.Set {
-	if f == Common {
-		return clean.ComponentOutcomes(p, comp)
+	if len(comp) == 0 {
+		// Degenerate input: the only "repair" of the empty subgraph is
+		// the empty set, for every family.
+		return []*bitset.Set{bitset.New(0)}
 	}
-	g := p.Graph()
-	compSet := bitset.FromSlice(comp)
-	var list []*bitset.Set
-	repair.EnumerateComponent(g, comp, func(s *bitset.Set) bool { //nolint:errcheck // yield never stops
-		keep := true
-		switch f {
-		case Rep:
-		case Local:
-			keep = locallyOptimalCond(p, s)
-		case SemiGlobal:
-			keep = semiGloballyOptimalCond(p, s, compSet)
-		case Global:
-			keep = globallyOptimalComponentCond(p, s, comp)
-		}
-		if keep {
-			list = append(list, s.Clone())
-		}
-		return true
-	})
-	return list
+	return liftChoices(localChoices(f, p, comp), comp)
 }
 
 // Enumerate yields every preferred repair of the family. The yielded

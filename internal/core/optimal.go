@@ -8,9 +8,11 @@ import (
 
 // The exported checkers decide the repair-checking problem B_F^X of
 // §4.1 on whole repairs. The unexported *Cond functions evaluate the
-// bare optimality conditions and are shared with the per-component
-// enumerators: every condition only relates tuples to their conflict
-// neighborhoods, so it decomposes over connected components.
+// bare optimality conditions on global TupleIDs and are shared with
+// the whole-repair checkers; the per-component enumerators use the
+// component-local ports in local.go — every condition only relates
+// tuples to their conflict neighborhoods, so it decomposes over
+// connected components.
 
 // IsLocallyOptimal reports whether r' is a locally optimal repair:
 // no tuple x ∈ r' can be replaced with a tuple y ≻ x such that
@@ -22,15 +24,14 @@ func IsLocallyOptimal(p *priority.Priority, rp *bitset.Set) bool {
 func locallyOptimalCond(p *priority.Priority, rp *bitset.Set) bool {
 	optimal := true
 	rp.Range(func(x int) bool {
-		p.Dominators(x).Range(func(y int) bool {
+		for _, y := range p.Dominators(x) {
 			// (r'\{x}) ∪ {y} is consistent iff y's only neighbor
 			// inside r' is x. (y ≻ x implies y conflicts x, so y ∉ r'.)
-			if neighborsWithin(p, y, rp, x) {
+			if neighborsWithin(p, int(y), rp, x) {
 				optimal = false
 				return false
 			}
-			return true
-		})
+		}
 		return optimal
 	})
 	return optimal
@@ -38,15 +39,12 @@ func locallyOptimalCond(p *priority.Priority, rp *bitset.Set) bool {
 
 // neighborsWithin reports whether n(y) ∩ r' ⊆ {exclude}.
 func neighborsWithin(p *priority.Priority, y int, rp *bitset.Set, exclude int) bool {
-	ok := true
-	p.Graph().Neighbors(y).Range(func(z int) bool {
-		if z != exclude && rp.Has(z) {
-			ok = false
+	for _, z := range p.Graph().Neighbors(y) {
+		if int(z) != exclude && rp.Has(int(z)) {
 			return false
 		}
-		return true
-	})
-	return ok
+	}
+	return true
 }
 
 // IsSemiGloballyOptimal reports whether r' is a semi-globally optimal
@@ -75,17 +73,16 @@ func semiGloballyOptimalCond(p *priority.Priority, rp, universe *bitset.Set) boo
 		}
 		hasNeighbor := false
 		dominatesAll := true
-		g.Neighbors(y).Range(func(x int) bool {
-			if !rp.Has(x) {
-				return true
+		for _, x := range g.Neighbors(y) {
+			if !rp.Has(int(x)) {
+				continue
 			}
 			hasNeighbor = true
-			if !p.Dominates(y, x) {
+			if !p.Dominates(y, int(x)) {
 				dominatesAll = false
-				return false
+				break
 			}
-			return true
-		})
+		}
 		if hasNeighbor && dominatesAll {
 			optimal = false
 			return false
@@ -105,7 +102,14 @@ func PreferredOver(p *priority.Priority, r1, r2 *bitset.Set) bool {
 	diff2 := bitset.Difference(r2, r1)
 	ok := true
 	diff1.Range(func(x int) bool {
-		if !p.Dominators(x).Intersects(diff2) {
+		dominated := false
+		for _, y := range p.Dominators(x) {
+			if diff2.Has(int(y)) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
 			ok = false
 			return false
 		}
@@ -183,7 +187,9 @@ func commonCond(p *priority.Priority, rp, universe *bitset.Set) bool {
 		// All currently pickable r'-tuples commute; take them all.
 		w.Range(func(x int) bool {
 			rest.Remove(x)
-			rest.DifferenceWith(g.Neighbors(x))
+			for _, u := range g.Neighbors(x) {
+				rest.Remove(int(u))
+			}
 			return true
 		})
 	}

@@ -26,10 +26,17 @@ func (e *Engine) effectiveWorkers(items int) int {
 }
 
 // pendingChoices is the streaming hand-off between the component
-// workers and a consumer. lists[i] becomes valid once ready[i] is
-// closed; done receives each index exactly once, in completion order.
+// workers and a consumer. Workers produce choice sets in component-
+// local index space — local[i] becomes valid once ready[i] is closed;
+// done receives each index exactly once, in completion order. Lifting
+// to global TupleIDs happens lazily on the consumer side (wait):
+// counting consumers never pay for it, and enumerating consumers pay
+// once per component regardless of how often the cross-product walk
+// revisits it.
 type pendingChoices struct {
-	lists   [][]*bitset.Set
+	comps   [][]int
+	local   [][]*bitset.Set // worker-filled, component-local indices
+	lifted  [][]*bitset.Set // consumer-side cache of global liftings
 	ready   []chan struct{}
 	done    chan int
 	stopped atomic.Bool
@@ -43,9 +50,11 @@ type pendingChoices struct {
 func (e *Engine) startChoices(f Family, p *priority.Priority, comps [][]int) *pendingChoices {
 	n := len(comps)
 	pend := &pendingChoices{
-		lists: make([][]*bitset.Set, n),
-		ready: make([]chan struct{}, n),
-		done:  make(chan int, n),
+		comps:  comps,
+		local:  make([][]*bitset.Set, n),
+		lifted: make([][]*bitset.Set, n),
+		ready:  make([]chan struct{}, n),
+		done:   make(chan int, n),
 	}
 	for i := range pend.ready {
 		pend.ready[i] = make(chan struct{})
@@ -53,7 +62,7 @@ func (e *Engine) startChoices(f Family, p *priority.Priority, comps [][]int) *pe
 	workers := e.effectiveWorkers(n)
 	if workers <= 1 {
 		for i, comp := range comps {
-			pend.lists[i] = e.componentChoices(f, p, comp)
+			pend.local[i] = e.componentLocalChoices(f, p, comp)
 			close(pend.ready[i])
 			pend.done <- i
 		}
@@ -71,7 +80,7 @@ func (e *Engine) startChoices(f Family, p *priority.Priority, comps [][]int) *pe
 				if i >= n || pend.stopped.Load() {
 					return
 				}
-				pend.lists[i] = e.componentChoices(f, p, comps[i])
+				pend.local[i] = e.componentLocalChoices(f, p, comps[i])
 				close(pend.ready[i])
 				pend.done <- i
 			}
@@ -80,11 +89,26 @@ func (e *Engine) startChoices(f Family, p *priority.Priority, comps [][]int) *pe
 	return pend
 }
 
+// count blocks until component i's choices are available and returns
+// how many there are (no lifting).
+func (p *pendingChoices) count(i int) int {
+	<-p.ready[i]
+	return len(p.local[i])
+}
+
 // wait blocks until component i's choices are available and returns
-// them.
+// them lifted to global TupleIDs. Must be called from a single
+// consumer goroutine (the lifted cache is unsynchronized).
 func (p *pendingChoices) wait(i int) []*bitset.Set {
 	<-p.ready[i]
-	return p.lists[i]
+	if p.lifted[i] == nil {
+		if len(p.comps[i]) == 0 {
+			p.lifted[i] = p.local[i]
+		} else {
+			p.lifted[i] = liftChoices(p.local[i], p.comps[i])
+		}
+	}
+	return p.lifted[i]
 }
 
 // waitAll blocks until every component's choices are available.

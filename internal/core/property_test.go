@@ -174,7 +174,14 @@ func gloOptDirect(p *priority.Priority, rp *bitset.Set) bool {
 			// Every x ∈ X dominated by some y ∈ Y.
 			okDom := true
 			x.Range(func(xe int) bool {
-				if !p.Dominators(xe).Intersects(y) {
+				dominated := false
+				for _, ye := range p.Dominators(xe) {
+					if y.Has(int(ye)) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
 					okDom = false
 					return false
 				}

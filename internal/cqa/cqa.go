@@ -16,6 +16,7 @@ package cqa
 
 import (
 	"fmt"
+	"sort"
 
 	"prefcqa/internal/bitset"
 	"prefcqa/internal/conflict"
@@ -260,8 +261,10 @@ func verdict(seenTrue, seenFalse bool) (Answer, error) {
 // non-empty). The enumeration is then exponential only in the
 // touched components.
 func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error) {
-	// Identify the touched tuple IDs per relation.
-	touched := make(map[string]*bitset.Set)
+	// Identify the touched tuple IDs per relation. The query mentions
+	// O(|Q|) tuples, so the touched sets are small slices, not
+	// instance-sized bitsets.
+	touched := make(map[string][]relation.TupleID)
 	for _, a := range query.Atoms(q) {
 		tup := make(relation.Tuple, len(a.Args))
 		for i, t := range a.Args {
@@ -290,16 +293,14 @@ func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error)
 				continue // wrong kinds: tuple cannot exist
 			}
 			if id, found := r.Inst.Lookup(tup); found {
-				if touched[name] == nil {
-					touched[name] = bitset.New(r.Inst.Len())
-				}
-				touched[name].Add(id)
+				touched[name] = append(touched[name], id)
 			}
 		}
 	}
 	// Per relation, collect the choices of the touched components
-	// only. The engine shards the touched components across its
-	// workers and serves repeated structures from its cache.
+	// only — located directly via the graph's component index. The
+	// engine shards the touched components across its workers and
+	// serves repeated structures from its cache.
 	eng := in.engine()
 	type relChoices struct {
 		name    string
@@ -309,15 +310,21 @@ func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error)
 	for _, r := range in.Rels {
 		name := r.Inst.Schema().Name()
 		tch := touched[name]
-		if tch == nil || tch.Empty() {
+		if len(tch) == 0 {
 			continue
 		}
 		g := r.Pri.Graph()
+		compIDs := make([]int, 0, len(tch))
+		for _, id := range tch {
+			compIDs = append(compIDs, g.ComponentOf(id))
+		}
+		sort.Ints(compIDs)
 		var comps [][]int
-		for _, comp := range g.Components() {
-			if bitset.FromSlice(comp).Intersects(tch) {
-				comps = append(comps, comp)
+		for i, cid := range compIDs {
+			if i > 0 && cid == compIDs[i-1] {
+				continue
 			}
+			comps = append(comps, g.Components()[cid])
 		}
 		lists := eng.ChoicesFor(f, r.Pri, comps)
 		for _, cs := range lists {

@@ -3,7 +3,7 @@ package cqa
 import (
 	"fmt"
 
-	"prefcqa/internal/bitset"
+	"prefcqa/internal/conflict"
 	"prefcqa/internal/query"
 	"prefcqa/internal/relation"
 )
@@ -71,6 +71,33 @@ type fact struct {
 	id  relation.TupleID
 }
 
+// tupleSet is a tiny unsorted set of tuple IDs. The witness search
+// only ever holds O(|Q|) tuples per relation — the query's literals
+// plus one witness per negated fact — so linear membership beats any
+// instance-sized structure: these sets replace the bitsets that were
+// previously allocated at instance size per disjunct.
+type tupleSet []relation.TupleID
+
+func (s tupleSet) has(id relation.TupleID) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// conflictsAny reports whether tuple id conflicts (in graph g) with
+// any member of the set.
+func (s tupleSet) conflictsAny(g *conflict.Graph, id relation.TupleID) bool {
+	for _, x := range s {
+		if g.Adjacent(id, x) {
+			return true
+		}
+	}
+	return false
+}
+
 // disjunctSatisfiableInSomeRepair decides whether some repair
 // contains every positive fact of the disjunct and none of the
 // negated ones (and the ground comparisons hold).
@@ -107,24 +134,21 @@ func (in Input) disjunctSatisfiableInSomeRepair(disj []query.Literal) (bool, err
 		pos = append(pos, fact{rel: ri, id: id})
 	}
 	// Positive facts must be mutually consistent and disjoint from the
-	// negated ones.
-	chosen := make([]*bitset.Set, len(in.Rels))
-	negSet := make([]*bitset.Set, len(in.Rels))
-	for i, r := range in.Rels {
-		chosen[i] = bitset.New(r.Inst.Len())
-		negSet[i] = bitset.New(r.Inst.Len())
-	}
+	// negated ones. Both working sets are sized by the query's literal
+	// count, never the instance.
+	chosen := make([]tupleSet, len(in.Rels))
+	negSet := make([]tupleSet, len(in.Rels))
 	for _, f := range negPresent {
-		negSet[f.rel].Add(f.id)
+		negSet[f.rel] = append(negSet[f.rel], f.id)
 	}
 	for _, f := range pos {
-		if negSet[f.rel].Has(f.id) {
+		if negSet[f.rel].has(f.id) {
 			return false, nil // same fact both required and forbidden
 		}
-		if in.Rels[f.rel].Pri.Graph().Neighbors(f.id).Intersects(chosen[f.rel]) {
+		if chosen[f.rel].conflictsAny(in.Rels[f.rel].Pri.Graph(), f.id) {
 			return false, nil // positive facts conflict each other
 		}
-		chosen[f.rel].Add(f.id)
+		chosen[f.rel] = append(chosen[f.rel], f.id)
 	}
 	// Every present negated fact must conflict something chosen; the
 	// witness search branches over the |N| facts only.
@@ -135,32 +159,32 @@ func (in Input) disjunctSatisfiableInSomeRepair(disj []query.Literal) (bool, err
 // fact conflicts a chosen tuple, keeping the chosen sets independent
 // and disjoint from the negated facts. Any such family extends to a
 // repair avoiding all negated facts.
-func (in Input) coverNegated(negPresent []fact, chosen, negSet []*bitset.Set) bool {
+func (in Input) coverNegated(negPresent []fact, chosen, negSet []tupleSet) bool {
 	if len(negPresent) == 0 {
 		return true
 	}
 	f := negPresent[0]
 	g := in.Rels[f.rel].Pri.Graph()
-	if g.Neighbors(f.id).Intersects(chosen[f.rel]) {
+	if chosen[f.rel].conflictsAny(g, f.id) {
 		// Already excluded by a chosen tuple.
 		return in.coverNegated(negPresent[1:], chosen, negSet)
 	}
-	ok := false
-	g.Neighbors(f.id).Range(func(w int) bool {
-		if negSet[f.rel].Has(w) {
-			return true // witnesses must avoid the negated facts
+	for _, w32 := range g.Neighbors(f.id) {
+		w := relation.TupleID(w32)
+		if negSet[f.rel].has(w) {
+			continue // witnesses must avoid the negated facts
 		}
-		if g.Neighbors(w).Intersects(chosen[f.rel]) {
-			return true // witness must stay consistent with choices
+		if chosen[f.rel].conflictsAny(g, w) {
+			continue // witness must stay consistent with choices
 		}
-		chosen[f.rel].Add(w)
-		if in.coverNegated(negPresent[1:], chosen, negSet) {
-			ok = true
+		chosen[f.rel] = append(chosen[f.rel], w)
+		ok := in.coverNegated(negPresent[1:], chosen, negSet)
+		chosen[f.rel] = chosen[f.rel][:len(chosen[f.rel])-1]
+		if ok {
+			return true
 		}
-		chosen[f.rel].Remove(w)
-		return !ok
-	})
-	return ok
+	}
+	return false
 }
 
 // lookupAtom resolves a ground atom to (relation index, tuple ID,

@@ -21,13 +21,9 @@ func FromRanks(g *conflict.Graph, rank func(relation.TupleID) int) *Priority {
 		ra, rb := rank(e.A), rank(e.B)
 		switch {
 		case ra < rb:
-			p.succ[e.A].Add(e.B)
-			p.pred[e.B].Add(e.A)
-			p.n++
+			p.addEdge(e.A, e.B)
 		case rb < ra:
-			p.succ[e.B].Add(e.A)
-			p.pred[e.A].Add(e.B)
-			p.n++
+			p.addEdge(e.B, e.A)
 		}
 	}
 	return p
@@ -41,13 +37,9 @@ func FromScores(g *conflict.Graph, score func(relation.TupleID) float64) *Priori
 		sa, sb := score(e.A), score(e.B)
 		switch {
 		case sa > sb:
-			p.succ[e.A].Add(e.B)
-			p.pred[e.B].Add(e.A)
-			p.n++
+			p.addEdge(e.A, e.B)
 		case sb > sa:
-			p.succ[e.B].Add(e.A)
-			p.pred[e.A].Add(e.B)
-			p.n++
+			p.addEdge(e.B, e.A)
 		}
 	}
 	return p
@@ -72,9 +64,7 @@ func Random(g *conflict.Graph, density float64, rng *rand.Rand) *Priority {
 		if rank[x] > rank[y] {
 			x, y = y, x
 		}
-		p.succ[x].Add(y)
-		p.pred[y].Add(x)
-		p.n++
+		p.addEdge(x, y)
 	}
 	return p
 }
@@ -107,9 +97,7 @@ func AllTotalExtensions(p *Priority, maxEdges int) ([]*Priority, error) {
 				continue // would create a cycle
 			}
 			rec(q, i+1)
-			q.succ[dir[0]].Remove(dir[1])
-			q.pred[dir[1]].Remove(dir[0])
-			q.n--
+			q.removeEdge(dir[0], dir[1])
 		}
 	}
 	rec(p.Clone(), 0)
@@ -148,22 +136,25 @@ func ExtendableToCyclic(p *Priority) bool {
 			return false
 		}
 		found := false
-		g.Neighbors(v).Range(func(w int) bool {
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
 			// Can we traverse v -> w?
 			if p.Dominates(w, v) {
-				return true // oriented against us
+				continue // oriented against us
 			}
 			id := edgeID[[2]int{v, w}]
 			if usedEdge[id] {
-				return true
+				continue
 			}
 			usedEdge[id] = true
 			if dfs(start, w, depth+1) {
 				found = true
 			}
 			usedEdge[id] = false
-			return !found
-		})
+			if found {
+				break
+			}
+		}
 		return found
 	}
 	for v := 0; v < n; v++ {

@@ -5,6 +5,11 @@
 // checking, the extension order on priorities, total extensions, the
 // winnow operator ω≻ used by Algorithm 1, and priority generators for
 // the motivating scenarios (source reliability, timestamps, ranking).
+//
+// Because ≻ only orients conflict edges, each tuple's successor and
+// predecessor lists are bounded by its conflict degree: the relation
+// is stored as per-vertex sorted slices, O(n + m) memory in total,
+// mirroring the conflict graph's CSR representation.
 package priority
 
 import (
@@ -22,20 +27,15 @@ import (
 // the conflict {x, y} by keeping x.
 type Priority struct {
 	g    *conflict.Graph
-	succ []*bitset.Set // succ[x] = {y : x ≻ y}
-	pred []*bitset.Set // pred[y] = {x : x ≻ y}
-	n    int           // number of oriented edges
+	succ [][]int32 // succ[x] = {y : x ≻ y}, sorted ascending
+	pred [][]int32 // pred[y] = {x : x ≻ y}, sorted ascending
+	n    int       // number of oriented edges
 }
 
 // New returns the empty priority over the graph (no edge oriented).
 func New(g *conflict.Graph) *Priority {
 	n := g.Len()
-	p := &Priority{g: g, succ: make([]*bitset.Set, n), pred: make([]*bitset.Set, n)}
-	for i := 0; i < n; i++ {
-		p.succ[i] = bitset.New(n)
-		p.pred[i] = bitset.New(n)
-	}
-	return p
+	return &Priority{g: g, succ: make([][]int32, n), pred: make([][]int32, n)}
 }
 
 // Graph returns the conflict graph the priority orients.
@@ -44,9 +44,47 @@ func (p *Priority) Graph() *conflict.Graph { return p.g }
 // Len returns the number of oriented conflict edges.
 func (p *Priority) Len() int { return p.n }
 
+// contains reports membership of v in the sorted slice s.
+func contains(s []int32, v int32) bool {
+	i := sort.Search(len(s), func(k int) bool { return s[k] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// insert adds v to the sorted slice s, keeping order.
+func insert(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// remove deletes v from the sorted slice s.
+func remove(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// addEdge records x ≻ y without any validity checking.
+func (p *Priority) addEdge(x, y relation.TupleID) {
+	p.succ[x] = insert(p.succ[x], int32(y))
+	p.pred[y] = insert(p.pred[y], int32(x))
+	p.n++
+}
+
+// removeEdge erases x ≻ y (which must be present).
+func (p *Priority) removeEdge(x, y relation.TupleID) {
+	p.succ[x] = remove(p.succ[x], int32(y))
+	p.pred[y] = remove(p.pred[y], int32(x))
+	p.n--
+}
+
 // Dominates reports whether x ≻ y.
 func (p *Priority) Dominates(x, y relation.TupleID) bool {
-	return x >= 0 && x < len(p.succ) && p.succ[x].Has(y)
+	return x >= 0 && x < len(p.succ) && contains(p.succ[x], int32(y))
 }
 
 // Oriented reports whether the conflict {x, y} is oriented either way.
@@ -66,18 +104,16 @@ func (p *Priority) Add(x, y relation.TupleID) error {
 	if !p.g.Adjacent(x, y) {
 		return fmt.Errorf("priority: tuples %d and %d do not conflict", x, y)
 	}
-	if p.succ[x].Has(y) {
+	if p.Dominates(x, y) {
 		return nil
 	}
-	if p.succ[y].Has(x) {
+	if p.Dominates(y, x) {
 		return fmt.Errorf("priority: conflict {%d,%d} already oriented %d ≻ %d", x, y, y, x)
 	}
 	if p.reaches(y, x) {
 		return fmt.Errorf("priority: orienting %d ≻ %d would create a cycle", x, y)
 	}
-	p.succ[x].Add(y)
-	p.pred[y].Add(x)
-	p.n++
+	p.addEdge(x, y)
 	return nil
 }
 
@@ -88,31 +124,33 @@ func (p *Priority) MustAdd(x, y relation.TupleID) {
 	}
 }
 
-// reaches reports whether there is a ≻-path from x to y.
+// reaches reports whether there is a ≻-path from x to y. Since ≻
+// only orients conflict edges, any such path stays inside x's
+// connected component: the search is bounded by the component size,
+// with a component-local visited set, so bulk priority construction
+// over a large instance costs near-linear total work instead of an
+// O(n)-sized scan per inserted edge.
 func (p *Priority) reaches(x, y relation.TupleID) bool {
 	if x == y {
 		return true
 	}
-	seen := bitset.New(len(p.succ))
-	stack := []int{x}
-	seen.Add(x)
+	g := p.g
+	comp := g.Components()[g.ComponentOf(x)]
+	seen := make(bitset.Words, bitset.WordsLen(len(comp)))
+	stack := []int32{int32(x)}
+	seen.Add(g.LocalIndexOf(x))
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		found := false
-		p.succ[v].Range(func(w int) bool {
-			if w == y {
-				found = true
-				return false
+		for _, w := range p.succ[v] {
+			if int(w) == y {
+				return true
 			}
-			if !seen.Has(w) {
-				seen.Add(w)
+			li := g.LocalIndexOf(int(w))
+			if !seen.Has(li) {
+				seen.Add(li)
 				stack = append(stack, w)
 			}
-			return true
-		})
-		if found {
-			return true
 		}
 	}
 	return false
@@ -138,10 +176,14 @@ func FromRelation(g *conflict.Graph, pairs [][2]relation.TupleID) (*Priority, er
 
 // Clone returns an independent copy.
 func (p *Priority) Clone() *Priority {
-	q := &Priority{g: p.g, succ: make([]*bitset.Set, len(p.succ)), pred: make([]*bitset.Set, len(p.pred)), n: p.n}
+	q := &Priority{g: p.g, succ: make([][]int32, len(p.succ)), pred: make([][]int32, len(p.pred)), n: p.n}
 	for i := range p.succ {
-		q.succ[i] = p.succ[i].Clone()
-		q.pred[i] = p.pred[i].Clone()
+		if len(p.succ[i]) > 0 {
+			q.succ[i] = append([]int32(nil), p.succ[i]...)
+		}
+		if len(p.pred[i]) > 0 {
+			q.pred[i] = append([]int32(nil), p.pred[i]...)
+		}
 	}
 	return q
 }
@@ -153,8 +195,10 @@ func (p *Priority) Extends(q *Priority) bool {
 		return false
 	}
 	for x := range q.succ {
-		if !q.succ[x].SubsetOf(p.succ[x]) {
-			return false
+		for _, y := range q.succ[x] {
+			if !contains(p.succ[x], y) {
+				return false
+			}
 		}
 	}
 	return true
@@ -166,20 +210,20 @@ func (p *Priority) IsTotal() bool {
 	return p.n == p.g.NumEdges()
 }
 
-// Dominators returns {x : x ≻ t}. The caller must not mutate the
-// result.
-func (p *Priority) Dominators(t relation.TupleID) *bitset.Set { return p.pred[t] }
+// Dominators returns {x : x ≻ t} as a sorted slice view. The caller
+// must not mutate the result.
+func (p *Priority) Dominators(t relation.TupleID) []int32 { return p.pred[t] }
 
-// Dominated returns {y : t ≻ y}. The caller must not mutate the
-// result.
-func (p *Priority) Dominated(t relation.TupleID) *bitset.Set { return p.succ[t] }
+// Dominated returns {y : t ≻ y} as a sorted slice view. The caller
+// must not mutate the result.
+func (p *Priority) Dominated(t relation.TupleID) []int32 { return p.succ[t] }
 
 // Winnow computes ω≻ restricted to the sub-instance rest: the tuples
 // of rest not dominated by any other tuple of rest [5].
 func (p *Priority) Winnow(rest *bitset.Set) *bitset.Set {
 	out := bitset.New(len(p.succ))
 	rest.Range(func(t int) bool {
-		if t < len(p.pred) && !p.pred[t].Intersects(rest) {
+		if t < len(p.pred) && p.UndominatedIn(t, rest) {
 			out.Add(t)
 		}
 		return true
@@ -189,7 +233,12 @@ func (p *Priority) Winnow(rest *bitset.Set) *bitset.Set {
 
 // UndominatedIn reports whether tuple t has no dominator inside rest.
 func (p *Priority) UndominatedIn(t relation.TupleID, rest *bitset.Set) bool {
-	return !p.pred[t].Intersects(rest)
+	for _, x := range p.pred[t] {
+		if rest.Has(int(x)) {
+			return false
+		}
+	}
+	return true
 }
 
 // TotalExtension returns a total priority extending p. The remaining
@@ -213,9 +262,7 @@ func (p *Priority) TotalExtension(rng *rand.Rand) *Priority {
 		}
 		// rank[x] < rank[y]: orienting x ≻ y follows the linear order,
 		// so no cycle can arise.
-		q.succ[x].Add(y)
-		q.pred[y].Add(x)
-		q.n++
+		q.addEdge(x, y)
 	}
 	return q
 }
@@ -227,7 +274,7 @@ func (p *Priority) topoOrder(rng *rand.Rand) []int {
 	n := len(p.succ)
 	indeg := make([]int, n)
 	for v := 0; v < n; v++ {
-		indeg[v] = p.pred[v].Len()
+		indeg[v] = len(p.pred[v])
 	}
 	ready := make([]int, 0, n)
 	for v := 0; v < n; v++ {
@@ -244,32 +291,25 @@ func (p *Priority) topoOrder(rng *rand.Rand) []int {
 		v := ready[i]
 		ready = append(ready[:i], ready[i+1:]...)
 		order = append(order, v)
-		p.succ[v].Range(func(w int) bool {
+		for _, w := range p.succ[v] {
 			indeg[w]--
 			if indeg[w] == 0 {
-				ready = append(ready, w)
+				ready = append(ready, int(w))
 			}
-			return true
-		})
+		}
 	}
 	return order
 }
 
-// Edges returns the oriented pairs (x ≻ y) in deterministic order.
+// Edges returns the oriented pairs (x ≻ y) in deterministic
+// (lexicographic) order.
 func (p *Priority) Edges() [][2]relation.TupleID {
-	var out [][2]relation.TupleID
+	out := make([][2]relation.TupleID, 0, p.n)
 	for x := range p.succ {
-		p.succ[x].Range(func(y int) bool {
-			out = append(out, [2]relation.TupleID{x, y})
-			return true
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+		for _, y := range p.succ[x] {
+			out = append(out, [2]relation.TupleID{x, int(y)})
 		}
-		return out[i][1] < out[j][1]
-	})
+	}
 	return out
 }
 

@@ -170,7 +170,7 @@ func TestIsTotalAndTotalExtension(t *testing.T) {
 	}
 	// Must stay acyclic: verify no vertex reaches itself.
 	for v := 0; v < g.Len(); v++ {
-		if q.reaches(v, v) && q.Dominated(v).Has(v) {
+		if q.reaches(v, v) && q.Dominates(v, v) {
 			t.Fatal("total extension has a self-loop")
 		}
 	}
@@ -192,13 +192,12 @@ func assertAcyclic(t *testing.T, p *Priority) {
 	g := p.Graph()
 	for v := 0; v < g.Len(); v++ {
 		ok := true
-		p.Dominated(v).Range(func(w int) bool {
-			if p.reaches(w, v) {
+		for _, w := range p.Dominated(v) {
+			if p.reaches(int(w), v) {
 				ok = false
-				return false
+				break
 			}
-			return true
-		})
+		}
 		if !ok {
 			t.Fatalf("priority %v has a cycle through %d", p, v)
 		}
@@ -395,10 +394,9 @@ func bruteForceCyclicExtendable(p *Priority) bool {
 	for mask := 0; mask < 1<<uint(len(free)); mask++ {
 		succ := make([][]int, n)
 		for x := 0; x < n; x++ {
-			p.Dominated(x).Range(func(y int) bool {
-				succ[x] = append(succ[x], y)
-				return true
-			})
+			for _, y := range p.Dominated(x) {
+				succ[x] = append(succ[x], int(y))
+			}
 		}
 		for i, e := range free {
 			if mask&(1<<uint(i)) != 0 {

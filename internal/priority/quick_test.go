@@ -91,9 +91,11 @@ func TestQuickWinnowProperties(t *testing.T) {
 		// Every member of w is undominated within rest.
 		ok := true
 		w.Range(func(x int) bool {
-			if p.Dominators(x).Intersects(rest) {
-				ok = false
-				return false
+			for _, d := range p.Dominators(x) {
+				if rest.Has(int(d)) {
+					ok = false
+					return false
+				}
 			}
 			return true
 		})
@@ -124,13 +126,12 @@ func TestQuickTotalExtension(t *testing.T) {
 		// Acyclic: no vertex reaches itself via a successor.
 		for v := 0; v < g.Len(); v++ {
 			cyclic := false
-			q.Dominated(v).Range(func(w int) bool {
-				if q.reaches(w, v) {
+			for _, w := range q.Dominated(v) {
+				if q.reaches(int(w), v) {
 					cyclic = true
-					return false
+					break
 				}
-				return true
-			})
+			}
 			if cyclic {
 				return false
 			}

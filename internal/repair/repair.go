@@ -2,9 +2,12 @@
 // maximal subset of r consistent with F — equivalently, a maximal
 // independent set of the conflict graph. The package enumerates,
 // counts, samples, and checks repairs. Enumeration runs per connected
-// component (Bron–Kerbosch with pivoting on the complement graph) and
-// composes componentwise, so instances like Example 4's r_n with 2^n
-// repairs can be counted without enumeration.
+// component (Bron–Kerbosch with pivoting on the complement graph) in
+// component-local index space — scratch sets are k-bit for a
+// k-vertex component and live in one preallocated arena, so the
+// recursion allocates nothing per node — and composes componentwise,
+// so instances like Example 4's r_n with 2^n repairs can be counted
+// without enumeration.
 package repair
 
 import (
@@ -31,63 +34,108 @@ func IsRepair(g *conflict.Graph, s *bitset.Set) bool {
 	return g.IsMaximalIndependent(s)
 }
 
-// EnumerateComponent yields every maximal independent set of the
-// subgraph induced by the vertices in comp. The yielded set is reused
-// between calls; clone it to retain. Returns ErrStopped if the yield
-// callback returned false.
-func EnumerateComponent(g *conflict.Graph, comp []int, yield func(*bitset.Set) bool) error {
-	compSet := bitset.FromSlice(comp)
-	r := bitset.New(g.Len())
-	p := compSet.Clone()
-	x := bitset.New(g.Len())
-	return bronKerbosch(g, r, p, x, yield)
-}
-
-// bronKerbosch enumerates maximal independent sets: maximal cliques of
-// the complement graph. P and X hold candidate/excluded vertices;
-// "neighbors in the complement" of v are the non-neighbors of v in g.
-// Pivoting picks u ∈ P ∪ X minimizing the branching set P \ N̄(u) =
-// P ∩ (n(u) ∪ {u}).
-func bronKerbosch(g *conflict.Graph, r, p, x *bitset.Set, yield func(*bitset.Set) bool) error {
-	if p.Empty() && x.Empty() {
-		if !yield(r) {
+// EnumerateLocal yields every maximal independent set of the local
+// view, as a bitset.Words over local indices [0, k). The yielded set
+// is reused between calls; copy it to retain. Returns ErrStopped if
+// the yield callback returned false.
+//
+// The enumeration is Bron–Kerbosch with pivoting on the complement
+// graph. All scratch state — the per-depth candidate/excluded/branch
+// sets and the per-vertex vicinity masks — is carved out of a single
+// arena allocated up front, so the recursion itself is allocation-free.
+func EnumerateLocal(l *conflict.Local, yield func(bitset.Words) bool) error {
+	k := l.Len()
+	w := bitset.WordsLen(k)
+	if k == 0 {
+		if !yield(nil) {
 			return ErrStopped
 		}
 		return nil
 	}
-	// Choose pivot u from P ∪ X with the smallest branch set
-	// P ∩ v(u); branch on exactly those vertices.
-	var branch *bitset.Set
-	best := -1
-	pick := func(u int) bool {
-		b := bitset.Intersect(p, g.Vicinity(u))
-		if best < 0 || b.Len() < best {
-			best = b.Len()
-			branch = b
+	// Vicinity masks v(i) = {i} ∪ n(i), one k-bit row per vertex.
+	vic := make([]uint64, k*w)
+	vicOf := func(i int) bitset.Words { return bitset.Words(vic[i*w : (i+1)*w]) }
+	for i := 0; i < k; i++ {
+		m := vicOf(i)
+		m.Add(i)
+		for _, j := range l.Neighbors(i) {
+			m.Add(int(j))
 		}
-		return best > 0 // can't do better than 0
 	}
-	p.Range(pick)
-	if best != 0 {
-		x.Range(pick)
+	// Arena: per depth (≤ k+1) a candidate set P, an excluded set X and
+	// a branch set; plus the growing result R and one shared temp.
+	slab := make([]uint64, (3*(k+2)+2)*w)
+	frame := func(d, which int) bitset.Words {
+		base := (3*d + which) * w
+		return bitset.Words(slab[base : base+w])
 	}
-	var err error
-	branch.Range(func(v int) bool {
-		// R ∪ {v}; new P and X lose v's vicinity (complement
-		// neighborhood restriction).
-		r.Add(v)
-		np := bitset.Difference(p, g.Vicinity(v))
-		nx := bitset.Difference(x, g.Vicinity(v))
-		err = bronKerbosch(g, r, np, nx, yield)
-		r.Remove(v)
-		if err != nil {
-			return false
+	r := bitset.Words(slab[3*(k+2)*w : (3*(k+2)+1)*w])
+	tmp := bitset.Words(slab[(3*(k+2)+1)*w:])
+
+	var rec func(d int, p, x bitset.Words) error
+	rec = func(d int, p, x bitset.Words) error {
+		if p.Empty() && x.Empty() {
+			if !yield(r) {
+				return ErrStopped
+			}
+			return nil
 		}
-		p.Remove(v)
-		x.Add(v)
-		return true
+		// Choose pivot u from P ∪ X with the smallest branch set
+		// P ∩ v(u); branch on exactly those vertices.
+		branch := frame(d, 2)
+		best := -1
+		pick := func(u int) bool {
+			n := bitset.IntersectInto(tmp, p, vicOf(u))
+			if best < 0 || n < best {
+				best = n
+				branch.Copy(tmp)
+			}
+			return best > 0 // can't do better than 0
+		}
+		p.Range(pick)
+		if best != 0 {
+			x.Range(pick)
+		}
+		np, nx := frame(d+1, 0), frame(d+1, 1)
+		var err error
+		branch.Range(func(v int) bool {
+			// R ∪ {v}; new P and X lose v's vicinity (complement
+			// neighborhood restriction).
+			r.Add(v)
+			bitset.AndNotInto(np, p, vicOf(v))
+			bitset.AndNotInto(nx, x, vicOf(v))
+			err = rec(d+1, np, nx)
+			r.Remove(v)
+			if err != nil {
+				return false
+			}
+			p.Remove(v)
+			x.Add(v)
+			return true
+		})
+		return err
+	}
+	p0, x0 := frame(0, 0), frame(0, 1)
+	p0.Fill(k)
+	return rec(0, p0, x0)
+}
+
+// EnumerateComponent yields every maximal independent set of the
+// subgraph induced by the vertices in comp (a sorted vertex list),
+// as a set of global TupleIDs. The yielded set is reused between
+// calls; clone it to retain. Returns ErrStopped if the yield callback
+// returned false.
+func EnumerateComponent(g *conflict.Graph, comp []int, yield func(*bitset.Set) bool) error {
+	l := g.Project(comp)
+	out := bitset.New(g.Len())
+	return EnumerateLocal(l, func(r bitset.Words) bool {
+		out.Clear()
+		r.Range(func(i int) bool {
+			out.Add(l.Global(i))
+			return true
+		})
+		return yield(out)
 	})
-	return err
 }
 
 // Enumerate yields every repair of the instance underlying g. Repairs
@@ -156,10 +204,11 @@ func All(g *conflict.Graph) []*bitset.Set {
 }
 
 // CountComponent returns the number of maximal independent sets of the
-// component.
+// component. The count runs entirely in local index space — no global
+// sets are materialized.
 func CountComponent(g *conflict.Graph, comp []int) int64 {
 	var n int64
-	EnumerateComponent(g, comp, func(*bitset.Set) bool { //nolint:errcheck // never stops
+	EnumerateLocal(g.Project(comp), func(bitset.Words) bool { //nolint:errcheck // never stops
 		n++
 		return true
 	})
@@ -190,7 +239,14 @@ func Count(g *conflict.Graph) (int64, error) {
 func Sample(g *conflict.Graph, rng *rand.Rand) *bitset.Set {
 	s := bitset.New(g.Len())
 	for _, v := range rng.Perm(g.Len()) {
-		if !g.Neighbors(v).Intersects(s) {
+		free := true
+		for _, u := range g.Neighbors(v) {
+			if s.Has(int(u)) {
+				free = false
+				break
+			}
+		}
+		if free {
 			s.Add(v)
 		}
 	}
@@ -200,5 +256,11 @@ func Sample(g *conflict.Graph, rng *rand.Rand) *bitset.Set {
 // Restrict returns the intersection of a repair with a component's
 // vertex set.
 func Restrict(s *bitset.Set, comp []int) *bitset.Set {
-	return bitset.Intersect(s, bitset.FromSlice(comp))
+	out := bitset.New(0)
+	for _, v := range comp {
+		if s.Has(v) {
+			out.Add(v)
+		}
+	}
+	return out
 }
