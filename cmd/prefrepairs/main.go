@@ -84,7 +84,10 @@ func run() error {
 		fmt.Printf("axioms for %v: P1=%s P2=%s P3=%s P4=%s\n", fam, rep.P1, rep.P2, rep.P3, rep.P4)
 	}
 	if *explain {
-		for id := 0; id < r.Instance().Len(); id++ {
+		for id := 0; id < r.Instance().NumIDs(); id++ {
+			if !r.Instance().Live(id) {
+				continue
+			}
 			rep, err := db.ExplainTuple(fam, *rel, prefcqa.TupleID(id))
 			if err != nil {
 				return err

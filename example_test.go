@@ -109,3 +109,29 @@ func ExampleDB_Possible() {
 	fmt.Println(certain, possible)
 	// Output: false true
 }
+
+// ExampleDB_Snapshot shows the mutable-workload model: point
+// mutations are folded into the built state incrementally (cost
+// proportional to the touched conflict component), while a snapshot
+// keeps answering from its pinned version.
+func ExampleDB_Snapshot() {
+	db := prefcqa.New()
+	inv, _ := db.CreateRelation("Inv", prefcqa.IntAttr("SKU"), prefcqa.IntAttr("Qty"))
+	_ = inv.AddFD("SKU -> Qty")
+
+	a := inv.MustInsert(1, 10) // two feeds disagree on SKU 1
+	b := inv.MustInsert(1, 12)
+	_ = inv.Prefer(a, b) // trust the first feed
+
+	snap, _ := db.Snapshot() // pin this version
+
+	inv.Delete(a) // a correction arrives: replace the trusted tuple
+	c := inv.MustInsert(1, 17)
+	_ = inv.Prefer(c, b)
+
+	now, _ := db.Query(prefcqa.Global, "Inv(1, 17)")
+	then, _ := snap.Query(prefcqa.Global, "Inv(1, 17)")
+	pinned, _ := snap.Query(prefcqa.Global, "Inv(1, 10)")
+	fmt.Println(now, then, pinned)
+	// Output: true false true
+}

@@ -58,15 +58,15 @@ func (db *DB) ExplainTuple(f Family, rel string, id TupleID) (TupleReport, error
 	if !ok {
 		return TupleReport{}, fmt.Errorf("prefcqa: unknown relation %q", rel)
 	}
-	if id < 0 || id >= r.inst.Len() {
-		return TupleReport{}, fmt.Errorf("prefcqa: relation %s has no tuple %d", rel, id)
-	}
 	built, err := r.build()
 	if err != nil {
 		return TupleReport{}, err
 	}
+	if !built.Inst.Live(id) {
+		return TupleReport{}, fmt.Errorf("prefcqa: relation %s has no tuple %d", rel, id)
+	}
 	g := built.Pri.Graph()
-	rep := TupleReport{ID: id, Tuple: r.inst.Tuple(id)}
+	rep := TupleReport{ID: id, Tuple: built.Inst.Tuple(id)}
 	for _, e := range g.Edges() {
 		var other TupleID
 		switch id {
@@ -77,7 +77,7 @@ func (db *DB) ExplainTuple(f Family, rel string, id TupleID) (TupleReport, error
 		default:
 			continue
 		}
-		rep.Conflicts = append(rep.Conflicts, ConflictInfo{With: other, FD: r.fds.FD(e.FD).String()})
+		rep.Conflicts = append(rep.Conflicts, ConflictInfo{With: other, FD: built.FDs.FD(e.FD).String()})
 	}
 	for _, d := range built.Pri.Dominators(id) {
 		rep.DominatedBy = append(rep.DominatedBy, TupleID(d))

@@ -2,11 +2,13 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 	"testing"
 	"time"
 
+	"prefcqa"
 	"prefcqa/internal/bitset"
 	"prefcqa/internal/clean"
 	"prefcqa/internal/conflict"
@@ -170,7 +172,95 @@ func JSON(o Options) Report {
 			}
 		}))
 	}
+
+	// Mutation workload: a hot serving scenario over a large instance —
+	// single-tuple updates (delete + insert + re-orient) each followed
+	// by a ground query (or a repair count), on incremental delta
+	// maintenance vs the full-rebuild baseline (WithIncremental(false)).
+	// The tuple count matches the conflict_build/clusters instance:
+	// 2 * clustersM tuples.
+	mutM := pick(10_000, 50_000)
+	for _, kind := range []string{"query", "count"} {
+		kind := kind
+		incMetric := measure("mutation_update_"+kind+"/incremental", nil, MutationWorkload(mutM, true, kind))
+		rebMetric := measure("mutation_update_"+kind+"/rebuild", nil, MutationWorkload(mutM, false, kind))
+		rep.add(incMetric)
+		rep.add(rebMetric)
+		if incMetric.NsPerOp > 0 {
+			rep.add(Metric{
+				Name:       "mutation_update_" + kind + "/speedup",
+				Iterations: 1,
+				Extra:      map[string]float64{"x": rebMetric.NsPerOp / incMetric.NsPerOp},
+			})
+		}
+	}
 	return rep
+}
+
+// MutationWorkload builds a 2m-tuple instance (m conflict pairs, each
+// resolved by a preference) and returns a benchmark whose op is one
+// single-tuple update — delete one side of a rotating conflict pair,
+// insert a replacement, orient the fresh conflict — plus one read:
+// a ground query under G-Rep (kind "query") or a full repair count
+// (kind "count"). With incremental maintenance the update touches one
+// component (the query then reads it; the count multiplies cached
+// per-component counts); with it disabled every op rebuilds graph,
+// priority and component index from scratch.
+// It is exported so the top-level go-bench suite measures exactly the
+// workload the prefbench JSON snapshots (BENCH_*.json) are based on.
+func MutationWorkload(m int, incremental bool, kind string) func(b *testing.B) {
+	return func(b *testing.B) {
+		db := prefcqa.New(prefcqa.WithIncremental(incremental))
+		r, err := db.CreateRelation("R", prefcqa.IntAttr("K"), prefcqa.IntAttr("V"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.AddFD("K -> V"); err != nil {
+			b.Fatal(err)
+		}
+		anchor := make([]prefcqa.TupleID, m) // the (key, 0) tuple of each cluster
+		for i := 0; i < m; i++ {
+			anchor[i] = r.MustInsert(i, 0)
+			loser := r.MustInsert(i, 1)
+			if err := r.Prefer(anchor[i], loser); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if c, err := db.CountRepairs(prefcqa.Global, "R"); err != nil || c != 1 {
+			b.Fatalf("initial G-Rep count = %d, %v; want 1", c, err) // build and publish
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key, gen := i%m, i/m
+			// Update: replace the cluster's (key, 1+gen) tuple with the
+			// next value, keeping every cluster at two live tuples with
+			// the conflict resolved toward the anchor.
+			old, ok := r.Instance().Lookup(prefcqa.Tuple{prefcqa.Int(int64(key)), prefcqa.Int(int64(1 + gen))})
+			if ok {
+				r.Delete(old)
+			}
+			id, err := r.Insert(key, 2+gen)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Prefer(anchor[key], id); err != nil {
+				b.Fatal(err)
+			}
+			if kind == "count" {
+				if c, err := db.CountRepairs(prefcqa.Global, "R"); err != nil || c != 1 {
+					b.Fatalf("G-Rep count = %d, %v", c, err)
+				}
+				continue
+			}
+			a, err := db.Query(prefcqa.Global, fmt.Sprintf("R(%d, 0)", key))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a != prefcqa.True {
+				b.Fatalf("anchor (%d, 0) not certain: %v", key, a)
+			}
+		}
+	}
 }
 
 func (r *Report) add(m Metric) { r.Results = append(r.Results, m) }

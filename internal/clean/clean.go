@@ -38,7 +38,7 @@ var ErrBadChoice = errors.New("clean: choice outside the winnow set")
 // the choices (Proposition 1).
 func Clean(p *priority.Priority, choose Choice) (*bitset.Set, error) {
 	g := p.Graph()
-	rest := bitset.Full(g.Len())
+	rest := g.LiveSet()
 	out := bitset.New(g.Len())
 	for !rest.Empty() {
 		w := p.Winnow(rest)
@@ -222,6 +222,9 @@ func Naive(p *priority.Priority) *bitset.Set {
 	g := p.Graph()
 	out := bitset.New(g.Len())
 	for t := 0; t < g.Len(); t++ {
+		if !g.Live(t) {
+			continue
+		}
 		keep := true
 		for _, u := range g.Neighbors(t) {
 			if !p.Dominates(t, int(u)) {

@@ -9,6 +9,15 @@
 // O(n + m) — n tuples, m conflicts — rather than the O(n²) of a dense
 // per-vertex bit matrix, which is what the paper's tractability story
 // (sparse conflicts, small components) demands at scale.
+//
+// Graphs support delta maintenance (ApplyDelta, delta.go): a mutation
+// produces a new Graph version that shares the immutable CSR base
+// arrays with its parent and carries the differences in small overlay
+// maps, compacted back into a fresh base once they grow. Connected
+// components are maintained incrementally and identified by IDs that
+// are immutable value identities: any change to a component retires
+// its ID and assigns fresh IDs to the results, so caches keyed by
+// (era, component ID) never need explicit invalidation.
 package conflict
 
 import (
@@ -17,31 +26,77 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"prefcqa/internal/bitset"
 	"prefcqa/internal/fd"
 	"prefcqa/internal/relation"
 )
 
+// eraCounter issues globally unique base-generation numbers: every
+// Build and every compaction gets a fresh era, so (era, component ID)
+// pairs never collide across graphs or across compactions.
+var eraCounter atomic.Uint64
+
 // Graph is the conflict graph of an instance with respect to a set of
 // functional dependencies. The vertex set is the dense TupleID range
-// [0, N). Edges are labelled with the (first) dependency that creates
-// the conflict, for explanation output.
+// [0, Len()); tombstoned tuples are isolated, component-less vertices.
+// Edges are labelled with the (first) dependency that creates the
+// conflict, for explanation output.
+//
+// A Graph value is immutable once published: ApplyDelta returns a new
+// version instead of mutating the receiver, and all versions share
+// the immutable base arrays. Reads are safe for concurrent use.
 type Graph struct {
 	inst *relation.Instance
 	fds  *fd.Set
 
-	// CSR adjacency: the neighbors of vertex v are
-	// nbrs[off[v]:off[v+1]], sorted ascending.
+	// Immutable base CSR: the neighbors of vertex v are
+	// nbrs[off[v]:off[v+1]], sorted ascending. Rebuilt on compaction.
 	off  []int32
 	nbrs []int32
 
+	// Immutable base edge list, sorted by (A, B) with A < B. Entries
+	// whose endpoint has been deleted since the base was built are
+	// filtered on read.
 	edges []Edge
 
-	compsOnce sync.Once
-	comps     [][]int // connected components, computed lazily
-	compID    []int32 // vertex -> component index
-	localIdx  []int32 // vertex -> position in its (sorted) component
+	numVerts int    // vertex universe size (live + dead + post-base inserts)
+	m        int    // live conflict count
+	era      uint64 // base generation; fresh after Build and after compaction
+
+	// deadBase are the vertices that were already tombstoned when the
+	// base was built (nil when none); vertices deleted since then are
+	// recorded in vertComp as -1.
+	deadBase *bitset.Set
+
+	// Delta overlay (nil maps on a statically built graph). rows holds
+	// full replacement adjacency rows for vertices whose neighborhood
+	// changed since the base; extraEdges lists edges absent from the
+	// base, sorted by (A, B).
+	rows       map[int32][]int32
+	extraEdges []Edge
+
+	// Component bookkeeping. The base arrays are computed lazily once
+	// and never change; overlay maps carry reassignments. comps[i] has
+	// component ID i; overlay components take IDs from nextCompID.
+	compsOnce  sync.Once
+	comps      [][]int         // base components, sorted members, min-vertex order
+	compID     []int32         // base vertex -> component ID (-1: dead at base)
+	localIdx   []int32         // base vertex -> position in its sorted component
+	compOver   map[int32][]int // component ID -> members; nil members = retired base ID
+	vertComp   map[int32]int32 // vertex -> current component ID (-1: deleted)
+	nextCompID int32
+	compList   atomic.Pointer[componentListing] // cached live listing
+
+	lhs *lhsIndex // writer-side FD partner index, shared along the version chain
+}
+
+// componentListing is the materialized list of live components in
+// min-vertex order, with the parallel component IDs.
+type componentListing struct {
+	comps [][]int
+	ids   []int32
 }
 
 // Edge is one conflict: tuples A < B violating dependency FD (index
@@ -54,14 +109,15 @@ type Edge struct {
 // Build computes the conflict graph of the instance. Conflicting pairs
 // are discovered per dependency by hashing on the LHS projection, and
 // streamed straight into CSR form, so both time and memory are linear
-// in |r| plus the number of conflicts.
+// in |r| plus the number of conflicts. Tombstoned tuples become
+// isolated vertices outside every component.
 func Build(inst *relation.Instance, fds *fd.Set) (*Graph, error) {
 	if !inst.Schema().Equal(fds.Schema()) {
 		return nil, fmt.Errorf("conflict: instance schema %s does not match dependency schema %s",
 			inst.Schema(), fds.Schema())
 	}
-	n := inst.Len()
-	g := &Graph{inst: inst, fds: fds}
+	n := inst.NumIDs()
+	g := &Graph{inst: inst, fds: fds, numVerts: n, era: eraCounter.Add(1), deadBase: inst.DeadIDs()}
 	// Violations are sorted by (T1, T2, FD); consecutive duplicates are
 	// the same pair under a second dependency, which adds no edge.
 	viols := fds.Violations(inst)
@@ -71,6 +127,15 @@ func Build(inst *relation.Instance, fds *fd.Set) (*Graph, error) {
 		}
 		g.edges = append(g.edges, Edge{A: v.T1, B: v.T2, FD: v.FD})
 	}
+	g.m = len(g.edges)
+	g.rebuildCSR()
+	return g, nil
+}
+
+// rebuildCSR recomputes the base CSR arrays from g.edges (sorted by
+// (A, B)) over the current vertex universe.
+func (g *Graph) rebuildCSR() {
+	n := g.numVerts
 	// Counting pass: degree per vertex, then prefix sums into offsets.
 	g.off = make([]int32, n+1)
 	for _, e := range g.edges {
@@ -92,7 +157,6 @@ func Build(inst *relation.Instance, fds *fd.Set) (*Graph, error) {
 		g.nbrs[cursor[e.B]] = int32(e.A)
 		cursor[e.B]++
 	}
-	return g, nil
 }
 
 // MustBuild is Build that panics on error, for fixtures.
@@ -104,50 +168,103 @@ func MustBuild(inst *relation.Instance, fds *fd.Set) *Graph {
 	return g
 }
 
-// Instance returns the underlying instance.
+// Instance returns the underlying instance (the version the graph was
+// built against).
 func (g *Graph) Instance() *relation.Instance { return g.inst }
 
 // FDs returns the dependency set the graph was built from.
 func (g *Graph) FDs() *fd.Set { return g.fds }
 
-// Len returns the number of vertices (= tuples).
-func (g *Graph) Len() int { return len(g.off) - 1 }
+// Len returns the size of the vertex universe (live tuples plus
+// tombstones).
+func (g *Graph) Len() int { return g.numVerts }
 
-// NumEdges returns the number of conflicts.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+// NumEdges returns the number of live conflicts.
+func (g *Graph) NumEdges() int { return g.m }
 
-// Edges returns a copy of the conflict list (A < B, sorted by (A, B)).
+// Era returns the base-generation number: globally unique per Build
+// and per compaction. Together with component IDs it forms a stable
+// cache identity for per-component results.
+func (g *Graph) Era() uint64 { return g.era }
+
+// Live reports whether v is a live (non-deleted) vertex.
+func (g *Graph) Live(v relation.TupleID) bool {
+	if v < 0 || v >= g.numVerts {
+		return false
+	}
+	if g.vertComp != nil {
+		if c, ok := g.vertComp[int32(v)]; ok {
+			return c >= 0
+		}
+	}
+	return g.deadBase == nil || !g.deadBase.Has(v)
+}
+
+// LiveSet returns the set of live vertices.
+func (g *Graph) LiveSet() *bitset.Set {
+	s := bitset.Full(g.numVerts)
+	if g.deadBase != nil {
+		s.DifferenceWith(g.deadBase)
+	}
+	for v, c := range g.vertComp {
+		if c < 0 {
+			s.Remove(int(v))
+		}
+	}
+	return s
+}
+
+// Edges returns the live conflicts (A < B, sorted by (A, B)).
 func (g *Graph) Edges() []Edge {
-	return append([]Edge(nil), g.edges...)
+	if len(g.extraEdges) == 0 && g.m == len(g.edges) {
+		return append([]Edge(nil), g.edges...)
+	}
+	out := make([]Edge, 0, g.m)
+	for _, e := range g.edges {
+		if g.Live(e.A) && g.Live(e.B) {
+			out = append(out, e)
+		}
+	}
+	out = append(out, g.extraEdges...)
+	sortEdges(out)
+	return out
 }
 
 // Adjacent reports whether tuples a and b conflict, by binary search
 // in a's neighbor row.
 func (g *Graph) Adjacent(a, b relation.TupleID) bool {
-	if a < 0 || a >= g.Len() {
+	if a < 0 || a >= g.numVerts {
 		return false
 	}
-	row := g.nbrs[g.off[a]:g.off[a+1]]
+	row := g.Neighbors(a)
 	t := int32(b)
 	i := sort.Search(len(row), func(k int) bool { return row[k] >= t })
 	return i < len(row) && row[i] == t
 }
 
 // Neighbors returns n(t): the tuples conflicting with t, as a sorted
-// slice view into the CSR array. The caller must not mutate it.
+// slice view. The caller must not mutate it.
 func (g *Graph) Neighbors(t relation.TupleID) []int32 {
+	if g.rows != nil {
+		if r, ok := g.rows[int32(t)]; ok {
+			return r
+		}
+	}
+	if t >= len(g.off)-1 {
+		return nil // post-base vertex with no conflicts
+	}
 	return g.nbrs[g.off[t]:g.off[t+1]]
 }
 
 // Degree returns |n(t)|.
-func (g *Graph) Degree(t relation.TupleID) int { return int(g.off[t+1] - g.off[t]) }
+func (g *Graph) Degree(t relation.TupleID) int { return len(g.Neighbors(t)) }
 
 // IsIndependent reports whether no two tuples in the set conflict,
 // i.e. the selected sub-instance is consistent.
 func (g *Graph) IsIndependent(s *bitset.Set) bool {
 	ok := true
 	s.Range(func(t int) bool {
-		if t >= g.Len() {
+		if t >= g.numVerts {
 			return true
 		}
 		for _, u := range g.Neighbors(t) {
@@ -161,15 +278,21 @@ func (g *Graph) IsIndependent(s *bitset.Set) bool {
 	return ok
 }
 
-// IsMaximalIndependent reports whether s is a repair: independent and
-// not extendable — every tuple outside s conflicts with some tuple
-// in s (Definition 1).
+// IsMaximalIndependent reports whether s is a repair: a subset of the
+// live instance, independent, and not extendable — every live tuple
+// outside s conflicts with some tuple in s (Definition 1). Sets
+// containing tombstoned tuples are never repairs.
 func (g *Graph) IsMaximalIndependent(s *bitset.Set) bool {
-	if !g.IsIndependent(s) {
+	live := true
+	s.Range(func(v int) bool {
+		live = g.Live(v)
+		return live
+	})
+	if !live || !g.IsIndependent(s) {
 		return false
 	}
-	for t := 0; t < g.Len(); t++ {
-		if s.Has(t) {
+	for t := 0; t < g.numVerts; t++ {
+		if s.Has(t) || !g.Live(t) {
 			continue
 		}
 		blocked := false
@@ -189,10 +312,10 @@ func (g *Graph) IsMaximalIndependent(s *bitset.Set) bool {
 // ConflictClosure extends s with every tuple reachable through
 // conflict edges — the union of the components touching s.
 func (g *Graph) ConflictClosure(s *bitset.Set) *bitset.Set {
-	out := bitset.New(g.Len())
+	out := bitset.New(g.numVerts)
 	var stack []int
 	s.Range(func(t int) bool {
-		if t < g.Len() && !out.Has(t) {
+		if t < g.numVerts && !out.Has(t) {
 			out.Add(t)
 			stack = append(stack, t)
 		}
@@ -211,31 +334,145 @@ func (g *Graph) ConflictClosure(s *bitset.Set) *bitset.Set {
 	return out
 }
 
-// Components returns the connected components as sorted vertex lists,
-// ordered by smallest vertex. Isolated vertices (tuples in no
-// conflict) form singleton components. The result is memoized and
-// safe for concurrent use; callers must not mutate it.
-func (g *Graph) Components() [][]int {
+// ensureComps computes the base component arrays once. On graphs that
+// undergo deltas the base is always computed before the first fork,
+// so overlay maps never exist while the base is missing.
+func (g *Graph) ensureComps() {
 	g.compsOnce.Do(g.computeComponents)
-	return g.comps
 }
 
-// ComponentOf returns the index (into Components()) of the component
-// containing vertex v.
+// Components returns the live connected components as sorted vertex
+// lists, ordered by smallest vertex. Isolated live vertices (tuples in
+// no conflict) form singleton components; tombstoned tuples belong to
+// no component. The result is memoized per graph version and safe for
+// concurrent use; callers must not mutate it.
+func (g *Graph) Components() [][]int {
+	return g.listing().comps
+}
+
+// ComponentsWithIDs returns the live components in min-vertex order
+// together with their component IDs. Callers must not mutate either
+// slice.
+func (g *Graph) ComponentsWithIDs() ([][]int, []int32) {
+	l := g.listing()
+	return l.comps, l.ids
+}
+
+// NumComponents returns the number of live components.
+func (g *Graph) NumComponents() int { return len(g.listing().comps) }
+
+func (g *Graph) listing() *componentListing {
+	if l := g.compList.Load(); l != nil {
+		return l
+	}
+	g.ensureComps()
+	var l *componentListing
+	if len(g.compOver) == 0 {
+		ids := make([]int32, len(g.comps))
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		l = &componentListing{comps: g.comps, ids: ids}
+	} else {
+		// The base listing is already in min-vertex order; only the
+		// (small) overlay needs sorting. A linear merge of the two
+		// keeps the rebuild O(C + overlay log overlay) — this runs
+		// once per published version on its first full evaluation.
+		type entry struct {
+			members []int
+			id      int32
+		}
+		over := make([]entry, 0, len(g.compOver))
+		for id, c := range g.compOver {
+			if c != nil {
+				over = append(over, entry{members: c, id: id})
+			}
+		}
+		sort.Slice(over, func(i, j int) bool { return over[i].members[0] < over[j].members[0] })
+		n := 0
+		for i := range g.comps {
+			if _, retired := g.compOver[int32(i)]; !retired {
+				n++
+			}
+		}
+		l = &componentListing{comps: make([][]int, 0, n+len(over)), ids: make([]int32, 0, n+len(over))}
+		oi := 0
+		for i, c := range g.comps {
+			if _, retired := g.compOver[int32(i)]; retired {
+				continue
+			}
+			for oi < len(over) && over[oi].members[0] < c[0] {
+				l.comps = append(l.comps, over[oi].members)
+				l.ids = append(l.ids, over[oi].id)
+				oi++
+			}
+			l.comps = append(l.comps, c)
+			l.ids = append(l.ids, int32(i))
+		}
+		for ; oi < len(over); oi++ {
+			l.comps = append(l.comps, over[oi].members)
+			l.ids = append(l.ids, over[oi].id)
+		}
+	}
+	g.compList.Store(l)
+	return l
+}
+
+// ComponentOf returns the ID of the component containing vertex v, or
+// -1 if v is tombstoned. IDs are immutable value identities: any
+// change to a component retires its ID (see ApplyDelta). On a
+// statically built graph IDs coincide with positions in Components().
 func (g *Graph) ComponentOf(v relation.TupleID) int {
-	g.compsOnce.Do(g.computeComponents)
+	g.ensureComps()
+	if g.vertComp != nil {
+		if c, ok := g.vertComp[int32(v)]; ok {
+			return int(c)
+		}
+	}
+	if v < 0 || v >= len(g.compID) {
+		return -1
+	}
 	return int(g.compID[v])
 }
 
+// Component returns the sorted member list of the component with the
+// given ID, or nil if the ID is retired or unknown. Callers must not
+// mutate the result.
+func (g *Graph) Component(id int) []int {
+	g.ensureComps()
+	if g.compOver != nil {
+		if m, ok := g.compOver[int32(id)]; ok {
+			return m
+		}
+	}
+	if id >= 0 && id < len(g.comps) {
+		return g.comps[id]
+	}
+	return nil
+}
+
 // LocalIndexOf returns v's position within its sorted component — the
-// component-local index used by the projection machinery.
+// component-local index used by the projection machinery — or -1 for
+// tombstoned vertices.
 func (g *Graph) LocalIndexOf(v relation.TupleID) int {
-	g.compsOnce.Do(g.computeComponents)
+	g.ensureComps()
+	if g.vertComp != nil {
+		if cid, ok := g.vertComp[int32(v)]; ok {
+			if cid < 0 {
+				return -1
+			}
+			// Reassigned vertices always live in overlay components.
+			return sort.SearchInts(g.compOver[cid], v)
+		}
+	}
+	if v < 0 || v >= len(g.localIdx) {
+		return -1
+	}
 	return int(g.localIdx[v])
 }
 
 func (g *Graph) computeComponents() {
-	n := g.Len()
+	n := g.numVerts
 	g.compID = make([]int32, n)
 	g.localIdx = make([]int32, n)
 	for i := range g.compID {
@@ -243,7 +480,7 @@ func (g *Graph) computeComponents() {
 	}
 	var comps [][]int
 	for v := 0; v < n; v++ {
-		if g.compID[v] >= 0 {
+		if g.compID[v] >= 0 || (g.deadBase != nil && g.deadBase.Has(v)) {
 			continue
 		}
 		id := int32(len(comps))
@@ -268,6 +505,7 @@ func (g *Graph) computeComponents() {
 		comps = append(comps, members)
 	}
 	g.comps = comps
+	g.nextCompID = int32(len(comps))
 }
 
 // ComponentSignature returns a canonical encoding of the subgraph
@@ -298,11 +536,11 @@ func (g *Graph) ComponentSignature(comp []int) string {
 	return b.String()
 }
 
-// ConflictingVertices returns the set of tuples involved in at least
-// one conflict.
+// ConflictingVertices returns the set of live tuples involved in at
+// least one conflict.
 func (g *Graph) ConflictingVertices() *bitset.Set {
-	s := bitset.New(g.Len())
-	for t := 0; t < g.Len(); t++ {
+	s := bitset.New(g.numVerts)
+	for t := 0; t < g.numVerts; t++ {
 		if g.Degree(t) > 0 {
 			s.Add(t)
 		}
@@ -315,7 +553,10 @@ func (g *Graph) ConflictingVertices() *bitset.Set {
 func (g *Graph) DOT() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "graph %s {\n", g.inst.Schema().Name())
-	for t := 0; t < g.Len(); t++ {
+	for t := 0; t < g.numVerts; t++ {
+		if !g.Live(t) {
+			continue
+		}
 		fmt.Fprintf(&b, "  t%d [label=%q];\n", t, g.inst.Tuple(t).String())
 	}
 	for _, e := range g.Edges() {
@@ -329,7 +570,10 @@ func (g *Graph) DOT() string {
 // experiment harness to reproduce Figures 1–4.
 func (g *Graph) ASCII() string {
 	var b strings.Builder
-	for t := 0; t < g.Len(); t++ {
+	for t := 0; t < g.numVerts; t++ {
+		if !g.Live(t) {
+			continue
+		}
 		fmt.Fprintf(&b, "%-28s --", g.inst.Tuple(t).String())
 		if g.Degree(t) == 0 {
 			b.WriteString(" (no conflicts)")

@@ -32,7 +32,7 @@ func (g *Graph) Project(comp []int) *Local {
 	// equals the registered component of its first vertex.
 	full := false
 	if k > 0 {
-		c := g.Components()[g.ComponentOf(comp[0])]
+		c := g.Component(g.ComponentOf(comp[0]))
 		if len(c) == k {
 			full = true
 			for i := range c {

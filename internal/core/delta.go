@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"prefcqa/internal/priority"
+	"prefcqa/internal/repair"
+)
+
+// This file is the engine's side of the delta-maintenance model: the
+// signature-keyed memo (engine.go) already survives mutations — an
+// untouched component hashes to the same (signature, orientation) key
+// after any number of instance mutations, so its cached choice sets
+// are reused without any invalidation protocol. What a mutating
+// workload still pays per Count is re-deriving every component's
+// signature, O(n) over the instance. CountCache removes that: counts
+// are keyed by (era, component ID, family), both issued by the
+// conflict graph's delta machinery as immutable value identities — a
+// mutation retires the IDs of the components it touches, so cached
+// entries are invalidated by construction, never by bookkeeping, and
+// entries for old IDs keep serving snapshot readers of old versions.
+
+// countKey identifies one component's choice-set count: the graph
+// base generation, the component's immutable ID, and the family.
+type countKey struct {
+	era  uint64
+	comp int32
+	f    Family
+}
+
+// countCacheMax bounds the cache; when full it is cleared rather than
+// evicted — the cache is an optimization, never load-bearing.
+const countCacheMax = 1 << 19
+
+// CountCache memoizes per-component preferred-repair counts across
+// graph versions. It is safe for concurrent use and shared between a
+// live DB and all of its snapshots: entries can never go stale
+// because a (era, component ID) pair is never reused for different
+// content.
+type CountCache struct {
+	mu sync.Mutex
+	m  map[countKey]int64
+}
+
+// NewCountCache returns an empty count cache.
+func NewCountCache() *CountCache {
+	return &CountCache{m: make(map[countKey]int64)}
+}
+
+func (c *CountCache) get(k countKey) (int64, bool) {
+	c.mu.Lock()
+	v, ok := c.m[k]
+	c.mu.Unlock()
+	return v, ok
+}
+
+func (c *CountCache) put(k countKey, v int64) {
+	c.mu.Lock()
+	if len(c.m) >= countCacheMax {
+		c.m = make(map[countKey]int64)
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached component counts.
+func (c *CountCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// CountCached returns |X-Rep| like Count, but reuses per-component
+// counts cached under the graph's (era, component ID) identities:
+// after a point mutation only the components the mutation dirtied
+// (whose IDs are fresh) are re-evaluated, so a Count in a mutation
+// workload costs O(#components) multiplications plus O(touched)
+// evaluation instead of O(instance) signature hashing. The cache is
+// consulted under one lock per call; misses (the dirtied components)
+// are evaluated outside it.
+//
+// Counts of every family are non-negative and multiplication is
+// commutative, so folding the cache misses in after the hits cannot
+// change the result, the zero short-circuit, or the overflow verdict.
+func (e *Engine) CountCached(f Family, p *priority.Priority, cc *CountCache) (int64, error) {
+	if cc == nil {
+		return e.Count(f, p)
+	}
+	g := p.Graph()
+	comps, ids := g.ComponentsWithIDs()
+	era := g.Era()
+	total := int64(1)
+	var missIdx []int
+	cc.mu.Lock()
+	for i := range comps {
+		c, ok := cc.m[countKey{era: era, comp: ids[i], f: f}]
+		if !ok {
+			missIdx = append(missIdx, i)
+			continue
+		}
+		if c == 0 {
+			cc.mu.Unlock()
+			return 0, nil
+		}
+		if total > math.MaxInt64/c {
+			cc.mu.Unlock()
+			return 0, repair.ErrOverflow
+		}
+		total *= c
+	}
+	cc.mu.Unlock()
+	if len(missIdx) == 0 {
+		return total, nil
+	}
+	// Evaluate the dirtied components on the engine's worker pool —
+	// a cold cache (first count, post-compaction, WithMemo(false)
+	// rebuild baselines) keeps the same parallelism Count has.
+	missComps := make([][]int, len(missIdx))
+	for k, i := range missIdx {
+		missComps[k] = comps[i]
+	}
+	pend := e.startChoices(f, p, missComps)
+	defer pend.cancel()
+	for k, i := range missIdx {
+		c := int64(pend.count(k))
+		cc.put(countKey{era: era, comp: ids[i], f: f}, c)
+		if c == 0 {
+			return 0, nil
+		}
+		if total > math.MaxInt64/c {
+			return 0, repair.ErrOverflow
+		}
+		total *= c
+	}
+	return total, nil
+}

@@ -57,7 +57,7 @@ func IsSemiGloballyOptimal(p *priority.Priority, rp *bitset.Set) bool {
 	if !repair.IsRepair(g, rp) {
 		return false
 	}
-	universe := bitset.Full(g.Len())
+	universe := g.LiveSet()
 	return semiGloballyOptimalCond(p, rp, universe)
 }
 
@@ -168,7 +168,7 @@ func IsCommon(p *priority.Priority, rp *bitset.Set) bool {
 	if !repair.IsRepair(g, rp) {
 		return false
 	}
-	return commonCond(p, rp, bitset.Full(g.Len()))
+	return commonCond(p, rp, g.LiveSet())
 }
 
 // commonCond simulates Algorithm 1 over the given universe (the whole

@@ -324,7 +324,7 @@ func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error)
 			if i > 0 && cid == compIDs[i-1] {
 				continue
 			}
-			comps = append(comps, g.Components()[cid])
+			comps = append(comps, g.Component(cid))
 		}
 		lists := eng.ChoicesFor(f, r.Pri, comps)
 		for _, cs := range lists {

@@ -167,7 +167,7 @@ func Build(inst *relation.Instance, constraints []Constraint) (*Hypergraph, erro
 		}
 		raw = append(raw, sets...)
 	}
-	h := &Hypergraph{inst: inst, incident: make([][]int, inst.Len())}
+	h := &Hypergraph{inst: inst, incident: make([][]int, inst.NumIDs())}
 	// Keep only minimal edges, deduplicated.
 	seen := map[string]bool{}
 	for _, e := range raw {
@@ -212,7 +212,7 @@ func violations(inst *relation.Instance, c Constraint) ([]*bitset.Set, error) {
 				holds = v
 			}
 			if holds {
-				s := bitset.New(inst.Len())
+				s := bitset.New(inst.NumIDs())
 				for _, id := range ids {
 					s.Add(id)
 				}
@@ -313,8 +313,9 @@ func resolveTerm(t query.Term, env map[string]relation.Value) (relation.Value, e
 // Instance returns the underlying instance.
 func (h *Hypergraph) Instance() *relation.Instance { return h.inst }
 
-// Len returns the number of vertices.
-func (h *Hypergraph) Len() int { return h.inst.Len() }
+// Len returns the size of the vertex universe (live tuple IDs plus
+// tombstones); structures indexed by TupleID are sized by it.
+func (h *Hypergraph) Len() int { return h.inst.NumIDs() }
 
 // NumEdges returns the number of (minimal, distinct) hyperedges.
 func (h *Hypergraph) NumEdges() int { return len(h.edges) }
@@ -332,14 +333,20 @@ func (h *Hypergraph) IsIndependent(s *bitset.Set) bool {
 	return true
 }
 
-// IsRepair reports whether s is a maximal independent set: adding any
-// outside vertex would complete some hyperedge.
+// IsRepair reports whether s is a repair: a subset of the live
+// instance, independent, and maximal — adding any live outside vertex
+// would complete some hyperedge.
 func (h *Hypergraph) IsRepair(s *bitset.Set) bool {
-	if !h.IsIndependent(s) {
+	live := true
+	s.Range(func(v int) bool {
+		live = h.inst.Live(v)
+		return live
+	})
+	if !live || !h.IsIndependent(s) {
 		return false
 	}
 	for v := 0; v < h.Len(); v++ {
-		if s.Has(v) {
+		if s.Has(v) || !h.inst.Live(v) {
 			continue
 		}
 		s.Add(v)

@@ -297,3 +297,47 @@ func TestGroundQFComparisonShortCircuit(t *testing.T) {
 		t.Fatalf("contradiction: %v, %v", ok, err)
 	}
 }
+
+// TestBuildWithTombstones pins that the hypergraph handles instances
+// with deleted tuples: the universe is sized by NumIDs, tombstones
+// join no component, and repairs are subsets of the live instance.
+func TestBuildWithTombstones(t *testing.T) {
+	s := abSchema()
+	inst := relation.NewInstance(s)
+	a := inst.MustInsert(1, 1)
+	b := inst.MustInsert(1, 2)
+	c := inst.MustInsert(2, 5)
+	cons, err := Parse(s, "R(x1, y1) AND R(x2, y2) AND x1 = x2 AND y1 != y2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Delete(a)
+	h, err := Build(inst, []Constraint{cons})
+	if err != nil {
+		t.Fatalf("Build on tombstoned instance: %v", err)
+	}
+	if h.NumEdges() != 0 {
+		t.Fatalf("edges = %d, want 0 (the conflict partner is deleted)", h.NumEdges())
+	}
+	comps := h.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want two live singletons", comps)
+	}
+	for _, comp := range comps {
+		for _, v := range comp {
+			if v == a {
+				t.Fatalf("tombstone %d appears in components %v", a, comps)
+			}
+		}
+	}
+	if h.IsRepair(bitset.FromSlice([]int{a, b, c})) {
+		t.Fatal("set containing a tombstone accepted as repair")
+	}
+	if !h.IsRepair(bitset.FromSlice([]int{b, c})) {
+		t.Fatal("live set rejected as repair")
+	}
+	n, err := Count(h)
+	if err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v; want 1", n, err)
+	}
+}

@@ -46,6 +46,9 @@ func (h *Hypergraph) Components() [][]int {
 	}
 	groups := map[int][]int{}
 	for v := 0; v < n; v++ {
+		if !h.inst.Live(v) {
+			continue // tombstoned tuples belong to no component
+		}
 		r := find(v)
 		groups[r] = append(groups[r], v)
 	}

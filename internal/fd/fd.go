@@ -130,6 +130,17 @@ func (f FD) LHS() []int { return append([]int(nil), f.lhs...) }
 // RHS returns the right-hand side attribute positions (sorted copy).
 func (f FD) RHS() []int { return append([]int(nil), f.rhs...) }
 
+// LHSKey returns the canonical key of t's LHS projection — the hash
+// bucket two tuples must share to possibly conflict under f. Used by
+// the incremental conflict-partner index.
+func (f FD) LHSKey(t relation.Tuple) string {
+	b := make([]byte, 0, 16*len(f.lhs))
+	for _, i := range f.lhs {
+		b = t[i].AppendKey(b)
+	}
+	return string(b)
+}
+
 // IsKeyDependency reports whether the FD is a key dependency: X → U
 // where U is all attributes outside X (so conflicting tuples can never
 // be duplicates with respect to it).

@@ -38,7 +38,8 @@ func (p *Priority) Localize(l *conflict.Local) *Local {
 	e := 0
 	for i := 0; i < l.Len(); i++ {
 		v := l.Global(i)
-		succ, pred := p.succ[v], p.pred[v]
+		row := p.row(v)
+		succ, pred := row.succ, row.pred
 		si, pi := 0, 0
 		for _, j := range l.Neighbors(i) {
 			u := int32(l.Global(int(j)))

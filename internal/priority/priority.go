@@ -10,6 +10,13 @@
 // predecessor lists are bounded by its conflict degree: the relation
 // is stored as per-vertex sorted slices, O(n + m) memory in total,
 // mirroring the conflict graph's CSR representation.
+//
+// Priorities participate in the delta-maintenance version model of
+// the conflict package: Rebase forks a priority onto a new graph
+// version as a copy-on-write child (base rows shared, touched rows in
+// a small overlay), so point mutations — DropVertex on a delete, Add
+// on a new preference — cost O(touched rows) instead of regenerating
+// the priority from scratch.
 package priority
 
 import (
@@ -26,10 +33,24 @@ import (
 // edges. x ≻ y ("x dominates y") means the user prefers to resolve
 // the conflict {x, y} by keeping x.
 type Priority struct {
-	g    *conflict.Graph
-	succ [][]int32 // succ[x] = {y : x ≻ y}, sorted ascending
-	pred [][]int32 // pred[y] = {x : x ≻ y}, sorted ascending
-	n    int       // number of oriented edges
+	g *conflict.Graph
+	// Base rows: succ[x] = {y : x ≻ y}, pred[y] = {x : x ≻ y}, sorted
+	// ascending. On a copy-on-write child (cow == true) the base is
+	// shared with the parent and must not be written; over holds this
+	// version's replacement rows, including rows of vertices beyond
+	// the base arrays (post-fork inserts).
+	succ [][]int32
+	pred [][]int32
+	over map[int32]prow
+	cow  bool
+	n    int // number of oriented edges
+}
+
+// prow is one vertex's replacement successor/predecessor rows. Either
+// slice may be shared with the base or with an earlier version; rows
+// are never mutated in place, only replaced by fresh copies.
+type prow struct {
+	succ, pred []int32
 }
 
 // New returns the empty priority over the graph (no edge oriented).
@@ -44,13 +65,71 @@ func (p *Priority) Graph() *conflict.Graph { return p.g }
 // Len returns the number of oriented conflict edges.
 func (p *Priority) Len() int { return p.n }
 
+// row resolves a vertex's successor/predecessor rows through the
+// overlay.
+func (p *Priority) row(v relation.TupleID) prow {
+	if p.over != nil {
+		if r, ok := p.over[int32(v)]; ok {
+			return r
+		}
+	}
+	if v >= 0 && v < len(p.succ) {
+		return prow{succ: p.succ[v], pred: p.pred[v]}
+	}
+	return prow{}
+}
+
+// succs returns {y : v ≻ y} as a sorted read-only view.
+func (p *Priority) succs(v relation.TupleID) []int32 { return p.row(v).succ }
+
+// preds returns {x : x ≻ v} as a sorted read-only view.
+func (p *Priority) preds(v relation.TupleID) []int32 { return p.row(v).pred }
+
+// Rebase forks p onto a (newer) graph version as a copy-on-write
+// child: base rows are shared, the overlay is copied, and subsequent
+// Add/DropVertex calls patch only the touched rows. The receiver is
+// left untouched and remains the consistent view of the old version.
+// Once the overlay outgrows its bound, the fork instead flattens into
+// fresh private base arrays (O(n), amortized O(1) per mutation), so a
+// long mutation stream never pays more than the bound per fork.
+func (p *Priority) Rebase(g *conflict.Graph) *Priority {
+	if len(p.over) > 64+g.Len()/64 {
+		return p.flatten(g)
+	}
+	q := &Priority{g: g, succ: p.succ, pred: p.pred, cow: true, n: p.n}
+	q.over = make(map[int32]prow, len(p.over)+4)
+	for k, v := range p.over {
+		q.over[k] = v
+	}
+	return q
+}
+
+// flatten materializes the overlay into fresh base arrays sized for
+// the (possibly larger) new graph. The result owns its rows, so it
+// runs in non-cow mode until it is itself rebased.
+func (p *Priority) flatten(g *conflict.Graph) *Priority {
+	n := g.Len()
+	q := &Priority{g: g, succ: make([][]int32, n), pred: make([][]int32, n), n: p.n}
+	for v := 0; v < n; v++ {
+		r := p.row(v)
+		if len(r.succ) > 0 {
+			q.succ[v] = append([]int32(nil), r.succ...)
+		}
+		if len(r.pred) > 0 {
+			q.pred[v] = append([]int32(nil), r.pred...)
+		}
+	}
+	return q
+}
+
 // contains reports membership of v in the sorted slice s.
 func contains(s []int32, v int32) bool {
 	i := sort.Search(len(s), func(k int) bool { return s[k] >= v })
 	return i < len(s) && s[i] == v
 }
 
-// insert adds v to the sorted slice s, keeping order.
+// insert adds v to the sorted slice s in place, keeping order. Only
+// used on rows this version exclusively owns (non-cow mode).
 func insert(s []int32, v int32) []int32 {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
 	s = append(s, 0)
@@ -59,7 +138,57 @@ func insert(s []int32, v int32) []int32 {
 	return s
 }
 
-// remove deletes v from the sorted slice s.
+// insertCopy returns a fresh sorted slice = s ∪ {v}.
+func insertCopy(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(k int) bool { return s[k] >= v })
+	out := make([]int32, len(s)+1)
+	copy(out, s[:i])
+	out[i] = v
+	copy(out[i+1:], s[i:])
+	return out
+}
+
+// removeCopy returns a fresh sorted slice = s \ {v}.
+func removeCopy(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(k int) bool { return s[k] >= v })
+	if i >= len(s) || s[i] != v {
+		return s
+	}
+	out := make([]int32, len(s)-1)
+	copy(out, s[:i])
+	copy(out[i:], s[i+1:])
+	return out
+}
+
+// addEdge records x ≻ y without any validity checking.
+func (p *Priority) addEdge(x, y relation.TupleID) {
+	if p.cow {
+		rx := p.row(x)
+		p.over[int32(x)] = prow{succ: insertCopy(rx.succ, int32(y)), pred: rx.pred}
+		ry := p.row(y)
+		p.over[int32(y)] = prow{succ: ry.succ, pred: insertCopy(ry.pred, int32(x))}
+	} else {
+		p.succ[x] = insert(p.succ[x], int32(y))
+		p.pred[y] = insert(p.pred[y], int32(x))
+	}
+	p.n++
+}
+
+// removeEdge erases x ≻ y (which must be present).
+func (p *Priority) removeEdge(x, y relation.TupleID) {
+	if p.cow {
+		rx := p.row(x)
+		p.over[int32(x)] = prow{succ: removeCopy(rx.succ, int32(y)), pred: rx.pred}
+		ry := p.row(y)
+		p.over[int32(y)] = prow{succ: ry.succ, pred: removeCopy(ry.pred, int32(x))}
+	} else {
+		p.succ[x] = remove(p.succ[x], int32(y))
+		p.pred[y] = remove(p.pred[y], int32(x))
+	}
+	p.n--
+}
+
+// remove deletes v from the sorted slice s in place.
 func remove(s []int32, v int32) []int32 {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
 	if i < len(s) && s[i] == v {
@@ -68,23 +197,40 @@ func remove(s []int32, v int32) []int32 {
 	return s
 }
 
-// addEdge records x ≻ y without any validity checking.
-func (p *Priority) addEdge(x, y relation.TupleID) {
-	p.succ[x] = insert(p.succ[x], int32(y))
-	p.pred[y] = insert(p.pred[y], int32(x))
-	p.n++
-}
-
-// removeEdge erases x ≻ y (which must be present).
-func (p *Priority) removeEdge(x, y relation.TupleID) {
-	p.succ[x] = remove(p.succ[x], int32(y))
-	p.pred[y] = remove(p.pred[y], int32(x))
-	p.n--
+// DropVertex erases every orientation incident to v — the priority
+// half of deleting tuple v. Cost is O(Σ degree of the affected rows).
+func (p *Priority) DropVertex(v relation.TupleID) {
+	r := p.row(v)
+	if len(r.succ) == 0 && len(r.pred) == 0 {
+		return
+	}
+	if !p.cow {
+		for _, y := range r.succ {
+			p.pred[y] = remove(p.pred[y], int32(v))
+		}
+		for _, x := range r.pred {
+			p.succ[x] = remove(p.succ[x], int32(v))
+		}
+		p.n -= len(r.succ) + len(r.pred)
+		p.succ[v] = nil
+		p.pred[v] = nil
+		return
+	}
+	for _, y := range r.succ {
+		ry := p.row(int(y))
+		p.over[y] = prow{succ: ry.succ, pred: removeCopy(ry.pred, int32(v))}
+	}
+	for _, x := range r.pred {
+		rx := p.row(int(x))
+		p.over[x] = prow{succ: removeCopy(rx.succ, int32(v)), pred: rx.pred}
+	}
+	p.n -= len(r.succ) + len(r.pred)
+	p.over[int32(v)] = prow{}
 }
 
 // Dominates reports whether x ≻ y.
 func (p *Priority) Dominates(x, y relation.TupleID) bool {
-	return x >= 0 && x < len(p.succ) && contains(p.succ[x], int32(y))
+	return x >= 0 && contains(p.succs(x), int32(y))
 }
 
 // Oriented reports whether the conflict {x, y} is oriented either way.
@@ -135,14 +281,14 @@ func (p *Priority) reaches(x, y relation.TupleID) bool {
 		return true
 	}
 	g := p.g
-	comp := g.Components()[g.ComponentOf(x)]
+	comp := g.Component(g.ComponentOf(x))
 	seen := make(bitset.Words, bitset.WordsLen(len(comp)))
 	stack := []int32{int32(x)}
 	seen.Add(g.LocalIndexOf(x))
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range p.succ[v] {
+		for _, w := range p.succs(int(v)) {
 			if int(w) == y {
 				return true
 			}
@@ -174,15 +320,17 @@ func FromRelation(g *conflict.Graph, pairs [][2]relation.TupleID) (*Priority, er
 	return p, nil
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent, flat (non-cow) copy.
 func (p *Priority) Clone() *Priority {
-	q := &Priority{g: p.g, succ: make([][]int32, len(p.succ)), pred: make([][]int32, len(p.pred)), n: p.n}
-	for i := range p.succ {
-		if len(p.succ[i]) > 0 {
-			q.succ[i] = append([]int32(nil), p.succ[i]...)
+	n := p.g.Len()
+	q := &Priority{g: p.g, succ: make([][]int32, n), pred: make([][]int32, n), n: p.n}
+	for v := 0; v < n; v++ {
+		r := p.row(v)
+		if len(r.succ) > 0 {
+			q.succ[v] = append([]int32(nil), r.succ...)
 		}
-		if len(p.pred[i]) > 0 {
-			q.pred[i] = append([]int32(nil), p.pred[i]...)
+		if len(r.pred) > 0 {
+			q.pred[v] = append([]int32(nil), r.pred...)
 		}
 	}
 	return q
@@ -194,9 +342,9 @@ func (p *Priority) Extends(q *Priority) bool {
 	if p.g != q.g {
 		return false
 	}
-	for x := range q.succ {
-		for _, y := range q.succ[x] {
-			if !contains(p.succ[x], y) {
+	for x := 0; x < q.g.Len(); x++ {
+		for _, y := range q.succs(x) {
+			if !contains(p.succs(x), y) {
 				return false
 			}
 		}
@@ -212,18 +360,18 @@ func (p *Priority) IsTotal() bool {
 
 // Dominators returns {x : x ≻ t} as a sorted slice view. The caller
 // must not mutate the result.
-func (p *Priority) Dominators(t relation.TupleID) []int32 { return p.pred[t] }
+func (p *Priority) Dominators(t relation.TupleID) []int32 { return p.preds(t) }
 
 // Dominated returns {y : t ≻ y} as a sorted slice view. The caller
 // must not mutate the result.
-func (p *Priority) Dominated(t relation.TupleID) []int32 { return p.succ[t] }
+func (p *Priority) Dominated(t relation.TupleID) []int32 { return p.succs(t) }
 
 // Winnow computes ω≻ restricted to the sub-instance rest: the tuples
 // of rest not dominated by any other tuple of rest [5].
 func (p *Priority) Winnow(rest *bitset.Set) *bitset.Set {
-	out := bitset.New(len(p.succ))
+	out := bitset.New(p.g.Len())
 	rest.Range(func(t int) bool {
-		if t < len(p.pred) && p.UndominatedIn(t, rest) {
+		if t < p.g.Len() && p.UndominatedIn(t, rest) {
 			out.Add(t)
 		}
 		return true
@@ -233,7 +381,7 @@ func (p *Priority) Winnow(rest *bitset.Set) *bitset.Set {
 
 // UndominatedIn reports whether tuple t has no dominator inside rest.
 func (p *Priority) UndominatedIn(t relation.TupleID, rest *bitset.Set) bool {
-	for _, x := range p.pred[t] {
+	for _, x := range p.preds(t) {
 		if rest.Has(int(x)) {
 			return false
 		}
@@ -271,10 +419,10 @@ func (p *Priority) TotalExtension(rng *rand.Rand) *Priority {
 // acyclic by construction), with tie-breaking randomized by rng when
 // non-nil.
 func (p *Priority) topoOrder(rng *rand.Rand) []int {
-	n := len(p.succ)
+	n := p.g.Len()
 	indeg := make([]int, n)
 	for v := 0; v < n; v++ {
-		indeg[v] = len(p.pred[v])
+		indeg[v] = len(p.preds(v))
 	}
 	ready := make([]int, 0, n)
 	for v := 0; v < n; v++ {
@@ -291,7 +439,7 @@ func (p *Priority) topoOrder(rng *rand.Rand) []int {
 		v := ready[i]
 		ready = append(ready[:i], ready[i+1:]...)
 		order = append(order, v)
-		for _, w := range p.succ[v] {
+		for _, w := range p.succs(v) {
 			indeg[w]--
 			if indeg[w] == 0 {
 				ready = append(ready, int(w))
@@ -305,8 +453,8 @@ func (p *Priority) topoOrder(rng *rand.Rand) []int {
 // (lexicographic) order.
 func (p *Priority) Edges() [][2]relation.TupleID {
 	out := make([][2]relation.TupleID, 0, p.n)
-	for x := range p.succ {
-		for _, y := range p.succ[x] {
+	for x := 0; x < p.g.Len(); x++ {
+		for _, y := range p.succs(x) {
 			out = append(out, [2]relation.TupleID{x, int(y)})
 		}
 	}

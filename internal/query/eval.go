@@ -74,7 +74,7 @@ func (m SubsetModel) Tuples(rel string, yield func(relation.Tuple) bool) {
 		return
 	}
 	m.IDs.Range(func(id int) bool {
-		if id < m.Inst.Len() {
+		if id < m.Inst.NumIDs() {
 			return yield(m.Inst.Tuple(id))
 		}
 		return true
@@ -121,7 +121,7 @@ func (m DBModel) Tuples(rel string, yield func(relation.Tuple) bool) {
 		return
 	}
 	sub.Range(func(id int) bool {
-		if id < inst.Len() {
+		if id < inst.NumIDs() {
 			return yield(inst.Tuple(id))
 		}
 		return true

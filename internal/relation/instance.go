@@ -13,7 +13,9 @@ import (
 type Tuple []Value
 
 // TupleID identifies a tuple inside one Instance. IDs are dense,
-// starting at 0, in insertion order; they never change once assigned.
+// starting at 0, in insertion order; they never change and are never
+// reused — deleting a tuple tombstones its ID, and re-inserting an
+// equal tuple later assigns a fresh ID.
 type TupleID = int
 
 // Equal reports component-wise equality.
@@ -59,10 +61,30 @@ func (t Tuple) String() string {
 
 // Instance is a finite set of tuples over one schema. Insertion
 // assigns dense TupleIDs; duplicate inserts return the existing ID.
+// Delete tombstones a tuple without disturbing the IDs of the others,
+// so downstream structures (conflict graphs, priorities) can be
+// patched instead of rebuilt.
+//
+// An Instance carries a monotone version counter (Version) that every
+// successful mutation bumps, and supports cheap structural-sharing
+// snapshots via Fork: the fork shares the tuple storage and the bulk
+// of the key index with its parent, and the parent is frozen — all
+// later mutations must go through the fork. This is the storage half
+// of the engine's snapshot-isolated mutation model: published
+// instance versions are immutable, and a writer advances the database
+// by forking the latest version.
 type Instance struct {
 	schema *Schema
 	tuples []Tuple
-	byKey  map[string]TupleID
+	// byKey is the base key index. Once the instance has been forked
+	// it is shared with the fork and must not be written; overKey
+	// holds this version's private additions.
+	byKey   map[string]TupleID
+	overKey map[string]TupleID // nil on an unforked instance
+	dead    *bitset.Set        // tombstoned IDs; nil when none
+	live    int                // number of live tuples
+	version uint64
+	frozen  bool // set by Fork: mutations must go through the fork
 }
 
 // NewInstance returns an empty instance of the schema.
@@ -76,8 +98,101 @@ func NewInstance(schema *Schema) *Instance {
 // Schema returns the instance's schema.
 func (r *Instance) Schema() *Schema { return r.schema }
 
-// Len returns the number of (distinct) tuples.
-func (r *Instance) Len() int { return len(r.tuples) }
+// Len returns the number of live (distinct, non-deleted) tuples.
+func (r *Instance) Len() int { return r.live }
+
+// NumIDs returns the size of the TupleID universe [0, NumIDs()):
+// live tuples plus tombstones. Structures indexed by TupleID (bit
+// sets, conflict graphs) must be sized by NumIDs, not Len.
+func (r *Instance) NumIDs() int { return len(r.tuples) }
+
+// Version returns the monotone mutation counter: every successful
+// Insert, Delete or Union bumps it. Forks inherit the parent's
+// counter and continue from there.
+func (r *Instance) Version() uint64 { return r.version }
+
+// Live reports whether id identifies a non-deleted tuple.
+func (r *Instance) Live(id TupleID) bool {
+	if id < 0 || id >= len(r.tuples) {
+		return false
+	}
+	return r.dead == nil || !r.dead.Has(id)
+}
+
+// DeadIDs returns an independent copy of the tombstone set, or nil
+// when no tuple has been deleted.
+func (r *Instance) DeadIDs() *bitset.Set {
+	if r.dead == nil || r.dead.Empty() {
+		return nil
+	}
+	return r.dead.Clone()
+}
+
+// Fork returns a mutable child version sharing storage with r, and
+// freezes r: every later mutation must target the fork. Forking is
+// O(overlay + tombstones), independent of the instance size, which is
+// what makes point mutations under snapshot isolation cheap. Readers
+// of r observe exactly the state at fork time.
+func (r *Instance) Fork() *Instance {
+	r.frozen = true
+	child := &Instance{
+		schema:  r.schema,
+		tuples:  r.tuples,
+		byKey:   r.byKey,
+		live:    r.live,
+		version: r.version,
+	}
+	// Fold an oversized overlay into a private base map; amortized the
+	// fold is O(1) per mutation, and the bound keeps each fork's copy
+	// small.
+	if len(r.overKey) > 64+len(r.byKey)/64 {
+		merged := make(map[string]TupleID, len(r.byKey)+len(r.overKey))
+		for k, v := range r.byKey {
+			merged[k] = v
+		}
+		for k, v := range r.overKey {
+			merged[k] = v
+		}
+		child.byKey = merged
+		child.overKey = make(map[string]TupleID)
+	} else {
+		child.overKey = make(map[string]TupleID, len(r.overKey)+1)
+		for k, v := range r.overKey {
+			child.overKey[k] = v
+		}
+	}
+	if r.dead != nil {
+		child.dead = r.dead.Clone()
+	}
+	return child
+}
+
+// lookupKey resolves a tuple key through the overlay, ignoring
+// tombstones.
+func (r *Instance) lookupKey(k string) (TupleID, bool) {
+	if r.overKey != nil {
+		if id, ok := r.overKey[k]; ok {
+			return id, true
+		}
+	}
+	id, ok := r.byKey[k]
+	return id, ok
+}
+
+// setKey records k → id in this version's writable index layer.
+func (r *Instance) setKey(k string, id TupleID) {
+	if r.overKey != nil {
+		r.overKey[k] = id
+		return
+	}
+	r.byKey[k] = id
+}
+
+func (r *Instance) mutable() {
+	if r.frozen {
+		panic("relation: mutating a frozen (forked) instance")
+	}
+}
 
 // typeCheck validates a tuple against the schema.
 func (r *Instance) typeCheck(t Tuple) error {
@@ -95,33 +210,64 @@ func (r *Instance) typeCheck(t Tuple) error {
 
 // Insert adds a tuple. It returns the tuple's ID and whether the
 // tuple was new; inserting a duplicate is not an error (set
-// semantics) and returns the existing ID.
+// semantics) and returns the existing ID. Re-inserting a previously
+// deleted tuple assigns a fresh ID.
 func (r *Instance) Insert(t Tuple) (TupleID, bool, error) {
+	r.mutable()
 	if err := r.typeCheck(t); err != nil {
 		return -1, false, err
 	}
 	k := t.Key()
-	if id, ok := r.byKey[k]; ok {
+	if id, ok := r.lookupKey(k); ok && r.Live(id) {
 		return id, false, nil
 	}
 	id := TupleID(len(r.tuples))
 	cp := make(Tuple, len(t))
 	copy(cp, t)
 	r.tuples = append(r.tuples, cp)
-	r.byKey[k] = id
+	r.setKey(k, id)
+	r.live++
+	r.version++
 	return id, true, nil
+}
+
+// Delete tombstones the tuple with the given ID and reports whether
+// it was live. IDs of other tuples are unchanged; the ID is never
+// reused.
+func (r *Instance) Delete(id TupleID) bool {
+	r.mutable()
+	if !r.Live(id) {
+		return false
+	}
+	if r.dead == nil {
+		r.dead = bitset.New(len(r.tuples))
+	}
+	r.dead.Add(id)
+	r.live--
+	r.version++
+	return true
+}
+
+// CoerceTuple coerces native Go values (strings → names, integer
+// types → ints) into a Tuple.
+func CoerceTuple(vals ...any) (Tuple, error) {
+	t := make(Tuple, len(vals))
+	for i, x := range vals {
+		v, err := CoerceValue(x)
+		if err != nil {
+			return nil, err
+		}
+		t[i] = v
+	}
+	return t, nil
 }
 
 // InsertValues coerces native Go values (strings → names, ints →
 // integers) and inserts the resulting tuple.
 func (r *Instance) InsertValues(vals ...any) (TupleID, error) {
-	t := make(Tuple, len(vals))
-	for i, x := range vals {
-		v, err := CoerceValue(x)
-		if err != nil {
-			return -1, err
-		}
-		t[i] = v
+	t, err := CoerceTuple(vals...)
+	if err != nil {
+		return -1, err
 	}
 	id, _, err := r.Insert(t)
 	return id, err
@@ -136,45 +282,65 @@ func (r *Instance) MustInsert(vals ...any) TupleID {
 	return id
 }
 
-// Tuple returns the tuple with the given ID. The caller must not
-// mutate the result.
+// Tuple returns the tuple with the given ID (including tombstoned
+// ones — deleted tuples keep their data for explanation output). The
+// caller must not mutate the result.
 func (r *Instance) Tuple(id TupleID) Tuple {
 	return r.tuples[id]
 }
 
-// Lookup returns the ID of an equal tuple, if present.
+// Lookup returns the ID of an equal live tuple, if present.
 func (r *Instance) Lookup(t Tuple) (TupleID, bool) {
-	id, ok := r.byKey[t.Key()]
-	return id, ok
+	id, ok := r.lookupKey(t.Key())
+	if !ok || !r.Live(id) {
+		return 0, false
+	}
+	return id, true
 }
 
-// Contains reports whether an equal tuple is present.
+// Contains reports whether an equal live tuple is present.
 func (r *Instance) Contains(t Tuple) bool {
 	_, ok := r.Lookup(t)
 	return ok
 }
 
-// Range iterates tuples in ID order; stop early by returning false.
+// Range iterates live tuples in ID order; stop early by returning
+// false.
 func (r *Instance) Range(yield func(id TupleID, t Tuple) bool) {
+	if r.dead == nil {
+		for id, t := range r.tuples {
+			if !yield(TupleID(id), t) {
+				return
+			}
+		}
+		return
+	}
 	for id, t := range r.tuples {
+		if r.dead.Has(id) {
+			continue
+		}
 		if !yield(TupleID(id), t) {
 			return
 		}
 	}
 }
 
-// AllIDs returns the set of all tuple IDs.
+// AllIDs returns the set of all live tuple IDs.
 func (r *Instance) AllIDs() *bitset.Set {
-	return bitset.Full(len(r.tuples))
+	s := bitset.Full(len(r.tuples))
+	if r.dead != nil {
+		s.DifferenceWith(r.dead)
+	}
+	return s
 }
 
-// Subset materializes the tuples selected by the given ID set as a
-// fresh Instance (same schema). Mostly for display; algorithms work on
-// the ID sets directly.
+// Subset materializes the live tuples selected by the given ID set as
+// a fresh Instance (same schema). Mostly for display; algorithms work
+// on the ID sets directly.
 func (r *Instance) Subset(ids *bitset.Set) *Instance {
 	out := NewInstance(r.schema)
 	ids.Range(func(id int) bool {
-		if id < len(r.tuples) {
+		if r.Live(id) {
 			out.Insert(r.tuples[id]) //nolint:errcheck // re-inserting typed tuples cannot fail
 		}
 		return true
@@ -182,36 +348,39 @@ func (r *Instance) Subset(ids *bitset.Set) *Instance {
 	return out
 }
 
-// Clone returns an independent copy of the instance.
+// Clone returns an independent copy holding the live tuples; IDs are
+// reassigned densely in the original ID order.
 func (r *Instance) Clone() *Instance {
 	out := NewInstance(r.schema)
-	for _, t := range r.tuples {
+	r.Range(func(_ TupleID, t Tuple) bool {
 		out.Insert(t) //nolint:errcheck // same schema
-	}
+		return true
+	})
 	return out
 }
 
-// Union inserts every tuple of other (same schema) into r. It is the
-// source-integration operation of Example 1.
+// Union inserts every live tuple of other (same schema) into r. It is
+// the source-integration operation of Example 1.
 func (r *Instance) Union(other *Instance) error {
 	if !r.schema.Equal(other.schema) {
 		return fmt.Errorf("relation: union of different schemas %s and %s", r.schema, other.schema)
 	}
-	for _, t := range other.tuples {
-		if _, _, err := r.Insert(t); err != nil {
-			return err
-		}
-	}
-	return nil
+	var err error
+	other.Range(func(_ TupleID, t Tuple) bool {
+		_, _, err = r.Insert(t)
+		return err == nil
+	})
+	return err
 }
 
-// SortedIDs returns all tuple IDs ordered by tuple value (Order), for
-// deterministic rendering.
+// SortedIDs returns the live tuple IDs ordered by tuple value (Order),
+// for deterministic rendering.
 func (r *Instance) SortedIDs() []TupleID {
-	ids := make([]TupleID, len(r.tuples))
-	for i := range ids {
-		ids[i] = TupleID(i)
-	}
+	ids := make([]TupleID, 0, r.live)
+	r.Range(func(id TupleID, _ Tuple) bool {
+		ids = append(ids, id)
+		return true
+	})
 	sort.Slice(ids, func(a, b int) bool {
 		return tupleLess(r.tuples[ids[a]], r.tuples[ids[b]])
 	})
@@ -230,24 +399,22 @@ func tupleLess(a, b Tuple) bool {
 	return len(a) < len(b)
 }
 
-// ActiveDomain appends every value occurring in the selected tuples to
-// dst and returns it. Pass nil ids for the whole instance.
+// ActiveDomain appends every value occurring in the selected live
+// tuples to dst and returns it. Pass nil ids for the whole instance.
 func (r *Instance) ActiveDomain(ids *bitset.Set, dst []Value) []Value {
-	add := func(t Tuple) {
-		dst = append(dst, t...)
-	}
 	if ids == nil {
-		for _, t := range r.tuples {
-			add(t)
-		}
-	} else {
-		ids.Range(func(id int) bool {
-			if id < len(r.tuples) {
-				add(r.tuples[id])
-			}
+		r.Range(func(_ TupleID, t Tuple) bool {
+			dst = append(dst, t...)
 			return true
 		})
+		return dst
 	}
+	ids.Range(func(id int) bool {
+		if r.Live(id) {
+			dst = append(dst, r.tuples[id]...)
+		}
+		return true
+	})
 	return dst
 }
 

@@ -131,6 +131,11 @@ func (v Value) String() string {
 	return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
 }
 
+// AppendKey appends an unambiguous encoding of v to b — the building
+// block of tuple and projection map keys (Tuple.Key uses it per
+// component).
+func (v Value) AppendKey(b []byte) []byte { return v.appendKey(b) }
+
 // appendKey appends an unambiguous encoding of v, used to build map
 // keys for tuples and projections.
 func (v Value) appendKey(b []byte) []byte {

@@ -239,6 +239,9 @@ func Count(g *conflict.Graph) (int64, error) {
 func Sample(g *conflict.Graph, rng *rand.Rand) *bitset.Set {
 	s := bitset.New(g.Len())
 	for _, v := range rng.Perm(g.Len()) {
+		if !g.Live(v) {
+			continue
+		}
 		free := true
 		for _, u := range g.Neighbors(v) {
 			if s.Has(int(u)) {

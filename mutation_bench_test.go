@@ -1,0 +1,25 @@
+package prefcqa_test
+
+import (
+	"testing"
+
+	"prefcqa/internal/bench"
+)
+
+// The mutation-workload benchmarks reuse bench.MutationWorkload — the
+// exact op the prefbench -json suite snapshots into BENCH_*.json
+// (single-tuple update + ground G-Rep query / repair count) — at a
+// size small enough for CI's 1x smoke run. This file is an external
+// test package because internal/bench imports the facade.
+
+func BenchmarkMutationUpdateQueryIncremental(b *testing.B) {
+	bench.MutationWorkload(2000, true, "query")(b)
+}
+
+func BenchmarkMutationUpdateQueryRebuild(b *testing.B) {
+	bench.MutationWorkload(2000, false, "query")(b)
+}
+
+func BenchmarkMutationUpdateCountIncremental(b *testing.B) {
+	bench.MutationWorkload(2000, true, "count")(b)
+}

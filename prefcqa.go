@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"prefcqa/internal/axioms"
 	"prefcqa/internal/bitset"
@@ -128,15 +129,27 @@ func WriteCSV(dst io.Writer, inst *Instance) error { return relation.WriteCSV(ds
 // Query evaluation runs on a parallel engine: per-component repair
 // choice sets are sharded across a worker pool and, by default,
 // memoized across queries (see WithParallelism and WithCache). All
-// engine configurations return identical results. A DB is not safe
-// for concurrent mutation; build it first, then query freely.
+// engine configurations return identical results.
+//
+// Mutations (Insert, Delete, Prefer) are maintained incrementally:
+// instead of rebuilding the conflict graph, priority and component
+// index, the next read applies the pending batch as a delta — cost
+// proportional to the touched components, not the instance — and
+// publishes a fresh immutable version with an atomic swap. Tuple
+// mutations and queries on existing relations are therefore safe to
+// run concurrently; readers always see a consistent published
+// version, and Snapshot pins one for repeated reads. Creating
+// relations (CreateRelation, AddInstance) concurrently with use is
+// not synchronized: register all relations first.
 type DB struct {
 	rels   map[string]*Relation
 	order  []string
 	engine *core.Engine
+	snapMu sync.RWMutex // see Relation.snap
 
 	parallelism int
 	cache       bool
+	incremental bool
 }
 
 // Option configures a DB at construction time.
@@ -159,10 +172,21 @@ func WithCache(on bool) Option {
 	return func(db *DB) { db.cache = on }
 }
 
+// WithIncremental enables or disables delta maintenance of the
+// conflict graph, priority and component index across mutations
+// (default on). When disabled, every mutation invalidates the built
+// state and the next read rebuilds it from scratch — the baseline the
+// mutation benchmarks compare against. Results are identical for both
+// settings.
+func WithIncremental(on bool) Option {
+	return func(db *DB) { db.incremental = on }
+}
+
 // New returns an empty database. With no options the evaluation
-// engine uses a GOMAXPROCS-sized worker pool with memoization on.
+// engine uses a GOMAXPROCS-sized worker pool with memoization on, and
+// mutations are maintained incrementally.
 func New(opts ...Option) *DB {
-	db := &DB{rels: make(map[string]*Relation), parallelism: 0, cache: true}
+	db := &DB{rels: make(map[string]*Relation), parallelism: 0, cache: true, incremental: true}
 	for _, opt := range opts {
 		opt(db)
 	}
@@ -172,13 +196,56 @@ func New(opts ...Option) *DB {
 
 // Relation is one relation of the database together with its
 // dependencies and preferences.
+//
+// The built evaluation state (conflict graph, priority, component
+// index) is versioned: reads load the latest published version from
+// an atomic pointer, mutations accumulate a pending delta that the
+// next read applies and publishes. Published versions are immutable,
+// so readers never block writers and a Snapshot stays consistent
+// indefinitely.
 type Relation struct {
-	inst  *relation.Instance
-	fds   *fd.Set
-	prefs [][2]TupleID
+	// snap is the owning DB's snapshot gate: mutators hold its read
+	// side, DB.Snapshot the write side, making a snapshot a true
+	// point-in-time cut across all relations. Acquired before mu.
+	snap *sync.RWMutex
 
-	mu    sync.Mutex
-	built *cqa.Relation // nil when stale; guarded by mu
+	mu           sync.Mutex // guards all writer state below
+	inst         *relation.Instance
+	fds          *fd.Set
+	prefs        [][2]TupleID
+	prefSeen     map[[2]TupleID]bool
+	prefsPruneAt int  // next len(prefs) at which dead pairs are pruned
+	forked       bool // inst is a private fork ahead of the published version
+	pend         pendingDelta
+	incremental  bool
+
+	cur    atomic.Pointer[cqa.Relation] // latest published built state
+	dirty  atomic.Bool                  // pending mutations since the last publish
+	counts *core.CountCache             // per-component repair counts, era-keyed
+}
+
+// pendingDelta is the batch of mutations since the last publish.
+// A tuple inserted and deleted within one batch appears in both
+// lists, inserts first — the graph delta wires it in and back out.
+type pendingDelta struct {
+	inserts []TupleID
+	deletes []TupleID
+	prefs   [][2]TupleID
+	rebuild bool // fall back to a full rebuild (AddFD, failed delta)
+}
+
+func (p *pendingDelta) dirty() bool {
+	return p.rebuild || len(p.inserts)+len(p.deletes)+len(p.prefs) > 0
+}
+
+func (db *DB) newRelation(inst *relation.Instance, fds *fd.Set) *Relation {
+	return &Relation{
+		snap: &db.snapMu,
+		inst: inst, fds: fds,
+		prefSeen:    make(map[[2]TupleID]bool),
+		incremental: db.incremental,
+		counts:      core.NewCountCache(),
+	}
 }
 
 // CreateRelation adds an empty relation with the given schema.
@@ -194,7 +261,7 @@ func (db *DB) CreateRelation(name string, attrs ...Attribute) (*Relation, error)
 	if err != nil {
 		return nil, err
 	}
-	r := &Relation{inst: relation.NewInstance(schema), fds: fds}
+	r := db.newRelation(relation.NewInstance(schema), fds)
 	db.rels[name] = r
 	db.order = append(db.order, name)
 	return r, nil
@@ -211,7 +278,7 @@ func (db *DB) AddInstance(inst *Instance) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Relation{inst: inst, fds: fds}
+	r := db.newRelation(inst, fds)
 	db.rels[name] = r
 	db.order = append(db.order, name)
 	return r, nil
@@ -231,20 +298,65 @@ func (db *DB) Relations() []string {
 }
 
 // Schema returns the relation's schema.
-func (r *Relation) Schema() *Schema { return r.inst.Schema() }
+func (r *Relation) Schema() *Schema {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inst.Schema()
+}
 
-// Instance returns the relation's (possibly inconsistent) instance.
-func (r *Relation) Instance() *Instance { return r.inst }
+// Instance returns the relation's current (possibly inconsistent)
+// instance: the latest published version, after folding in any
+// pending mutations. The result is an immutable version, safe to
+// read while writers continue mutating the relation. If the built
+// state cannot be constructed (e.g. contradictory preferences), the
+// writer's working instance is returned instead; that fallback is
+// only safe without concurrent mutation.
+func (r *Relation) Instance() *Instance {
+	if built, err := r.build(); err == nil {
+		return built.Inst
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inst
+}
+
+// beginMutate forks the instance away from the published version on
+// the first mutation of a batch, so readers of the published version
+// keep a consistent view. Caller holds r.mu.
+func (r *Relation) beginMutate() {
+	if r.cur.Load() != nil && !r.forked {
+		r.inst = r.inst.Fork()
+		r.forked = true
+	}
+}
 
 // Insert adds a row from native Go values (string → name, integer
 // types → int) and returns its tuple ID. Duplicate inserts return
-// the existing ID (set semantics).
+// the existing ID (set semantics) without touching any state.
 func (r *Relation) Insert(vals ...any) (TupleID, error) {
-	id, err := r.inst.InsertValues(vals...)
-	if err == nil {
-		r.built = nil
+	tup, err := relation.CoerceTuple(vals...)
+	if err != nil {
+		return -1, err
 	}
-	return id, err
+	r.snap.RLock()
+	defer r.snap.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.inst.Lookup(tup); ok {
+		return id, nil // duplicate: no mutation, no fork
+	}
+	r.beginMutate()
+	id, fresh, err := r.inst.Insert(tup)
+	if err != nil {
+		return id, err
+	}
+	if fresh {
+		if r.cur.Load() != nil {
+			r.pend.inserts = append(r.pend.inserts, id)
+		}
+		r.dirty.Store(true)
+	}
+	return id, nil
 }
 
 // MustInsert is Insert that panics on error, for fixtures.
@@ -256,69 +368,218 @@ func (r *Relation) MustInsert(vals ...any) TupleID {
 	return id
 }
 
+// Delete tombstones the tuple with the given ID and reports whether
+// it was live. Other tuple IDs are unchanged; preferences touching
+// the tuple are dropped from the built priority. The built state is
+// patched, not rebuilt: cost is proportional to the tuple's conflict
+// component.
+func (r *Relation) Delete(id TupleID) bool {
+	r.snap.RLock()
+	defer r.snap.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.inst.Live(id) {
+		return false
+	}
+	r.beginMutate()
+	r.inst.Delete(id)
+	if r.cur.Load() != nil {
+		r.pend.deletes = append(r.pend.deletes, id)
+	}
+	r.dirty.Store(true)
+	return true
+}
+
 // AddFD declares a functional dependency, e.g. "Dept -> Name, Salary".
+// Unlike tuple-level mutations, adding a dependency rebuilds the
+// conflict graph from scratch on the next read.
 func (r *Relation) AddFD(spec string) error {
+	r.snap.RLock()
+	defer r.snap.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	f, err := fd.Parse(r.inst.Schema(), spec)
 	if err != nil {
 		return err
 	}
-	if err := r.fds.Add(f); err != nil {
+	// Replace rather than mutate the dependency set: the published
+	// version keeps referencing the old one.
+	nfds, err := fd.NewSet(r.inst.Schema(), append(r.fds.All(), f)...)
+	if err != nil {
 		return err
 	}
-	r.built = nil
+	r.fds = nfds
+	r.pend.rebuild = true
+	r.dirty.Store(true)
 	return nil
 }
 
 // FDs renders the declared dependencies.
-func (r *Relation) FDs() string { return r.fds.String() }
+func (r *Relation) FDs() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fds.String()
+}
 
 // Prefer records that tuple x should win its conflict against tuple
 // y (x ≻ y). Following Definition 2, pairs of non-conflicting tuples
 // are accepted and ignored; contradictory or cyclic preferences are
-// reported when the priority is built.
+// reported when the priority is built. Duplicate pairs are recorded
+// once.
 func (r *Relation) Prefer(x, y TupleID) error {
-	if x < 0 || y < 0 || x >= r.inst.Len() || y >= r.inst.Len() {
+	r.snap.RLock()
+	defer r.snap.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.inst.Live(x) || !r.inst.Live(y) {
 		return fmt.Errorf("prefcqa: preference on unknown tuple IDs (%d, %d)", x, y)
 	}
-	r.prefs = append(r.prefs, [2]TupleID{x, y})
-	r.built = nil
+	r.preferLocked(x, y)
 	return nil
+}
+
+// preferLocked records x ≻ y, deduplicating. Caller holds r.mu.
+func (r *Relation) preferLocked(x, y TupleID) {
+	pair := [2]TupleID{x, y}
+	if r.prefSeen[pair] {
+		return
+	}
+	r.prefSeen[pair] = true
+	r.prefs = append(r.prefs, pair)
+	if r.cur.Load() != nil {
+		r.pend.prefs = append(r.pend.prefs, pair)
+	}
+	r.dirty.Store(true)
 }
 
 // PreferByRank derives preferences from a rank function (smaller rank
 // = more trusted, e.g. source reliability or recency): every conflict
 // between tuples of different ranks is oriented toward the smaller
 // rank. Rank-derived preferences are recorded alongside any explicit
-// Prefer pairs; a contradiction between the two surfaces as an error
+// Prefer pairs (duplicates are dropped, so PreferByRank is
+// idempotent); a contradiction between the two surfaces as an error
 // on the next query or repair operation.
+//
+// The rank callback runs without the relation lock held, so it may
+// read the relation (Instance, ExplainTuple, ...). Conflicts are
+// taken from the state observed on entry; pairs whose tuples are
+// deleted by a concurrent writer before the pairs are recorded are
+// dropped when the priority is next built.
 func (r *Relation) PreferByRank(rank func(TupleID) int) error {
-	built, err := r.build()
+	r.mu.Lock()
+	built, err := r.materializeLocked()
 	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
-	g := built.Pri.Graph()
-	for _, e := range g.Edges() {
+	edges := built.Pri.Graph().Edges()
+	r.mu.Unlock()
+	pairs := make([][2]TupleID, 0, len(edges))
+	for _, e := range edges {
 		ra, rb := rank(e.A), rank(e.B)
 		switch {
 		case ra < rb:
-			r.prefs = append(r.prefs, [2]TupleID{e.A, e.B})
+			pairs = append(pairs, [2]TupleID{e.A, e.B})
 		case rb < ra:
-			r.prefs = append(r.prefs, [2]TupleID{e.B, e.A})
+			pairs = append(pairs, [2]TupleID{e.B, e.A})
 		}
 	}
-	r.built = nil
+	r.snap.RLock()
+	defer r.snap.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range pairs {
+		r.preferLocked(p[0], p[1])
+	}
 	return nil
 }
 
-// build (re)constructs the conflict graph and priority. The lock
-// makes concurrent queries against an already-populated DB safe; it
-// does not protect against concurrent mutation.
+// build returns the up-to-date built state, applying any pending
+// delta (or rebuilding, when required) and publishing the result.
+// With nothing pending the fast path is two atomic loads and no lock,
+// so readers of a clean relation never contend with each other or
+// with a writer mid-batch — they simply observe the latest published
+// version.
 func (r *Relation) build() (*cqa.Relation, error) {
+	// Order matters: publishLocked stores cur before clearing dirty,
+	// so observing dirty == false guarantees the subsequent cur load
+	// sees (at least) the version that batch produced — a goroutine
+	// always reads its own completed writes.
+	if !r.dirty.Load() {
+		if st := r.cur.Load(); st != nil {
+			return st, nil
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.built != nil {
-		return r.built, nil
+	return r.materializeLocked()
+}
+
+// incrementalTooBig decides when a pending batch is too large for
+// delta application: beyond a quarter of the instance a rebuild's
+// better constants win.
+func (r *Relation) incrementalTooBig(st *cqa.Relation) bool {
+	return len(r.pend.inserts)+len(r.pend.deletes) > 64+st.Inst.Len()/4
+}
+
+// materializeLocked applies the pending mutation batch to the latest
+// published version — delta maintenance when possible, full rebuild
+// when demanded (first build, AddFD, oversized batch) — and publishes
+// the new version. Caller holds r.mu. On error the pending batch is
+// retained and the published version stays; subsequent reads retry
+// and report the same error, mirroring the former rebuild-on-read
+// semantics.
+func (r *Relation) materializeLocked() (*cqa.Relation, error) {
+	st := r.cur.Load()
+	if st != nil && !r.pend.dirty() {
+		return st, nil
 	}
+	if st == nil || r.pend.rebuild || !r.incremental || r.incrementalTooBig(st) {
+		return r.rebuildLocked()
+	}
+	g2, _, err := st.Pri.Graph().ApplyDelta(r.inst, conflict.Delta{Inserts: r.pend.inserts, Deletes: r.pend.deletes})
+	if err != nil {
+		// Assertion failure in the delta plumbing: recover via rebuild.
+		return r.rebuildLocked()
+	}
+	p2 := st.Pri.Rebase(g2)
+	for _, v := range r.pend.deletes {
+		p2.DropVertex(v)
+	}
+	// Orientation changes do not alter component membership, but they
+	// dirty the per-component caches: retire each touched component ID
+	// once, after all pairs are applied.
+	touched := make(map[int]TupleID)
+	for _, pr := range r.pend.prefs {
+		if !g2.Adjacent(pr[0], pr[1]) {
+			continue // non-conflicting (or deleted) pair: ignored, as in FromRelation
+		}
+		if p2.Dominates(pr[0], pr[1]) {
+			continue
+		}
+		if err := p2.Add(pr[0], pr[1]); err != nil {
+			// The failed batch has already mutated the writer-side
+			// partner index; route the (equally failing) retries
+			// through the rebuild path, which starts a fresh one.
+			r.pend.rebuild = true
+			return nil, err
+		}
+		cid := g2.ComponentOf(pr[0])
+		if _, ok := touched[cid]; !ok {
+			touched[cid] = pr[0]
+		}
+	}
+	for _, v := range touched {
+		g2.Touch(v)
+	}
+	newSt := &cqa.Relation{Inst: r.inst, FDs: st.FDs, Pri: p2}
+	r.publishLocked(newSt)
+	return newSt, nil
+}
+
+// rebuildLocked reconstructs the built state from scratch on the
+// current instance and publishes it.
+func (r *Relation) rebuildLocked() (*cqa.Relation, error) {
 	rel, err := cqa.NewRelation(r.inst, r.fds)
 	if err != nil {
 		return nil, err
@@ -328,8 +589,33 @@ func (r *Relation) build() (*cqa.Relation, error) {
 		return nil, err
 	}
 	rel.Pri = pri
-	r.built = rel
+	r.publishLocked(rel)
 	return rel, nil
+}
+
+// publishLocked swaps in the new version and clears the batch. It
+// also prunes the recorded preference history once it doubles since
+// the last prune: pairs touching tombstoned tuples can never matter
+// again (IDs are never reused), so dropping them keeps r.prefs — and
+// the cost of any future full rebuild — proportional to the live
+// instance instead of the total mutation history.
+func (r *Relation) publishLocked(st *cqa.Relation) {
+	r.cur.Store(st)
+	r.pend = pendingDelta{}
+	r.forked = false
+	r.dirty.Store(false)
+	if len(r.prefs) > 64 && len(r.prefs) >= r.prefsPruneAt {
+		kept := r.prefs[:0]
+		for _, p := range r.prefs {
+			if r.inst.Live(p[0]) && r.inst.Live(p[1]) {
+				kept = append(kept, p)
+			} else {
+				delete(r.prefSeen, p)
+			}
+		}
+		r.prefs = kept
+		r.prefsPruneAt = 2 * len(kept)
+	}
 }
 
 // Graph returns the relation's conflict graph (built on demand).
@@ -436,7 +722,7 @@ func (db *DB) Repairs(f Family, rel string) ([]*Instance, error) {
 	}
 	var out []*Instance
 	db.engine.Enumerate(f, built.Pri, func(s *bitset.Set) bool { //nolint:errcheck // never stops
-		out = append(out, r.inst.Subset(s))
+		out = append(out, built.Inst.Subset(s))
 		return true
 	})
 	return out, nil
@@ -452,7 +738,7 @@ func (db *DB) CountRepairs(f Family, rel string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return db.engine.Count(f, built.Pri)
+	return db.engine.CountCached(f, built.Pri, r.counts)
 }
 
 // IsPreferredRepair checks whether the given tuple subset of a
@@ -483,7 +769,7 @@ func (db *DB) Clean(rel string) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.inst.Subset(clean.Deterministic(built.Pri)), nil
+	return built.Inst.Subset(clean.Deterministic(built.Pri)), nil
 }
 
 // CleanNaive runs the naive cleaning baseline the paper argues
@@ -500,7 +786,7 @@ func (db *DB) CleanNaive(rel string) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.inst.Subset(clean.Naive(built.Pri)), nil
+	return built.Inst.Subset(clean.Naive(built.Pri)), nil
 }
 
 // CheckAxioms probes properties P1-P4 for the family on the

@@ -1,0 +1,191 @@
+package prefcqa
+
+import (
+	"fmt"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/clean"
+	"prefcqa/internal/core"
+	"prefcqa/internal/cqa"
+	"prefcqa/internal/query"
+)
+
+// Snapshot is an immutable point-in-time view of a DB: every relation
+// is pinned at one published version (instance, conflict graph,
+// priority, component index). Queries against a snapshot are
+// unaffected by concurrent mutation of the DB — writers publish new
+// versions, the snapshot keeps the old ones — so a reader can issue
+// any number of consistent reads while the database churns.
+//
+// A snapshot shares the DB's evaluation engine and per-relation count
+// caches; cache entries are keyed by immutable (era, component ID)
+// identities, so sharing them across versions is safe.
+type Snapshot struct {
+	engine *core.Engine
+	order  []string
+	rels   map[string]snapRel
+}
+
+type snapRel struct {
+	rel    *cqa.Relation
+	counts *core.CountCache
+}
+
+// Snapshot materializes any pending mutations and returns an
+// immutable view of every relation's current version. The cut is
+// atomic across relations: mutators hold the DB's snapshot gate in
+// read mode, so while the versions are pinned no relation can move,
+// and the snapshot equals the database's real state at one instant —
+// never relation A from one moment and relation B from another.
+// (Individual mutation calls are the atomic unit: a snapshot may
+// still land between two calls of a logical multi-call update.)
+// O(pending delta); with nothing pending it is a handful of atomic
+// loads per relation.
+func (db *DB) Snapshot() (*Snapshot, error) {
+	s := &Snapshot{
+		engine: db.engine,
+		order:  append([]string(nil), db.order...),
+		rels:   make(map[string]snapRel, len(db.order)),
+	}
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	for _, name := range db.order {
+		r := db.rels[name]
+		built, err := r.build()
+		if err != nil {
+			return nil, fmt.Errorf("prefcqa: relation %s: %w", name, err)
+		}
+		s.rels[name] = snapRel{rel: built, counts: r.counts}
+	}
+	return s, nil
+}
+
+// Relations lists the snapshot's relation names in creation order.
+func (s *Snapshot) Relations() []string {
+	return append([]string(nil), s.order...)
+}
+
+// Versions returns the pinned instance version of every relation —
+// useful to confirm which state a long-running reader is looking at.
+func (s *Snapshot) Versions() map[string]uint64 {
+	out := make(map[string]uint64, len(s.rels))
+	for name, sr := range s.rels {
+		out[name] = sr.rel.Inst.Version()
+	}
+	return out
+}
+
+// Instance returns the pinned instance of a relation.
+func (s *Snapshot) Instance(rel string) (*Instance, bool) {
+	sr, ok := s.rels[rel]
+	if !ok {
+		return nil, false
+	}
+	return sr.rel.Inst, true
+}
+
+// input assembles the CQA input over the pinned versions.
+func (s *Snapshot) input() (cqa.Input, error) {
+	rels := make([]*cqa.Relation, 0, len(s.order))
+	for _, name := range s.order {
+		rels = append(rels, s.rels[name].rel)
+	}
+	in, err := cqa.NewInput(rels...)
+	if err != nil {
+		return cqa.Input{}, err
+	}
+	return in.WithEngine(s.engine), nil
+}
+
+// Query evaluates a closed first-order query under the family's
+// preferred-repair semantics against the pinned versions.
+func (s *Snapshot) Query(f Family, src string) (Answer, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	in, err := s.input()
+	if err != nil {
+		return 0, err
+	}
+	return cqa.Evaluate(f, in, q)
+}
+
+// Certain reports whether true is the f-consistent answer to the
+// closed query on the pinned versions.
+func (s *Snapshot) Certain(f Family, src string) (bool, error) {
+	a, err := s.Query(f, src)
+	if err != nil {
+		return false, err
+	}
+	return a == True, nil
+}
+
+// Possible reports whether the closed query holds in at least one
+// preferred repair of the family (brave semantics).
+func (s *Snapshot) Possible(f Family, src string) (bool, error) {
+	a, err := s.Query(f, src)
+	if err != nil {
+		return false, err
+	}
+	return a != False, nil
+}
+
+// QueryOpen evaluates an open query (free variables allowed) and
+// returns its certain answers on the pinned versions.
+func (s *Snapshot) QueryOpen(f Family, src string) ([]Binding, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	in, err := s.input()
+	if err != nil {
+		return nil, err
+	}
+	return cqa.FreeAnswers(f, in, q)
+}
+
+// CountRepairs returns the number of preferred repairs of a relation
+// at the pinned version.
+func (s *Snapshot) CountRepairs(f Family, rel string) (int64, error) {
+	sr, ok := s.rels[rel]
+	if !ok {
+		return 0, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	return s.engine.CountCached(f, sr.rel.Pri, sr.counts)
+}
+
+// Repairs materializes the family's preferred repairs of one relation
+// at the pinned version. Use CountRepairs first — the result can be
+// exponential.
+func (s *Snapshot) Repairs(f Family, rel string) ([]*Instance, error) {
+	sr, ok := s.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	var out []*Instance
+	s.engine.Enumerate(f, sr.rel.Pri, func(set *bitset.Set) bool { //nolint:errcheck // never stops
+		out = append(out, sr.rel.Inst.Subset(set))
+		return true
+	})
+	return out, nil
+}
+
+// Clean runs Algorithm 1 on the pinned version of the relation.
+func (s *Snapshot) Clean(rel string) (*Instance, error) {
+	sr, ok := s.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	return sr.rel.Inst.Subset(clean.Deterministic(sr.rel.Pri)), nil
+}
+
+// Conflicts returns the number of conflicting tuple pairs of a
+// relation at the pinned version.
+func (s *Snapshot) Conflicts(rel string) (int, error) {
+	sr, ok := s.rels[rel]
+	if !ok {
+		return 0, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	return sr.rel.Pri.Graph().NumEdges(), nil
+}
