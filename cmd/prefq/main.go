@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prefcqa"
 	"prefcqa/internal/cliutil"
@@ -37,6 +38,7 @@ func run() error {
 		rel     = flag.String("rel", "R", "relation name")
 		prefs   = flag.String("prefs", "", "preference file (tuple > tuple per line)")
 		family  = flag.String("family", "rep", "repair family: rep, local, semiglobal, global, common")
+		explain = flag.Bool("explain-plan", false, "print the physical query plan (access paths, join order, est/act rows)")
 		queries cliutil.StringList
 		fds     cliutil.StringList
 	)
@@ -71,6 +73,9 @@ func run() error {
 		ans, err := db.Query(fam, src)
 		if err == nil {
 			fmt.Printf("%s\n  => %s\n", src, ans)
+			if *explain {
+				printPlan(db, src)
+			}
 			continue
 		}
 		// Retry as an open query.
@@ -85,6 +90,22 @@ func run() error {
 		for _, b := range bindings {
 			fmt.Printf("  => %s\n", b)
 		}
+		if *explain {
+			fmt.Println("  (no plan: -explain-plan covers closed queries only)")
+		}
 	}
 	return nil
+}
+
+// printPlan renders the physical plan of one closed query, indented
+// under its answer.
+func printPlan(db *prefcqa.DB, src string) {
+	rep, err := db.ExplainPlan(src)
+	if err != nil {
+		fmt.Printf("  (explain-plan: %v)\n", err)
+		return
+	}
+	for _, line := range strings.Split(rep.String(), "\n") {
+		fmt.Printf("  | %s\n", line)
+	}
 }

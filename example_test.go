@@ -135,3 +135,24 @@ func ExampleDB_Snapshot() {
 	fmt.Println(now, then, pinned)
 	// Output: true false true
 }
+
+// ExampleDB_ExplainPlan renders the physical plan the query planner
+// chooses: access path per atom (secondary-index probe vs scan),
+// join order, and estimated vs actual candidate rows.
+func ExampleDB_ExplainPlan() {
+	db := prefcqa.New()
+	mgr, _ := db.CreateRelation("Mgr",
+		prefcqa.NameAttr("Name"), prefcqa.NameAttr("Dept"), prefcqa.IntAttr("Salary"))
+	mgr.MustInsert("Mary", "R&D", 40)
+	mgr.MustInsert("John", "R&D", 10)
+	mgr.MustInsert("Mary", "IT", 20)
+
+	rep, _ := db.ExplainPlan("EXISTS d, s . Mgr('Mary', d, s) AND s > 30")
+	fmt.Println(rep)
+	// Output:
+	// query: EXISTS d, s . Mgr('Mary', d, s) AND s > 30
+	// mode: indexed; holds on full instance: true
+	// plan 1: EXISTS d, s
+	//   1. Mgr('Mary', d, s)  index(Name='Mary')  est 2 act 1  binds d, s
+	//   residual: s > 30
+}

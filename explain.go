@@ -3,9 +3,11 @@ package prefcqa
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"prefcqa/internal/bitset"
 	"prefcqa/internal/core"
+	"prefcqa/internal/query"
 )
 
 // TupleReport explains one tuple's inconsistency status: its
@@ -103,6 +105,97 @@ func (db *DB) ExplainTuple(f Family, rel string, id TupleID) (TupleReport, error
 		} else {
 			rep.InAll = false
 		}
+	}
+	return rep, nil
+}
+
+// PlanReport explains how the query planner evaluates a closed
+// query: the physical plan of every existential quantifier the
+// planner compiled — access path per atom (secondary-index probe vs
+// scan), join order, and estimated vs actual candidate rows — from
+// one evaluation against the full current instance of every relation
+// (all tuples visible, tombstones excluded). Per-repair evaluations
+// during Query compile the same plan shape with repair subsets
+// filtered on top of the index candidates, so a regression visible
+// here (an unexpected scan, an estimate far off the actual rows) is
+// the same regression Query pays once per repair.
+type PlanReport struct {
+	// Query is the parsed query, printed back.
+	Query string
+	// Indexed reports whether index access paths were available
+	// (false under WithIndexes(false)).
+	Indexed bool
+	// Holds is the query's value on the full (possibly inconsistent)
+	// instance — not the preferred-repair answer; use Query for that.
+	Holds bool
+	// Plans holds one rendered physical plan per EXISTS the planner
+	// executed, in execution order. Quantifiers that fell back to
+	// active-domain iteration (no positive atoms, or a variable
+	// occurring only in residual conjuncts) produce no plan.
+	Plans []string
+}
+
+// String renders the report.
+func (r PlanReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", r.Query)
+	mode := "indexed"
+	if !r.Indexed {
+		mode = "scan-only"
+	}
+	fmt.Fprintf(&b, "mode: %s; holds on full instance: %v\n", mode, r.Holds)
+	if len(r.Plans) == 0 {
+		b.WriteString("no planned quantifiers (ground query or domain-iteration fallback)")
+		return b.String()
+	}
+	for i, p := range r.Plans {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "plan %d: %s", i+1, p)
+	}
+	return b.String()
+}
+
+// ExplainPlan compiles and runs the closed query once against the
+// full current instance of every relation and reports the physical
+// plans the planner chose. It is the diagnosis companion of Query:
+// the answer reported here is the raw-instance value, not the
+// preferred-repair answer.
+func (db *DB) ExplainPlan(src string) (PlanReport, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return PlanReport{}, err
+	}
+	in, err := db.input()
+	if err != nil {
+		return PlanReport{}, err
+	}
+	schemas := make(map[string]*Schema, len(db.order))
+	for _, name := range db.order {
+		inst, ok := in.DB.Relation(name)
+		if !ok {
+			return PlanReport{}, fmt.Errorf("prefcqa: relation %s missing from input", name)
+		}
+		schemas[name] = inst.Schema()
+	}
+	if err := query.Validate(q, schemas); err != nil {
+		return PlanReport{}, err
+	}
+	if !query.IsClosed(q) {
+		return PlanReport{}, fmt.Errorf("prefcqa: ExplainPlan needs a closed query, free variables %v", query.FreeVars(q))
+	}
+	var m query.Model = query.DBModel{DB: in.DB}
+	if in.ScanOnly {
+		m = query.ScanOnly(m)
+	}
+	holds, trace, err := query.EvalTrace(q, m)
+	if err != nil {
+		return PlanReport{}, err
+	}
+	rep := PlanReport{Query: q.String(), Indexed: !in.ScanOnly, Holds: holds}
+	for _, e := range trace.Execs {
+		rep.Plans = append(rep.Plans, e.Describe())
 	}
 	return rep, nil
 }

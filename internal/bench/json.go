@@ -15,6 +15,7 @@ import (
 	"prefcqa/internal/core"
 	"prefcqa/internal/cqa"
 	"prefcqa/internal/priority"
+	"prefcqa/internal/query"
 	"prefcqa/internal/relation"
 	"prefcqa/internal/repair"
 	"prefcqa/internal/workload"
@@ -194,7 +195,95 @@ func JSON(o Options) Report {
 			})
 		}
 	}
+
+	// Selective-query workloads: the planner's index access paths vs
+	// forced scans on a large instance. "point" and "join" are
+	// high-selectivity (a ten-tuple posting out of selN tuples),
+	// "lowsel" matches half the instance — the case where an index
+	// can only win a constant factor.
+	selN := pick(10_000, 100_000)
+	for _, kind := range []string{"point", "join", "lowsel"} {
+		kind := kind
+		idxMetric := measure("selective_"+kind+"_query/indexed",
+			map[string]float64{"tuples": float64(selN)}, SelectiveWorkload(selN, true, kind))
+		scanMetric := measure("selective_"+kind+"_query/scan",
+			map[string]float64{"tuples": float64(selN)}, SelectiveWorkload(selN, false, kind))
+		rep.add(idxMetric)
+		rep.add(scanMetric)
+		if idxMetric.NsPerOp > 0 {
+			rep.add(Metric{
+				Name:       "selective_" + kind + "_query/speedup",
+				Iterations: 1,
+				Extra:      map[string]float64{"x": scanMetric.NsPerOp / idxMetric.NsPerOp},
+			})
+		}
+	}
 	return rep
+}
+
+// SelectiveWorkload builds an n-tuple relation R(K, L, V) — K
+// point-selective (ten tuples per key), L half-selective — plus an
+// n-tuple join target S(W, X) with unique W, and returns a benchmark
+// whose op is one closed selective query answered by the cost-based
+// planner. Every query carries an always-false residual so the
+// access path is traversed in full instead of short-circuiting at
+// the first match:
+//
+//	point   EXISTS l, v . R(7, l, v) AND v < 0          (10-row posting)
+//	join    EXISTS l, v, x . R(7, l, v) AND S(v, x) AND x < 0
+//	lowsel  EXISTS k, v . R(k, 1, v) AND v < 0          (n/2-row posting)
+//
+// indexed=false evaluates the same plans with index access paths
+// disabled (query.ScanOnly), the baseline of the BENCH_*.json
+// selective speedup rows. Exported so the top-level go-bench suite
+// measures exactly the prefbench workload.
+func SelectiveWorkload(n int, indexed bool, kind string) func(b *testing.B) {
+	return func(b *testing.B) {
+		db := relation.NewDatabase()
+		r := relation.NewInstance(relation.MustSchema("R",
+			relation.IntAttr("K"), relation.IntAttr("L"), relation.IntAttr("V")))
+		for i := 0; i < n; i++ {
+			r.MustInsert(i/10, i%2, i)
+		}
+		s := relation.NewInstance(relation.MustSchema("S",
+			relation.IntAttr("W"), relation.IntAttr("X")))
+		for i := 0; i < n; i++ {
+			s.MustInsert(i, i)
+		}
+		if err := db.AddInstance(r); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.AddInstance(s); err != nil {
+			b.Fatal(err)
+		}
+		var m query.Model = query.DBModel{DB: db}
+		if !indexed {
+			m = query.ScanOnly(m)
+		}
+		var src string
+		switch kind {
+		case "point":
+			src = "EXISTS l, v . R(7, l, v) AND v < 0"
+		case "join":
+			src = "EXISTS l, v, x . R(7, l, v) AND S(v, x) AND x < 0"
+		case "lowsel":
+			src = "EXISTS k, v . R(k, 1, v) AND v < 0"
+		default:
+			b.Fatalf("unknown selective workload %q", kind)
+		}
+		q := query.MustParse(src)
+		// Warm the lazily built indexes so ops measure steady state.
+		if res, err := query.Eval(q, m); err != nil || res {
+			b.Fatalf("warmup: %v, %v", res, err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := query.Eval(q, m)
+			if err != nil || res {
+				b.Fatalf("%v, %v", res, err)
+			}
+		}
+	}
 }
 
 // MutationWorkload builds a 2m-tuple instance (m conflict pairs, each

@@ -55,12 +55,24 @@ type Input struct {
 	// the sequential reference engine; set it (or use WithEngine) to
 	// shard components across workers and memoize choice sets.
 	Engine *core.Engine
+	// ScanOnly disables index access paths in query evaluation: the
+	// planner still orders joins but every atom scans the visible
+	// tuples. Results are identical; this is the ablation/back-out
+	// switch behind the facade's WithIndexes(false).
+	ScanOnly bool
 }
 
 // WithEngine returns a copy of the input evaluating on the given
 // engine.
 func (in Input) WithEngine(e *core.Engine) Input {
 	in.Engine = e
+	return in
+}
+
+// WithScanOnly returns a copy of the input with index access paths
+// disabled (or re-enabled).
+func (in Input) WithScanOnly(on bool) Input {
+	in.ScanOnly = on
 	return in
 }
 
@@ -125,9 +137,15 @@ func (in Input) schemas() map[string]*relation.Schema {
 }
 
 // model builds the evaluation view for one preferred repair
-// combination (one tuple subset per relation).
+// combination (one tuple subset per relation). The view serves index
+// lookups from the relations' secondary indexes unless the input is
+// ScanOnly.
 func (in Input) model(subsets map[string]*bitset.Set) query.Model {
-	return query.DBModel{DB: in.DB, Subsets: subsets}
+	var m query.Model = query.DBModel{DB: in.DB, Subsets: subsets}
+	if in.ScanOnly {
+		m = query.ScanOnly(m)
+	}
+	return m
 }
 
 // forEachPreferredRepair enumerates the preferred repairs of the

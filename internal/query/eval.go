@@ -23,6 +23,49 @@ type Model interface {
 	Contains(rel string, t relation.Tuple) bool
 }
 
+// IndexedModel is a Model whose relations can answer equality
+// lookups from secondary indexes. The planner (plan.go) uses it for
+// access-path selection; models that cannot serve a particular
+// lookup return ok=false from TuplesEq and the executor falls back
+// to a scan. Estimates are upper bounds, used only to order work.
+type IndexedModel interface {
+	Model
+	// TuplesEq iterates the visible tuples of rel whose attribute
+	// attr equals v, in instance ID order; stop early by returning
+	// false from yield. ok=false means no index is available for the
+	// lookup and nothing was iterated.
+	TuplesEq(rel string, attr int, v relation.Value, yield func(relation.Tuple) bool) (ok bool)
+	// EstimateEq returns an upper bound on the number of visible
+	// tuples of rel with attribute attr equal to v.
+	EstimateEq(rel string, attr int, v relation.Value) int
+	// Card returns an upper bound on the number of visible tuples of
+	// rel.
+	Card(rel string) int
+}
+
+// scanModel hides a model's index capability, forcing every atom onto
+// the scan path. The evaluation result is identical; only access
+// paths change.
+type scanModel struct{ m Model }
+
+func (s scanModel) Schema(rel string) (*relation.Schema, bool) { return s.m.Schema(rel) }
+func (s scanModel) Relations() []string                        { return s.m.Relations() }
+func (s scanModel) Tuples(rel string, yield func(relation.Tuple) bool) {
+	s.m.Tuples(rel, yield)
+}
+func (s scanModel) Contains(rel string, t relation.Tuple) bool { return s.m.Contains(rel, t) }
+
+// ScanOnly wraps a model so the planner sees no indexes: every atom
+// is answered by iterating the visible tuples. It is the ablation
+// hook for the indexed-vs-scan benchmarks and the facade's
+// WithIndexes(false) mode.
+func ScanOnly(m Model) Model {
+	if _, already := m.(scanModel); already {
+		return m
+	}
+	return scanModel{m: m}
+}
+
 // InstanceModel exposes a whole instance as a single-relation model.
 type InstanceModel struct{ Inst *relation.Instance }
 
@@ -45,9 +88,34 @@ func (m InstanceModel) Tuples(rel string, yield func(relation.Tuple) bool) {
 	m.Inst.Range(func(_ relation.TupleID, t relation.Tuple) bool { return yield(t) })
 }
 
-// Contains implements Model.
+// Contains implements Model in O(1) via the instance's key index.
 func (m InstanceModel) Contains(rel string, t relation.Tuple) bool {
 	return rel == m.Inst.Schema().Name() && m.Inst.Contains(t)
+}
+
+// TuplesEq implements IndexedModel on the instance's secondary index.
+func (m InstanceModel) TuplesEq(rel string, attr int, v relation.Value, yield func(relation.Tuple) bool) bool {
+	if rel != m.Inst.Schema().Name() {
+		return true // no such relation: zero visible tuples
+	}
+	m.Inst.IndexScan(attr, v, func(_ relation.TupleID, t relation.Tuple) bool { return yield(t) })
+	return true
+}
+
+// EstimateEq implements IndexedModel.
+func (m InstanceModel) EstimateEq(rel string, attr int, v relation.Value) int {
+	if rel != m.Inst.Schema().Name() {
+		return 0
+	}
+	return m.Inst.IndexEstimate(attr, v)
+}
+
+// Card implements IndexedModel.
+func (m InstanceModel) Card(rel string) int {
+	if rel != m.Inst.Schema().Name() {
+		return 0
+	}
+	return m.Inst.Len()
 }
 
 // SubsetModel exposes a subset of an instance (e.g. a repair) as a
@@ -81,13 +149,47 @@ func (m SubsetModel) Tuples(rel string, yield func(relation.Tuple) bool) {
 	})
 }
 
-// Contains implements Model.
+// Contains implements Model in O(1): a key-index lookup plus a bit
+// test on the subset.
 func (m SubsetModel) Contains(rel string, t relation.Tuple) bool {
 	if rel != m.Inst.Schema().Name() {
 		return false
 	}
 	id, ok := m.Inst.Lookup(t)
 	return ok && m.IDs.Has(id)
+}
+
+// TuplesEq implements IndexedModel: the instance-level index narrows
+// to the matching IDs and the subset filters membership per
+// candidate.
+func (m SubsetModel) TuplesEq(rel string, attr int, v relation.Value, yield func(relation.Tuple) bool) bool {
+	if rel != m.Inst.Schema().Name() {
+		return true
+	}
+	m.Inst.IndexScan(attr, v, func(id relation.TupleID, t relation.Tuple) bool {
+		if !m.IDs.Has(id) {
+			return true
+		}
+		return yield(t)
+	})
+	return true
+}
+
+// EstimateEq implements IndexedModel. The instance-level posting
+// length bounds the subset count from above.
+func (m SubsetModel) EstimateEq(rel string, attr int, v relation.Value) int {
+	if rel != m.Inst.Schema().Name() {
+		return 0
+	}
+	return m.Inst.IndexEstimate(attr, v)
+}
+
+// Card implements IndexedModel.
+func (m SubsetModel) Card(rel string) int {
+	if rel != m.Inst.Schema().Name() {
+		return 0
+	}
+	return m.IDs.Len()
 }
 
 // DBModel exposes a multi-relation database with one visible subset
@@ -128,7 +230,8 @@ func (m DBModel) Tuples(rel string, yield func(relation.Tuple) bool) {
 	})
 }
 
-// Contains implements Model.
+// Contains implements Model in O(1): a key-index lookup plus a bit
+// test on the visible subset.
 func (m DBModel) Contains(rel string, t relation.Tuple) bool {
 	inst, ok := m.DB.Relation(rel)
 	if !ok {
@@ -142,6 +245,44 @@ func (m DBModel) Contains(rel string, t relation.Tuple) bool {
 	return sub == nil || sub.Has(id)
 }
 
+// TuplesEq implements IndexedModel; a per-relation subset (a repair
+// view) filters the index candidates per ID.
+func (m DBModel) TuplesEq(rel string, attr int, v relation.Value, yield func(relation.Tuple) bool) bool {
+	inst, ok := m.DB.Relation(rel)
+	if !ok {
+		return true
+	}
+	sub := m.Subsets[rel]
+	inst.IndexScan(attr, v, func(id relation.TupleID, t relation.Tuple) bool {
+		if sub != nil && !sub.Has(id) {
+			return true
+		}
+		return yield(t)
+	})
+	return true
+}
+
+// EstimateEq implements IndexedModel.
+func (m DBModel) EstimateEq(rel string, attr int, v relation.Value) int {
+	inst, ok := m.DB.Relation(rel)
+	if !ok {
+		return 0
+	}
+	return inst.IndexEstimate(attr, v)
+}
+
+// Card implements IndexedModel.
+func (m DBModel) Card(rel string) int {
+	inst, ok := m.DB.Relation(rel)
+	if !ok {
+		return 0
+	}
+	if sub := m.Subsets[rel]; sub != nil {
+		return sub.Len()
+	}
+	return inst.Len()
+}
+
 // Eval evaluates a closed formula over the model in the standard
 // model-theoretic sense (r' |= Q), with quantifiers ranging over the
 // active domain of the model extended with the formula's constants.
@@ -149,28 +290,56 @@ func (m DBModel) Contains(rel string, t relation.Tuple) bool {
 // mismatches, or order comparisons over names.
 //
 // Existential quantifiers whose body is a conjunction with relational
-// atoms covering all quantified variables are evaluated by a
-// backtracking join over the atoms (sound for active-domain
-// semantics: a satisfying assignment must match the atoms, and
-// matched tuples only carry active-domain values); everything else
-// falls back to domain iteration. EvalNaive skips the join path.
+// atoms covering all quantified variables are compiled into a
+// physical plan (see plan.go): per-atom access-path selection (index
+// probe on bound attributes when the model is an IndexedModel, scan
+// otherwise), selectivity-ordered join ordering, and residual
+// conjuncts evaluated under the completed binding. This is sound for
+// active-domain semantics: a satisfying assignment must match the
+// atoms, and matched tuples only carry active-domain values.
+// Everything else falls back to domain iteration, with the active
+// domain collected lazily — a query that never needs domain
+// iteration (e.g. a ground query, or one fully answered by plans)
+// never scans the model. EvalNaive skips the planner entirely;
+// EvalScan plans but forbids index access paths.
 func Eval(e Expr, m Model) (bool, error) {
 	if fv := FreeVars(e); len(fv) != 0 {
 		return false, fmt.Errorf("query: formula is not closed, free variables %v", fv)
 	}
-	ev := &evaluator{m: m, domain: activeDomain(m, e), join: true}
+	ev := &evaluator{m: m, root: e, join: true}
 	return ev.eval(e, map[string]relation.Value{})
 }
 
-// EvalNaive is Eval with the join optimization disabled: quantifiers
-// always iterate the active domain. Exposed for differential testing
-// and the evaluator ablation benchmarks.
+// EvalTrace is Eval, additionally returning the physical plans that
+// were compiled and executed (with estimated and actual row counts)
+// for EXPLAIN-style diagnostics.
+func EvalTrace(e Expr, m Model) (bool, *Trace, error) {
+	if fv := FreeVars(e); len(fv) != 0 {
+		return false, nil, fmt.Errorf("query: formula is not closed, free variables %v", fv)
+	}
+	tr := &Trace{}
+	ev := &evaluator{m: m, root: e, join: true, trace: tr}
+	res, err := ev.eval(e, map[string]relation.Value{})
+	return res, tr, err
+}
+
+// EvalNaive is Eval with the planner disabled: quantifiers always
+// iterate the active domain. Exposed for differential testing and
+// the evaluator ablation benchmarks.
 func EvalNaive(e Expr, m Model) (bool, error) {
 	if fv := FreeVars(e); len(fv) != 0 {
 		return false, fmt.Errorf("query: formula is not closed, free variables %v", fv)
 	}
-	ev := &evaluator{m: m, domain: activeDomain(m, e)}
+	ev := &evaluator{m: m, root: e}
 	return ev.eval(e, map[string]relation.Value{})
+}
+
+// EvalScan is Eval with index access paths disabled: the planner
+// still orders the join, but every atom is answered by scanning the
+// visible tuples. Exposed for the indexed-vs-scan ablation
+// benchmarks; results are identical to Eval.
+func EvalScan(e Expr, m Model) (bool, error) {
+	return Eval(e, ScanOnly(m))
 }
 
 // activeDomain collects the distinct values of all visible tuples
@@ -200,9 +369,25 @@ func activeDomain(m Model, e Expr) []relation.Value {
 }
 
 type evaluator struct {
-	m      Model
-	domain []relation.Value
-	join   bool // enable the backtracking-join fast path
+	m    Model
+	root Expr // the formula being evaluated, for domain constants
+	// domain is the active domain, collected lazily by dom(): only a
+	// quantifier that actually falls back to domain iteration pays
+	// the full model scan. domainOK marks it collected (the domain of
+	// an empty model is legitimately nil).
+	domain   []relation.Value
+	domainOK bool
+	join     bool   // enable the plan-based fast path
+	trace    *Trace // when non-nil, collect executed plans
+}
+
+// dom returns the active domain, collecting it on first use.
+func (ev *evaluator) dom() []relation.Value {
+	if !ev.domainOK {
+		ev.domain = activeDomain(ev.m, ev.root)
+		ev.domainOK = true
+	}
+	return ev.domain
 }
 
 func (ev *evaluator) eval(e Expr, env map[string]relation.Value) (bool, error) {
@@ -238,13 +423,22 @@ func (ev *evaluator) eval(e Expr, env map[string]relation.Value) (bool, error) {
 func (ev *evaluator) evalQuant(q Quant, env map[string]relation.Value, i int) (bool, error) {
 	if ev.join && i == 0 {
 		if q.All {
-			// ∀x̄.φ ≡ ¬∃x̄.¬φ, which the join path can often handle
+			// ∀x̄.φ ≡ ¬∃x̄.¬φ, which the planner can often handle
 			// (e.g. guarded universals NOT R(x̄) OR ψ).
 			v, err := ev.eval(Quant{Vars: q.Vars, Body: NNF(Not{Body: q.Body})}, env)
 			return !v, err
 		}
-		if done, res, err := ev.evalExistsJoin(q, env); done {
-			return res, err
+		p, ok, err := ev.compileExists(q, env)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			var exec *PlanExec
+			if ev.trace != nil {
+				exec = &PlanExec{Plan: p, ActRows: make([]int, len(p.Steps))}
+				ev.trace.Execs = append(ev.trace.Execs, exec)
+			}
+			return ev.runPlan(p, exec, env)
 		}
 	}
 	if i == len(q.Vars) {
@@ -259,7 +453,7 @@ func (ev *evaluator) evalQuant(q Quant, env map[string]relation.Value, i int) (b
 			delete(env, name)
 		}
 	}()
-	for _, v := range ev.domain {
+	for _, v := range ev.dom() {
 		env[name] = v
 		res, err := ev.evalQuant(q, env, i+1)
 		if err != nil {

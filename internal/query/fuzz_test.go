@@ -1,6 +1,10 @@
 package query
 
-import "testing"
+import (
+	"testing"
+
+	"prefcqa/internal/relation"
+)
 
 // FuzzParse checks that the parser never panics on arbitrary input
 // and that accepted formulas round-trip through the printer. Run with
@@ -40,6 +44,88 @@ func FuzzParse(f *testing.F) {
 		}
 		if back.String() != printed {
 			t.Fatalf("round trip unstable: %q -> %q", printed, back.String())
+		}
+	})
+}
+
+// fuzzPlanModel is the fixed two-relation model FuzzPlanEquivalence
+// evaluates against: small enough that naive domain iteration stays
+// cheap, shaped so index probes, runtime-bound probes and subset-free
+// scans all occur.
+func fuzzPlanModel() Model {
+	db := relation.NewDatabase()
+	r := relation.NewInstance(relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B")))
+	for i := 0; i < 6; i++ {
+		r.MustInsert(i%3, (i*2)%3)
+	}
+	r.Delete(1) // postings must filter a tombstone
+	s := relation.NewInstance(relation.MustSchema("S", relation.IntAttr("C"), relation.NameAttr("D")))
+	s.MustInsert(0, "n0")
+	s.MustInsert(1, "n1")
+	s.MustInsert(2, "n0")
+	if err := db.AddInstance(r); err != nil {
+		panic(err)
+	}
+	if err := db.AddInstance(s); err != nil {
+		panic(err)
+	}
+	return DBModel{DB: db}
+}
+
+// FuzzPlanEquivalence parses arbitrary query text and, for every
+// accepted closed formula, requires the cost-based planner — with
+// index access paths and in scan-only mode — to agree bit-for-bit
+// with naive active-domain iteration. The seed corpus exercises
+// index-backed atoms: constant probes, runtime-bound join probes,
+// shadowed variables, negated atoms in residuals, and kind
+// mismatches. Run `go test -fuzz=FuzzPlanEquivalence ./internal/query`
+// to explore.
+func FuzzPlanEquivalence(f *testing.F) {
+	seeds := []string{
+		"EXISTS x . R(0, x)",                               // constant index probe
+		"EXISTS x, y . R(0, x) AND S(x, y)",                // runtime-bound join probe
+		"EXISTS x, y . S(x, 'n0') AND R(x, y) AND x < y",   // probe + residual comparison
+		"EXISTS x . R(x, x)",                               // repeated variable
+		"EXISTS x . R(x, x) AND NOT S(x, 'n1')",            // negated atom residual
+		"FORALL a, b . NOT R(a, b) OR a <= 2",              // guarded universal via NNF
+		"EXISTS x . R('name', x)",                          // kind mismatch: est 0
+		"FORALL x . (NOT R(x, x)) OR (EXISTS x . R(x, 0))", // shadowing
+		"EXISTS x, y . R(x, y) AND (S(y, 'n0') OR x = y)",  // disjunctive residual
+		"EXISTS x . x = 1 AND R(1, x)",                     // comparison + atom coverage
+		"EXISTS x, y . R(x, y) AND R(y, x) AND R(0, 0)",    // ground atom in the spine
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	m := fuzzPlanModel()
+	schemas := map[string]*relation.Schema{}
+	for _, rel := range m.Relations() {
+		s, _ := m.Schema(rel)
+		schemas[rel] = s
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(FreeVars(q)) != 0 {
+			return
+		}
+		// Production evaluation is always preceded by Validate; an
+		// invalid formula (unknown relation inside a residual, say)
+		// may error under one strategy and short-circuit under
+		// another, which is not a disagreement worth chasing.
+		if Validate(q, schemas) != nil {
+			return
+		}
+		planned, errP := Eval(q, m)
+		scan, errS := EvalScan(q, m)
+		naive, errN := EvalNaive(q, m)
+		if (errP == nil) != (errN == nil) || (errS == nil) != (errN == nil) {
+			t.Fatalf("error mismatch planned=%v scan=%v naive=%v for %s", errP, errS, errN, q)
+		}
+		if errN == nil && (planned != naive || scan != naive) {
+			t.Fatalf("planned=%v scan=%v naive=%v for %s", planned, scan, naive, q)
 		}
 	})
 }

@@ -1,0 +1,459 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"prefcqa/internal/relation"
+)
+
+// Cost-based planning for existential quantifiers.
+//
+// An EXISTS whose body flattens into a conjunction with relational
+// atoms covering every quantified variable is answered by embedding
+// the atoms into the model's tuples: each satisfying assignment must
+// match the atoms, so enumerating matching tuples enumerates exactly
+// the candidate bindings — no |domain|^k iteration. This file turns
+// that observation into a physical plan:
+//
+//   - Access-path selection. An atom argument whose value is known
+//     when the atom runs (a constant, or a variable bound by the
+//     environment or an earlier step) can be answered by an equality
+//     probe of the relation's secondary index instead of a scan,
+//     when the model supports it (IndexedModel).
+//   - Join ordering. Steps are ordered greedily by estimated
+//     candidate rows — exact posting lengths for values known at
+//     plan time, heuristic fractions of the relation cardinality
+//     for values bound at run time — so selective atoms run first
+//     and shrink the backtracking product.
+//   - Residual placement. Conjuncts that are not positive relational
+//     atoms (comparisons, negated atoms, disjunctions, nested
+//     quantifiers) are evaluated once under the completed binding.
+//
+// Plans compile against the live environment, so estimates use the
+// actual probe values; the executor re-picks the cheapest probe
+// attribute per step invocation from the values bound at that moment.
+// Evaluation results are identical to pure active-domain iteration
+// (EvalNaive) — pinned by differential and property tests.
+
+// AccessPath says how a plan step locates its candidate tuples.
+type AccessPath int
+
+const (
+	// AccessScan iterates every visible tuple of the relation.
+	AccessScan AccessPath = iota
+	// AccessIndex probes a secondary index with an equality value.
+	AccessIndex
+)
+
+// String renders "scan" or "index".
+func (a AccessPath) String() string {
+	if a == AccessIndex {
+		return "index"
+	}
+	return "scan"
+}
+
+// PlanStep is one atom of the join in execution order.
+type PlanStep struct {
+	Atom Atom
+	// Access is the access path chosen at plan time. AccessIndex with
+	// Attr >= 0 probes that attribute with a value known at plan
+	// time; Attr < 0 defers the probe-attribute choice to run time
+	// (the value comes from a variable bound by an earlier step).
+	Access AccessPath
+	Attr   int
+	// AttrName is the schema name of Attr, for rendering.
+	AttrName string
+	// EstRows is the planner's estimate of candidate rows per
+	// invocation: a posting length when the probe value is known, a
+	// cardinality fraction otherwise.
+	EstRows int
+	// Binds lists the quantified variables first bound by this step.
+	Binds []string
+}
+
+// Plan is the compiled physical plan of one existential quantifier.
+type Plan struct {
+	Vars     []string
+	Steps    []PlanStep
+	Residual []Expr
+	// Indexed records whether the model offered index access paths
+	// (false means every step scans regardless of Access hints).
+	Indexed bool
+	// Unsat marks a plan proven empty at compile time: some atom
+	// carries a value of the wrong domain (a name where the schema
+	// says int, or vice versa), so no tuple can ever match. The
+	// executor returns false without touching the model.
+	Unsat bool
+}
+
+// PlanExec pairs a plan with its runtime row counts: ActRows[i] is
+// the total number of candidate tuples step i's access path yielded,
+// summed over every invocation (inner steps run once per outer
+// binding). Counts reflect the executed portion only — an EXISTS
+// short-circuits on its first satisfying binding, so actual rows can
+// undershoot an accurate estimate.
+type PlanExec struct {
+	Plan    *Plan
+	ActRows []int
+}
+
+// Trace collects the executed plans of one evaluation, in the order
+// the planner ran them, for EXPLAIN-style diagnostics.
+type Trace struct {
+	Execs []*PlanExec
+}
+
+// String renders the plan, one step per line.
+func (p *Plan) String() string { return p.describe(nil) }
+
+// Describe renders the plan with actual row counts next to the
+// estimates.
+func (e *PlanExec) Describe() string { return e.Plan.describe(e.ActRows) }
+
+func (p *Plan) describe(act []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXISTS %s", strings.Join(p.Vars, ", "))
+	if !p.Indexed {
+		b.WriteString(" [scan-only model]")
+	}
+	if p.Unsat {
+		b.WriteString(" [unsatisfiable: kind mismatch]")
+	}
+	for i, s := range p.Steps {
+		fmt.Fprintf(&b, "\n  %d. %s  ", i+1, s.Atom)
+		switch {
+		case s.Access == AccessIndex && s.Attr >= 0:
+			fmt.Fprintf(&b, "index(%s=%s)", s.AttrName, s.Atom.Args[s.Attr])
+		case s.Access == AccessIndex:
+			b.WriteString("index(runtime-bound)")
+		default:
+			b.WriteString("scan")
+		}
+		fmt.Fprintf(&b, "  est %d", s.EstRows)
+		if act != nil {
+			fmt.Fprintf(&b, " act %d", act[i])
+		}
+		if len(s.Binds) > 0 {
+			fmt.Fprintf(&b, "  binds %s", strings.Join(s.Binds, ", "))
+		}
+	}
+	for _, r := range p.Residual {
+		fmt.Fprintf(&b, "\n  residual: %s", r)
+	}
+	return b.String()
+}
+
+// flattenAnd returns the conjuncts of an And-tree.
+func flattenAnd(e Expr) []Expr {
+	if a, ok := e.(And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []Expr{e}
+}
+
+// unknownCard stands in for the cardinality of a relation when the
+// model cannot report one; only relative order matters.
+const unknownCard = 1 << 20
+
+// compileExists builds the physical plan for an existential
+// quantifier. ok=false means the shape is unsupported (no positive
+// atoms, or a quantified variable occurs only in residual conjuncts)
+// and the caller must fall back to active-domain iteration.
+func (ev *evaluator) compileExists(q Quant, env map[string]relation.Value) (*Plan, bool, error) {
+	conjs := flattenAnd(q.Body)
+	quantified := make(map[string]bool, len(q.Vars))
+	for _, v := range q.Vars {
+		quantified[v] = true
+	}
+	var atoms []Atom
+	var residual []Expr
+	covered := map[string]bool{}
+	for _, c := range conjs {
+		a, ok := c.(Atom)
+		if !ok {
+			residual = append(residual, c)
+			continue
+		}
+		atoms = append(atoms, a)
+		for _, t := range a.Args {
+			if v, isVar := t.(Var); isVar && quantified[v.Name] {
+				covered[v.Name] = true
+			}
+		}
+	}
+	if len(atoms) == 0 {
+		return nil, false, nil
+	}
+	for _, v := range q.Vars {
+		if !covered[v] {
+			// A variable occurring only in residual conjuncts needs
+			// domain iteration.
+			return nil, false, nil
+		}
+	}
+	im, indexed := ev.m.(IndexedModel)
+	plan := &Plan{Vars: q.Vars, Residual: residual, Indexed: indexed}
+	for _, a := range atoms {
+		schema, ok := ev.m.Schema(a.Rel)
+		if !ok {
+			return nil, false, errUnknownRelation(a.Rel)
+		}
+		if len(a.Args) != schema.Arity() {
+			return nil, false, errArity(a.Rel, schema.Arity(), len(a.Args))
+		}
+		// A value of the wrong domain — a constant, or an outer
+		// binding of a non-quantified variable — proves the whole
+		// conjunction empty at compile time.
+		for i, t := range a.Args {
+			var val relation.Value
+			switch x := t.(type) {
+			case Const:
+				val = x.Value
+			case Var:
+				if quantified[x.Name] {
+					continue
+				}
+				v, ok := env[x.Name]
+				if !ok {
+					continue
+				}
+				val = v
+			default:
+				continue
+			}
+			if val.Kind() != schema.Attr(i).Kind {
+				plan.Unsat = true
+				plan.Steps = append(plan.Steps, PlanStep{Atom: a, Access: AccessScan, Attr: -1})
+				return plan, true, nil
+			}
+		}
+	}
+	bound := make(map[string]bool) // quantified vars bound by chosen steps
+	remaining := atoms
+	for len(remaining) > 0 {
+		best := 0
+		var bestStep PlanStep
+		for i, a := range remaining {
+			step := ev.estimateStep(a, env, quantified, bound, im)
+			if i == 0 || step.EstRows < bestStep.EstRows {
+				best, bestStep = i, step
+			}
+		}
+		for _, t := range bestStep.Atom.Args {
+			if v, isVar := t.(Var); isVar && quantified[v.Name] && !bound[v.Name] {
+				bound[v.Name] = true
+				bestStep.Binds = append(bestStep.Binds, v.Name)
+			}
+		}
+		plan.Steps = append(plan.Steps, bestStep)
+		remaining = append(remaining[:best:best], remaining[best+1:]...)
+	}
+	return plan, true, nil
+}
+
+// estimateStep picks an access path and row estimate for one atom
+// given the variables bound so far. Values known at plan time
+// (constants and environment bindings) yield exact index estimates;
+// variables bound by earlier steps probe at run time and get a
+// heuristic fraction of the relation's cardinality; anything else
+// scans.
+func (ev *evaluator) estimateStep(a Atom, env map[string]relation.Value, quantified, bound map[string]bool, im IndexedModel) PlanStep {
+	card := unknownCard
+	if im != nil {
+		card = im.Card(a.Rel)
+	}
+	step := PlanStep{Atom: a, Access: AccessScan, Attr: -1, EstRows: card}
+	schema, _ := ev.m.Schema(a.Rel)
+	hasRuntimeBound := false
+	for i, t := range a.Args {
+		var val relation.Value
+		known := false
+		switch x := t.(type) {
+		case Const:
+			val, known = x.Value, true
+		case Var:
+			// A quantified variable shadows any outer env binding:
+			// its value is only known once an earlier step binds it.
+			if quantified[x.Name] {
+				if bound[x.Name] {
+					hasRuntimeBound = true
+				}
+			} else if v, ok := env[x.Name]; ok {
+				val, known = v, true
+			}
+		}
+		if !known {
+			continue
+		}
+		// Kind-mismatched known values were rejected at compile time
+		// (Plan.Unsat), so val matches the attribute's domain here.
+		if im == nil {
+			// No index: a known value still filters the scan's output;
+			// reward it so selective atoms run early.
+			if est := card/4 + 1; est < step.EstRows {
+				step.EstRows = est
+			}
+			continue
+		}
+		if est := im.EstimateEq(a.Rel, i, val); step.Access != AccessIndex || est < step.EstRows {
+			step.Access, step.Attr, step.AttrName, step.EstRows = AccessIndex, i, schema.Attr(i).Name, est
+		}
+	}
+	if step.Access == AccessScan && hasRuntimeBound {
+		// The probe value arrives when an earlier step binds the
+		// variable; the executor picks the attribute then.
+		est := card/2 + 1
+		if im != nil {
+			step.Access = AccessIndex
+		}
+		if est < step.EstRows {
+			step.EstRows = est
+		}
+	}
+	return step
+}
+
+// runPlan executes the plan under env, extending it with bindings for
+// the quantified variables. Outer bindings shadowed by the quantifier
+// are hidden for the duration of the run, matching active-domain
+// quantifier semantics. exec may be nil (no stats collection).
+func (ev *evaluator) runPlan(p *Plan, exec *PlanExec, env map[string]relation.Value) (bool, error) {
+	if p.Unsat {
+		return false, nil
+	}
+	type saved struct {
+		name string
+		val  relation.Value
+	}
+	var shadowed []saved
+	for _, v := range p.Vars {
+		if val, ok := env[v]; ok {
+			shadowed = append(shadowed, saved{v, val})
+			delete(env, v)
+		}
+	}
+	res, err := ev.runStep(p, exec, 0, env)
+	for _, s := range shadowed {
+		env[s.name] = s.val
+	}
+	return res, err
+}
+
+func (ev *evaluator) runStep(p *Plan, exec *PlanExec, si int, env map[string]relation.Value) (bool, error) {
+	if si == len(p.Steps) {
+		for _, c := range p.Residual {
+			v, err := ev.eval(c, env)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	a := p.Steps[si].Atom
+	found := false
+	var loopErr error
+	visit := func(t relation.Tuple) bool {
+		if exec != nil {
+			exec.ActRows[si]++
+		}
+		var boundNames []string
+		match := true
+		for i, term := range a.Args {
+			switch x := term.(type) {
+			case Const:
+				if !x.Value.Equal(t[i]) {
+					match = false
+				}
+			case Var:
+				if val, has := env[x.Name]; has {
+					if !val.Equal(t[i]) {
+						match = false
+					}
+				} else if containsVar(p.Vars, x.Name) {
+					env[x.Name] = t[i]
+					boundNames = append(boundNames, x.Name)
+				} else {
+					// A variable that is neither bound nor quantified
+					// here cannot occur in a well-formed evaluation.
+					loopErr = errUnbound(x.Name)
+					match = false
+				}
+			}
+			if !match || loopErr != nil {
+				break
+			}
+		}
+		if match && loopErr == nil {
+			res, err := ev.runStep(p, exec, si+1, env)
+			if err != nil {
+				loopErr = err
+			} else if res {
+				found = true
+			}
+		}
+		for _, name := range boundNames {
+			delete(env, name)
+		}
+		return !found && loopErr == nil
+	}
+	ev.iterateCandidates(p, si, env, visit)
+	return found, loopErr
+}
+
+// iterateCandidates drives the step's access path: an index probe on
+// the cheapest attribute whose value is bound right now, or a scan.
+func (ev *evaluator) iterateCandidates(p *Plan, si int, env map[string]relation.Value, visit func(relation.Tuple) bool) {
+	step := p.Steps[si]
+	a := step.Atom
+	if p.Indexed && step.Access == AccessIndex {
+		im := ev.m.(IndexedModel)
+		probeAttr, probeEst := -1, 0
+		var probeVal relation.Value
+		for i, term := range a.Args {
+			var val relation.Value
+			switch x := term.(type) {
+			case Const:
+				val = x.Value
+			case Var:
+				v, ok := env[x.Name]
+				if !ok {
+					continue
+				}
+				val = v
+			}
+			est := im.EstimateEq(a.Rel, i, val)
+			if probeAttr < 0 || est < probeEst {
+				probeAttr, probeEst, probeVal = i, est, val
+			}
+		}
+		if probeAttr >= 0 && im.TuplesEq(a.Rel, probeAttr, probeVal, visit) {
+			return
+		}
+	}
+	ev.m.Tuples(a.Rel, visit)
+}
+
+func containsVar(vars []string, name string) bool {
+	for _, v := range vars {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Error helpers shared with the naive evaluator.
+
+func errUnknownRelation(rel string) error {
+	return fmt.Errorf("query: unknown relation %q", rel)
+}
+
+func errArity(rel string, want, got int) error {
+	return fmt.Errorf("query: %s expects %d arguments, got %d", rel, want, got)
+}
+
+func errUnbound(name string) error {
+	return fmt.Errorf("query: unbound variable %s", name)
+}

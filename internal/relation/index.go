@@ -1,0 +1,245 @@
+package relation
+
+import "sync"
+
+// Secondary indexes.
+//
+// An attrIndex is the per-attribute hash index of one instance
+// version chain: for every attribute position, a map from value key
+// to the ascending list of tuple IDs carrying that value. The
+// structure exploits the storage model of the chain — tuple IDs are
+// dense, assigned in insertion order, never reused, and the tuple
+// data for an ID is immutable — so one shared, append-only index
+// serves every version of the chain:
+//
+//   - A version with NumIDs() = n sees exactly the postings entries
+//     with id < n, filtered by its own tombstone set. Older snapshots
+//     therefore read the same postings as the mutable head and stay
+//     consistent by construction; Delete needs no index maintenance
+//     at all.
+//   - Insert appends the new ID to the postings of each already-built
+//     attribute (IDs arrive in ascending order, keeping postings
+//     sorted); attributes nobody has probed yet cost nothing.
+//   - Fork shares the index pointer with the child. Forking the same
+//     frozen parent twice is NOT supported by the storage chain
+//     itself (sibling forks append into one shared tuple arena and
+//     clobber each other); the index defends itself anyway — a
+//     non-monotone insert ID reveals the sibling and the younger
+//     chain detaches onto a fresh index (see noteInsert) — so it
+//     never compounds the storage hazard with stale postings.
+//
+// Postings for one attribute are built lazily, on the first probe of
+// that attribute, by a single pass over the probing version's tuples;
+// after that the index is maintained incrementally forever. All
+// access goes through idx.mu because the facade mutates the head
+// version while readers probe published snapshots concurrently.
+
+// posting holds the ascending tuple IDs of one attribute value, plus
+// a representative Value so DistinctValues can recover typed values
+// from the map without decoding keys.
+type posting struct {
+	val Value
+	ids []TupleID
+}
+
+// attrPostings is the index of a single attribute position. upto is
+// the exclusive upper bound of indexed IDs: every live or dead tuple
+// with id < upto appears in m.
+type attrPostings struct {
+	built bool
+	upto  int
+	m     map[string]*posting
+}
+
+// attrIndex is the shared secondary index of a version chain.
+type attrIndex struct {
+	mu    sync.RWMutex
+	attrs []attrPostings
+	// lastID is the highest tuple ID ever inserted through this
+	// index. On a linear version chain insert IDs strictly increase;
+	// a repeated or smaller ID means a sibling fork shares the index
+	// and must detach before anything is recorded.
+	lastID TupleID
+}
+
+func newAttrIndex(arity int) *attrIndex {
+	return &attrIndex{attrs: make([]attrPostings, arity), lastID: -1}
+}
+
+// keyOf returns the postings-map key of a value.
+func keyOf(v Value) string { return string(v.appendKey(make([]byte, 0, 24))) }
+
+// extendLocked indexes tuples[ap.upto:n] into attribute attr. Caller
+// holds ix.mu for writing; tuples is the probing instance's slice, so
+// entries below n are immutable.
+func (ix *attrIndex) extendLocked(attr int, tuples []Tuple, n int) {
+	ap := &ix.attrs[attr]
+	if ap.m == nil {
+		ap.m = make(map[string]*posting)
+	}
+	for id := ap.upto; id < n; id++ {
+		v := tuples[id][attr]
+		k := keyOf(v)
+		p := ap.m[k]
+		if p == nil {
+			p = &posting{val: v}
+			ap.m[k] = p
+		}
+		p.ids = append(p.ids, id)
+	}
+	ap.upto = n
+	ap.built = true
+}
+
+// noteInsert maintains the built attributes after tuples[id] was
+// appended. diverged=true signals that a sibling fork of the same
+// parent already claimed this (or a later) ID: nothing was recorded
+// and the caller must detach onto a fresh index. The check runs
+// before any attribute is touched, so a divergent insert never
+// poisons the postings the first chain keeps using.
+func (ix *attrIndex) noteInsert(id TupleID, tuples []Tuple) (diverged bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id <= ix.lastID {
+		return true
+	}
+	ix.lastID = id
+	for attr := range ix.attrs {
+		if ix.attrs[attr].built {
+			ix.extendLocked(attr, tuples, id+1)
+		}
+	}
+	return false
+}
+
+// ensure returns the posting IDs of (attr, v) covering at least IDs
+// [0, n), building or catching up the attribute index if needed. The
+// slice header is captured under the lock; a concurrent writer may
+// append past its length (never reallocating entries below it), so
+// reading the returned prefix is race-free. Entries >= n belong to
+// newer versions of the chain and must be skipped by the caller.
+func (ix *attrIndex) ensure(attr int, v Value, tuples []Tuple, n int) []TupleID {
+	k := keyOf(v)
+	ix.mu.RLock()
+	ap := &ix.attrs[attr]
+	if ap.built && ap.upto >= n {
+		var ids []TupleID
+		if p := ap.m[k]; p != nil {
+			ids = p.ids
+		}
+		ix.mu.RUnlock()
+		return ids
+	}
+	ix.mu.RUnlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ap.built || ap.upto < n {
+		ix.extendLocked(attr, tuples, n)
+	}
+	if p := ap.m[k]; p != nil {
+		return p.ids
+	}
+	return nil
+}
+
+// ensureBuilt forces the attribute index to cover IDs [0, n).
+func (ix *attrIndex) ensureBuilt(attr int, tuples []Tuple, n int) {
+	ix.mu.RLock()
+	ap := &ix.attrs[attr]
+	ok := ap.built && ap.upto >= n
+	ix.mu.RUnlock()
+	if ok {
+		return
+	}
+	ix.mu.Lock()
+	if !ap.built || ap.upto < n {
+		ix.extendLocked(attr, tuples, n)
+	}
+	ix.mu.Unlock()
+}
+
+// index returns the instance's index, which NewInstance always
+// allocates; the accessor exists so zero-value-ish internal callers
+// fail loudly rather than racing on lazy allocation.
+func (r *Instance) index() *attrIndex {
+	if r.idx == nil {
+		panic("relation: instance has no index (not built by NewInstance?)")
+	}
+	return r.idx
+}
+
+// IndexScan iterates, in ascending ID order, the live tuples of r
+// whose attribute attr equals v, using the chain's secondary index.
+// The index is built for attr on first use (one pass over the
+// instance) and maintained incrementally across Insert, Delete and
+// Fork afterwards; a probe on a snapshot observes exactly the
+// snapshot's tuples. Stop early by returning false.
+func (r *Instance) IndexScan(attr int, v Value, yield func(id TupleID, t Tuple) bool) {
+	n := len(r.tuples)
+	ids := r.index().ensure(attr, v, r.tuples, n)
+	for _, id := range ids {
+		if id >= n {
+			break // inserted by a newer version of the chain
+		}
+		if !r.Live(id) {
+			continue
+		}
+		if !yield(id, r.tuples[id]) {
+			return
+		}
+	}
+}
+
+// IndexEstimate returns an upper bound on the number of live tuples
+// of r with attribute attr equal to v: the posting length including
+// tombstoned and newer-version IDs. It is the planner's selectivity
+// estimate — cheap, monotone, and exact on an unmutated instance.
+func (r *Instance) IndexEstimate(attr int, v Value) int {
+	n := len(r.tuples)
+	ids := r.index().ensure(attr, v, r.tuples, n)
+	// Count only the prefix visible to this version; the tail belongs
+	// to newer forks.
+	if k := len(ids); k > 0 && ids[k-1] >= n {
+		lo, hi := 0, k
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ids[mid] < n {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	return len(ids)
+}
+
+// DistinctValues appends the distinct values occurring in attribute
+// attr of any tuple of r — live or tombstoned — to dst and returns
+// it. Tombstoned values are a deliberate over-approximation: the
+// caller (active-domain collection) only needs a superset, and
+// filtering would force a liveness sweep per posting. Order is
+// unspecified; callers sort.
+func (r *Instance) DistinctValues(attr int, dst []Value) []Value {
+	n := len(r.tuples)
+	ix := r.index()
+	ix.ensureBuilt(attr, r.tuples, n)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, p := range ix.attrs[attr].m {
+		if len(p.ids) > 0 && p.ids[0] < n {
+			dst = append(dst, p.val)
+		}
+	}
+	return dst
+}
+
+// noteInsert is the Insert hook: keep built attribute indexes in
+// step, detaching onto a private index if a sibling fork already
+// claimed the ID.
+func (r *Instance) noteInsert(id TupleID) {
+	if r.idx.noteInsert(id, r.tuples) {
+		fresh := newAttrIndex(r.schema.Arity())
+		r.idx = fresh
+	}
+}

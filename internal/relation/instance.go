@@ -85,6 +85,13 @@ type Instance struct {
 	live    int                // number of live tuples
 	version uint64
 	frozen  bool // set by Fork: mutations must go through the fork
+	// idx is the chain's shared secondary index (see index.go):
+	// per-attribute value → tuple-ID postings, built lazily on first
+	// probe and maintained through Insert/Delete/Fork without
+	// rebuilds. Forks share the pointer; snapshot consistency comes
+	// from filtering postings by the reading version's ID bound and
+	// tombstones.
+	idx *attrIndex
 }
 
 // NewInstance returns an empty instance of the schema.
@@ -92,7 +99,11 @@ func NewInstance(schema *Schema) *Instance {
 	if schema == nil {
 		panic("relation: nil schema")
 	}
-	return &Instance{schema: schema, byKey: make(map[string]TupleID)}
+	return &Instance{
+		schema: schema,
+		byKey:  make(map[string]TupleID),
+		idx:    newAttrIndex(schema.Arity()),
+	}
 }
 
 // Schema returns the instance's schema.
@@ -141,6 +152,7 @@ func (r *Instance) Fork() *Instance {
 		byKey:   r.byKey,
 		live:    r.live,
 		version: r.version,
+		idx:     r.idx, // shared: postings are valid for every version of the chain
 	}
 	// Fold an oversized overlay into a private base map; amortized the
 	// fold is O(1) per mutation, and the bound keeps each fork's copy
@@ -226,6 +238,7 @@ func (r *Instance) Insert(t Tuple) (TupleID, bool, error) {
 	copy(cp, t)
 	r.tuples = append(r.tuples, cp)
 	r.setKey(k, id)
+	r.noteInsert(id)
 	r.live++
 	r.version++
 	return id, true, nil
@@ -289,7 +302,10 @@ func (r *Instance) Tuple(id TupleID) Tuple {
 	return r.tuples[id]
 }
 
-// Lookup returns the ID of an equal live tuple, if present.
+// Lookup returns the ID of an equal live tuple, if present. It is a
+// hash lookup on the key index — O(1) in the instance size — and the
+// membership primitive every query.Model and the cqa ground path
+// build on.
 func (r *Instance) Lookup(t Tuple) (TupleID, bool) {
 	id, ok := r.lookupKey(t.Key())
 	if !ok || !r.Live(id) {
@@ -298,7 +314,9 @@ func (r *Instance) Lookup(t Tuple) (TupleID, bool) {
 	return id, true
 }
 
-// Contains reports whether an equal live tuple is present.
+// Contains reports whether an equal live tuple is present, in O(1)
+// via Lookup. For equality lookups on a single attribute use
+// IndexScan (the secondary indexes of index.go).
 func (r *Instance) Contains(t Tuple) bool {
 	_, ok := r.Lookup(t)
 	return ok

@@ -23,3 +23,19 @@ func BenchmarkMutationUpdateQueryRebuild(b *testing.B) {
 func BenchmarkMutationUpdateCountIncremental(b *testing.B) {
 	bench.MutationWorkload(2000, true, "count")(b)
 }
+
+// The selective-query benchmarks reuse bench.SelectiveWorkload the
+// same way: the planner's index access paths vs forced scans, on the
+// point/join/lowsel queries the BENCH_*.json selective rows measure.
+
+func BenchmarkSelectivePointQueryIndexed(b *testing.B) {
+	bench.SelectiveWorkload(20_000, true, "point")(b)
+}
+
+func BenchmarkSelectivePointQueryScan(b *testing.B) {
+	bench.SelectiveWorkload(20_000, false, "point")(b)
+}
+
+func BenchmarkSelectiveJoinQueryIndexed(b *testing.B) {
+	bench.SelectiveWorkload(20_000, true, "join")(b)
+}

@@ -1,0 +1,230 @@
+package prefcqa
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// plannerQueries covers the access-path surface at facade level:
+// constant probes, runtime-bound join variables, negated atoms,
+// guarded universals, ground atoms and open queries.
+var plannerQueries = []string{
+	"EXISTS v . R(1, v)",
+	"EXISTS v . R(7, v) AND v > 1",
+	"EXISTS k, v . R(k, v) AND R(v, k)",
+	"EXISTS k . R(k, k)",
+	"FORALL k, v . NOT R(k, v) OR v >= 0",
+	"EXISTS k, v . R(k, v) AND NOT R(v, 0)",
+	"R(1, 0)",
+	"R(2, 1) AND NOT R(2, 0)",
+}
+
+// TestFacadeIndexedMatchesScan is the facade-level planner property:
+// for every family, every query and every snapshot of a mutating
+// relation, WithIndexes(true) and WithIndexes(false) must return
+// identical answers — the planner only changes access paths.
+func TestFacadeIndexedMatchesScan(t *testing.T) {
+	families := []Family{Rep, Local, SemiGlobal, Global, Common}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		idx, rIdx := newMutDB(t)
+		scan, rScan := newMutDB(t, WithIndexes(false))
+
+		checkAll := func(tag string) {
+			t.Helper()
+			for _, f := range families {
+				for _, src := range plannerQueries {
+					a, errA := idx.Query(f, src)
+					b, errB := scan.Query(f, src)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("seed %d %s %v %q: error mismatch indexed=%v scan=%v", seed, tag, f, src, errA, errB)
+					}
+					if errA == nil && a != b {
+						t.Fatalf("seed %d %s %v %q: indexed=%v scan=%v", seed, tag, f, src, a, b)
+					}
+				}
+			}
+			// Open queries go through the same evaluator; their
+			// certain-answer sets must match too.
+			for _, f := range families {
+				ba, errA := idx.QueryOpen(f, "EXISTS v . R(x, v) AND v > 0")
+				bb, errB := scan.QueryOpen(f, "EXISTS v . R(x, v) AND v > 0")
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("seed %d %s %v open: error mismatch %v vs %v", seed, tag, f, errA, errB)
+				}
+				if errA != nil {
+					continue
+				}
+				fp := func(bs []Binding) string {
+					out := make([]string, len(bs))
+					for i, b := range bs {
+						out[i] = b.String()
+					}
+					return strings.Join(out, ";")
+				}
+				if fp(ba) != fp(bb) {
+					t.Fatalf("seed %d %s %v open: indexed=%s scan=%s", seed, tag, f, fp(ba), fp(bb))
+				}
+			}
+		}
+
+		// Seed data: conflicting clusters on K with some preferences.
+		var ids []TupleID
+		for i := 0; i < 12; i++ {
+			id, err := rIdx.Insert(i%5, i%3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rScan.Insert(i%5, i%3); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		checkAll("seeded")
+
+		// Mutation batches interleaved with queries: the indexed DB's
+		// postings accumulate tombstones and fresh IDs, the scan DB
+		// stays the oracle.
+		for batch := 0; batch < 6; batch++ {
+			for j := 0; j < 3; j++ {
+				switch rng.Intn(3) {
+				case 0:
+					a, b := int64(rng.Intn(6)), int64(rng.Intn(4))
+					if _, err := rIdx.Insert(a, b); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := rScan.Insert(a, b); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					if len(ids) > 0 {
+						v := ids[rng.Intn(len(ids))]
+						rIdx.Delete(v)
+						rScan.Delete(v)
+					}
+				case 2:
+					gi, err := rIdx.Graph()
+					if err != nil {
+						t.Fatal(err)
+					}
+					es := gi.Edges()
+					if len(es) > 0 {
+						e := es[rng.Intn(len(es))]
+						x, y := e.A, e.B
+						if x > y {
+							x, y = y, x // low ≻ high stays acyclic
+						}
+						if err := rIdx.Prefer(x, y); err != nil {
+							t.Fatal(err)
+						}
+						if err := rScan.Prefer(x, y); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			checkAll(fmt.Sprintf("batch %d", batch))
+		}
+
+		// Snapshot isolation: a snapshot taken now must keep answering
+		// identically on both DBs while the heads mutate on.
+		snapIdx, err := idx.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapScan, err := scan.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSnap := map[string]Answer{}
+		for _, src := range plannerQueries {
+			a, err := snapIdx.Query(Global, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSnap[src] = a
+		}
+		for j := 0; j < 5; j++ {
+			if _, err := rIdx.Insert(int64(j%5), int64(10+j)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rScan.Insert(int64(j%5), int64(10+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkAll("post-snapshot")
+		for _, src := range plannerQueries {
+			a, err := snapIdx.Query(Global, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := snapScan.Query(Global, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != wantSnap[src] || b != wantSnap[src] {
+				t.Fatalf("seed %d snapshot drift on %q: indexed=%v scan=%v want %v", seed, src, a, b, wantSnap[src])
+			}
+		}
+	}
+}
+
+// TestExplainPlanFacade pins the facade's plan report: a selective
+// EXISTS must show an index probe, the scan-only DB must not, and
+// ill-formed inputs must error.
+func TestExplainPlanFacade(t *testing.T) {
+	db, r := newMutDB(t)
+	for i := 0; i < 50; i++ {
+		if _, err := r.Insert(i, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := db.ExplainPlan("EXISTS v . R(7, v)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Indexed || !rep.Holds {
+		t.Fatalf("report = %+v; want indexed and holds", rep)
+	}
+	if len(rep.Plans) != 1 || !strings.Contains(rep.Plans[0], "index(K=7)") {
+		t.Fatalf("plan should probe K=7:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "mode: indexed") {
+		t.Fatalf("rendering: %s", rep)
+	}
+
+	// Ground queries compile no quantifier plans.
+	rep, err = db.ExplainPlan("R(7, 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Plans) != 0 || !strings.Contains(rep.String(), "no planned quantifiers") {
+		t.Fatalf("ground query report: %s", rep)
+	}
+
+	// Scan-only DB reports scan access.
+	sdb, sr := newMutDB(t, WithIndexes(false))
+	if _, err := sr.Insert(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = sdb.ExplainPlan("EXISTS v . R(7, v)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Indexed || !strings.Contains(rep.Plans[0], "scan") {
+		t.Fatalf("scan-only report: %+v", rep)
+	}
+
+	// Errors: open queries and parse failures.
+	if _, err := db.ExplainPlan("EXISTS v . R(x, v)"); err == nil {
+		t.Fatal("open query must error")
+	}
+	if _, err := db.ExplainPlan(")("); err == nil {
+		t.Fatal("parse failure must error")
+	}
+	if _, err := db.ExplainPlan("EXISTS v . Nope(v)"); err == nil {
+		t.Fatal("unknown relation must error")
+	}
+}

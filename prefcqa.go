@@ -131,6 +131,13 @@ func WriteCSV(dst io.Writer, inst *Instance) error { return relation.WriteCSV(ds
 // memoized across queries (see WithParallelism and WithCache). All
 // engine configurations return identical results.
 //
+// Formula evaluation is plan-based: existential conjunctions compile
+// into a physical plan with index access paths — equality probes of
+// per-attribute secondary indexes, built lazily and maintained
+// incrementally through mutations — and selectivity-ordered joins
+// (see WithIndexes and ExplainPlan). Planned, scan-only and naive
+// evaluation return identical answers.
+//
 // Mutations (Insert, Delete, Prefer) are maintained incrementally:
 // instead of rebuilding the conflict graph, priority and component
 // index, the next read applies the pending batch as a delta — cost
@@ -150,6 +157,7 @@ type DB struct {
 	parallelism int
 	cache       bool
 	incremental bool
+	indexes     bool
 }
 
 // Option configures a DB at construction time.
@@ -172,6 +180,17 @@ func WithCache(on bool) Option {
 	return func(db *DB) { db.cache = on }
 }
 
+// WithIndexes enables or disables index access paths in query
+// evaluation (default on). When on, the query planner answers
+// selective atoms by equality probes of per-attribute secondary
+// indexes — built lazily on first use and maintained incrementally
+// through mutations — instead of scanning the relation. When off,
+// every atom scans. Results are identical for both settings; see
+// DB.ExplainPlan for the chosen access paths.
+func WithIndexes(on bool) Option {
+	return func(db *DB) { db.indexes = on }
+}
+
 // WithIncremental enables or disables delta maintenance of the
 // conflict graph, priority and component index across mutations
 // (default on). When disabled, every mutation invalidates the built
@@ -186,7 +205,7 @@ func WithIncremental(on bool) Option {
 // engine uses a GOMAXPROCS-sized worker pool with memoization on, and
 // mutations are maintained incrementally.
 func New(opts ...Option) *DB {
-	db := &DB{rels: make(map[string]*Relation), parallelism: 0, cache: true, incremental: true}
+	db := &DB{rels: make(map[string]*Relation), parallelism: 0, cache: true, incremental: true, indexes: true}
 	for _, opt := range opts {
 		opt(db)
 	}
@@ -656,7 +675,7 @@ func (db *DB) input() (cqa.Input, error) {
 	if err != nil {
 		return cqa.Input{}, err
 	}
-	return in.WithEngine(db.engine), nil
+	return in.WithEngine(db.engine).WithScanOnly(!db.indexes), nil
 }
 
 // Query evaluates a closed first-order query under the family's
