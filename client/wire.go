@@ -1,0 +1,240 @@
+// Package client is the Go client of the prefserve serving layer and
+// the definition of its HTTP/JSON wire protocol. The request and
+// response types in this file ARE the protocol: internal/server
+// decodes and encodes exactly these shapes, so any HTTP client that
+// speaks them (curl included) interoperates.
+//
+// Values cross the wire in the textual constant syntax of the
+// library's query language — integers bare ("42"), names
+// single-quoted with ” escaping ("'R&D'", "'it”s'") — so every
+// value round-trips exactly; see prefcqa.EncodeValue. Instances
+// (repair and clean results) cross as prefcqa.WireInstance.
+package client
+
+import "prefcqa"
+
+// The endpoint paths of the v1 protocol. All bodies are JSON; every
+// endpoint is POST except PathStats and PathHealth (GET). PathRepairs
+// responds with an NDJSON stream of RepairsLine values.
+const (
+	PathCreateDB  = "/v1/db"
+	PathRelation  = "/v1/relation"
+	PathFD        = "/v1/fd"
+	PathInsert    = "/v1/insert"
+	PathDelete    = "/v1/delete"
+	PathPrefer    = "/v1/prefer"
+	PathQuery     = "/v1/query"
+	PathQueryOpen = "/v1/query-open"
+	PathCount     = "/v1/repairs/count"
+	PathRepairs   = "/v1/repairs"
+	PathExplain   = "/v1/explain"
+	PathStats     = "/v1/stats"
+	PathHealth    = "/healthz"
+)
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ReadOptions are the common knobs of every read endpoint.
+type ReadOptions struct {
+	// MinVersion makes the read see a state at least as new as the
+	// given database write-version — pass a write response's Version
+	// for read-your-writes across connections. Zero means "latest
+	// completed write", which this server always satisfies anyway.
+	// A MinVersion beyond the database's current write-version (a
+	// version from another database or server) is rejected with
+	// HTTP 412 rather than silently served stale.
+	MinVersion uint64 `json:"min_version,omitempty"`
+	// TimeoutMS caps this request's evaluation time in milliseconds;
+	// zero selects the server's default. The server clamps it to its
+	// configured maximum. A deadline hit returns HTTP 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// CreateDBRequest registers a new named database (tenant).
+type CreateDBRequest struct {
+	DB string `json:"db"`
+}
+
+// RelationRequest creates a relation with the given typed schema.
+type RelationRequest struct {
+	DB       string             `json:"db"`
+	Relation string             `json:"relation"`
+	Attrs    []prefcqa.WireAttr `json:"attrs"`
+}
+
+// FDRequest declares a functional dependency, e.g. "Dept -> Name".
+type FDRequest struct {
+	DB       string `json:"db"`
+	Relation string `json:"relation"`
+	FD       string `json:"fd"`
+}
+
+// VersionResponse is the body of every successful write: the
+// database's write-version after the mutation published. Pass it as
+// ReadOptions.MinVersion to guarantee a later read observes it.
+type VersionResponse struct {
+	Version uint64 `json:"version"`
+}
+
+// InsertRequest inserts a batch of rows (cells in wire value syntax,
+// one per attribute). Duplicate rows return their existing IDs (set
+// semantics). The batch is validated whole before any row is
+// applied: a malformed batch inserts nothing.
+type InsertRequest struct {
+	DB       string     `json:"db"`
+	Relation string     `json:"relation"`
+	Rows     [][]string `json:"rows"`
+}
+
+// InsertResponse returns the tuple ID of every inserted row, in row
+// order, and the published write-version.
+type InsertResponse struct {
+	IDs     []int  `json:"ids"`
+	Version uint64 `json:"version"`
+}
+
+// DeleteRequest tombstones tuples by ID.
+type DeleteRequest struct {
+	DB       string `json:"db"`
+	Relation string `json:"relation"`
+	IDs      []int  `json:"ids"`
+}
+
+// DeleteResponse reports how many of the IDs were live and the
+// published write-version.
+type DeleteResponse struct {
+	Deleted int    `json:"deleted"`
+	Version uint64 `json:"version"`
+}
+
+// PreferRequest records preference pairs: in each pair the first
+// tuple wins its conflict against the second. Pairs apply in order;
+// if one fails (unknown tuple ID), the earlier pairs stay applied
+// and versioned, and the error response identifies the failing pair.
+type PreferRequest struct {
+	DB       string   `json:"db"`
+	Relation string   `json:"relation"`
+	Pairs    [][2]int `json:"pairs"`
+}
+
+// QueryRequest evaluates a closed first-order query under a
+// preferred-repair family ("rep", "local", "semiglobal", "global",
+// "common").
+type QueryRequest struct {
+	DB     string `json:"db"`
+	Family string `json:"family"`
+	Query  string `json:"query"`
+	ReadOptions
+}
+
+// QueryResponse carries the three-valued answer ("true", "false",
+// "undetermined"), the write-version the pinned snapshot reflects (at
+// least), and the per-relation instance versions it pinned.
+type QueryResponse struct {
+	Answer   string            `json:"answer"`
+	Version  uint64            `json:"version"`
+	Versions map[string]uint64 `json:"versions,omitempty"`
+}
+
+// QueryOpenResponse carries the certain answers of an open query:
+// one binding per answer, free variable → wire-encoded value.
+type QueryOpenResponse struct {
+	Bindings []map[string]string `json:"bindings"`
+	Version  uint64              `json:"version"`
+}
+
+// CountRequest counts the preferred repairs of one relation.
+type CountRequest struct {
+	DB       string `json:"db"`
+	Family   string `json:"family"`
+	Relation string `json:"relation"`
+	ReadOptions
+}
+
+// CountResponse is the repair count at the pinned snapshot.
+type CountResponse struct {
+	Count   int64  `json:"count"`
+	Version uint64 `json:"version"`
+}
+
+// RepairsRequest enumerates the preferred repairs of one relation as
+// an NDJSON stream of RepairsLine values — one line per repair, then
+// one terminal line (Done or Error set).
+type RepairsRequest struct {
+	DB       string `json:"db"`
+	Family   string `json:"family"`
+	Relation string `json:"relation"`
+	// Max caps the number of streamed repairs; zero selects the
+	// server default. The terminal line reports truncation.
+	Max int `json:"max,omitempty"`
+	ReadOptions
+}
+
+// RepairsLine is one line of the repair stream. Exactly one of
+// Repair, Done or Error is set; a Done line closes a successful
+// stream, an Error line closes a failed one.
+type RepairsLine struct {
+	Repair *prefcqa.WireInstance `json:"repair,omitempty"`
+	// Done closes the stream: Count repairs were streamed, Truncated
+	// reports whether Max cut the enumeration short.
+	Done      bool   `json:"done,omitempty"`
+	Count     int    `json:"count,omitempty"`
+	Truncated bool   `json:"truncated,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ExplainRequest reports the physical query plans of a closed query
+// against the pinned full instances (index access paths, join order,
+// estimated vs actual rows).
+type ExplainRequest struct {
+	DB    string `json:"db"`
+	Query string `json:"query"`
+	ReadOptions
+}
+
+// ExplainResponse mirrors prefcqa.PlanReport over the wire.
+type ExplainResponse struct {
+	Query   string   `json:"query"`
+	Indexed bool     `json:"indexed"`
+	Holds   bool     `json:"holds"`
+	Plans   []string `json:"plans,omitempty"`
+	Version uint64   `json:"version"`
+}
+
+// StatsResponse is the server's observability surface.
+type StatsResponse struct {
+	DBs    map[string]DBStats `json:"dbs"`
+	Server ServerStats        `json:"server"`
+}
+
+// DBStats describes one named database.
+type DBStats struct {
+	WriteVersion uint64                   `json:"write_version"`
+	CacheHits    int64                    `json:"cache_hits"`
+	CacheMisses  int64                    `json:"cache_misses"`
+	Relations    map[string]RelationStats `json:"relations"`
+}
+
+// RelationStats describes one relation at the latest snapshot.
+type RelationStats struct {
+	Version    uint64 `json:"version"`
+	Tuples     int    `json:"tuples"`
+	Conflicts  int    `json:"conflicts"`
+	Components int    `json:"components"`
+}
+
+// ServerStats describes the serving process.
+type ServerStats struct {
+	// Inflight and MaxInflight describe the admission-control
+	// semaphore at sampling time.
+	Inflight    int `json:"inflight"`
+	MaxInflight int `json:"max_inflight"`
+	// Served counts completed requests, Rejected admission-control
+	// 503s, Timeouts per-request deadline hits.
+	Served   uint64 `json:"served"`
+	Rejected uint64 `json:"rejected"`
+	Timeouts uint64 `json:"timeouts"`
+}

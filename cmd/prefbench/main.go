@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"prefcqa/internal/bench"
+	"prefcqa/internal/cliutil"
 )
 
 var experiments = []struct {
@@ -38,7 +39,9 @@ var experiments = []struct {
 	{"pruning", bench.AblationPruning},
 }
 
-func main() {
+func main() { cliutil.Main("prefbench", run) }
+
+func run() error {
 	var (
 		exp      = flag.String("exp", "all", "experiment to run (or 'all')")
 		quick    = flag.Bool("quick", false, "small input sizes")
@@ -47,11 +50,7 @@ func main() {
 	flag.Parse()
 	opts := bench.Options{Quick: *quick}
 	if *jsonMode {
-		if err := bench.JSON(opts).WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "prefbench: %v\n", err)
-			os.Exit(1)
-		}
-		return
+		return bench.JSON(opts).WriteJSON(os.Stdout)
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -64,12 +63,11 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "prefbench: unknown experiment %q\n", *exp)
-		fmt.Fprint(os.Stderr, "available:")
+		avail := ""
 		for _, e := range experiments {
-			fmt.Fprintf(os.Stderr, " %s", e.name)
+			avail += " " + e.name
 		}
-		fmt.Fprintln(os.Stderr)
-		os.Exit(1)
+		return fmt.Errorf("unknown experiment %q (available:%s)", *exp, avail)
 	}
+	return nil
 }

@@ -20,32 +20,17 @@ import (
 	"prefcqa/internal/cliutil"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "prefclean:", err)
-		os.Exit(1)
-	}
-}
+func main() { cliutil.Main("prefclean", run) }
 
 func run() error {
-	var (
-		data  = flag.String("data", "", "CSV file with a typed header (required)")
-		rel   = flag.String("rel", "R", "relation name")
-		prefs = flag.String("prefs", "", "preference file (tuple > tuple per line)")
-		fds   cliutil.StringList
-	)
-	flag.Var(&fds, "fd", "functional dependency 'X -> Y' (repeatable)")
+	data := cliutil.RegisterDataFlags()
 	flag.Parse()
 
-	if *data == "" {
-		flag.Usage()
-		return fmt.Errorf("-data is required")
-	}
-	db, r, err := cliutil.LoadDB(*data, *rel, fds, *prefs)
+	db, r, err := data.Load()
 	if err != nil {
 		return err
 	}
-	cleaned, err := db.Clean(*rel)
+	cleaned, err := db.Clean(data.Rel)
 	if err != nil {
 		return err
 	}

@@ -18,35 +18,25 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
 	"prefcqa"
 	"prefcqa/internal/cliutil"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "prefq:", err)
-		os.Exit(1)
-	}
-}
+func main() { cliutil.Main("prefq", run) }
 
 func run() error {
 	var (
-		data    = flag.String("data", "", "CSV file with a typed header (required)")
-		rel     = flag.String("rel", "R", "relation name")
-		prefs   = flag.String("prefs", "", "preference file (tuple > tuple per line)")
-		family  = flag.String("family", "rep", "repair family: rep, local, semiglobal, global, common")
+		data    = cliutil.RegisterDataFlags()
+		family  = cliutil.RegisterFamilyFlag()
 		explain = flag.Bool("explain-plan", false, "print the physical query plan (access paths, join order, est/act rows)")
 		queries cliutil.StringList
-		fds     cliutil.StringList
 	)
-	flag.Var(&fds, "fd", "functional dependency 'X -> Y' (repeatable)")
 	flag.Var(&queries, "query", "first-order query (repeatable)")
 	flag.Parse()
 
-	if *data == "" || len(queries) == 0 {
+	if len(queries) == 0 {
 		flag.Usage()
 		return fmt.Errorf("-data and at least one -query are required")
 	}
@@ -54,7 +44,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	db, r, err := cliutil.LoadDB(*data, *rel, fds, *prefs)
+	db, r, err := data.Load()
 	if err != nil {
 		return err
 	}
@@ -62,12 +52,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	count, err := db.CountRepairs(fam, *rel)
+	count, err := db.CountRepairs(fam, data.Rel)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("relation %s: %d tuples, %d conflicts, %d %v repairs\n",
-		*rel, r.Instance().Len(), conflicts, count, fam)
+		data.Rel, r.Instance().Len(), conflicts, count, fam)
 
 	for _, src := range queries {
 		ans, err := db.Query(fam, src)

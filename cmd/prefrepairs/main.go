@@ -12,47 +12,34 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"prefcqa"
 	"prefcqa/internal/cliutil"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "prefrepairs:", err)
-		os.Exit(1)
-	}
-}
+func main() { cliutil.Main("prefrepairs", run) }
 
 func run() error {
 	var (
-		data    = flag.String("data", "", "CSV file with a typed header (required)")
-		rel     = flag.String("rel", "R", "relation name")
-		prefs   = flag.String("prefs", "", "preference file (tuple > tuple per line)")
-		family  = flag.String("family", "rep", "repair family: rep, local, semiglobal, global, common")
+		data    = cliutil.RegisterDataFlags()
+		family  = cliutil.RegisterFamilyFlag()
 		list    = flag.Bool("list", false, "list the preferred repairs (may be exponential)")
 		max     = flag.Int("max", 64, "list at most this many repairs")
 		dot     = flag.Bool("dot", false, "print the conflict graph in Graphviz format and exit")
 		axioms  = flag.Bool("axioms", false, "probe properties P1-P4 for the family")
 		explain = flag.Bool("explain", false, "explain every conflicting tuple's status")
-		fds     cliutil.StringList
 	)
-	flag.Var(&fds, "fd", "functional dependency 'X -> Y' (repeatable)")
 	flag.Parse()
 
-	if *data == "" {
-		flag.Usage()
-		return fmt.Errorf("-data is required")
-	}
 	fam, err := prefcqa.ParseFamily(*family)
 	if err != nil {
 		return err
 	}
-	db, r, err := cliutil.LoadDB(*data, *rel, fds, *prefs)
+	db, r, err := data.Load()
 	if err != nil {
 		return err
 	}
+	rel := &data.Rel
 	if *dot {
 		s, err := db.ConflictGraphDOT(*rel)
 		if err != nil {

@@ -1,0 +1,100 @@
+// Command prefserve serves preference-driven consistent query
+// answering over HTTP/JSON: a multi-tenant registry of named
+// databases with snapshot-isolated reads (query, open query, repair
+// counting and streaming enumeration, plan explanation) running
+// concurrently with incremental writes (insert, delete, prefer, FD
+// declaration), under admission control and per-request deadlines.
+// The wire protocol is defined in the prefcqa/client package; see
+// docs/ARCHITECTURE.md ("Serving layer") for the model.
+//
+// Usage:
+//
+//	prefserve -addr :7171
+//	prefserve -addr :7171 -db mydb \
+//	          -data mgr.csv -rel Mgr -fd 'Dept -> Name,Salary,Reports' -prefs prefs.txt
+//
+// With -data, the CSV relation (plus -fd / -prefs) is preloaded into
+// the database named by -db before serving. Without it the server
+// starts empty; create databases and relations over the API.
+//
+//	curl -s localhost:7171/v1/query -d '{"db":"mydb","family":"global",
+//	      "query":"EXISTS d,s,r . Mgr('\''Mary'\'', d, s, r)"}'
+//
+// The server drains in-flight requests and exits cleanly on SIGINT /
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prefcqa/internal/cliutil"
+	"prefcqa/internal/server"
+)
+
+func main() { cliutil.Main("prefserve", run) }
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":7171", "listen address")
+		dbName      = flag.String("db", "default", "name of the preloaded database (with -data)")
+		maxInflight = flag.Int("max-inflight", 64, "admission control: maximum requests in flight")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+		maxRepairs  = flag.Int("max-repairs", 1024, "default cap on streamed repair enumerations")
+		data        = cliutil.RegisterDataFlags()
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxRepairs:     *maxRepairs,
+	})
+	if data.Data != "" {
+		db, err := srv.CreateDB(*dbName)
+		if err != nil {
+			return err
+		}
+		rel, err := cliutil.LoadInto(db, data.Data, data.Rel, data.FDs, data.Prefs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "prefserve: loaded %s.%s (%d tuples)\n",
+			*dbName, data.Rel, rel.Instance().Len())
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "prefserve: listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "prefserve: shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"prefcqa/internal/bitset"
 	"prefcqa/internal/core"
+	"prefcqa/internal/cqa"
 	"prefcqa/internal/query"
 )
 
@@ -161,23 +162,26 @@ func (r PlanReport) String() string {
 // full current instance of every relation and reports the physical
 // plans the planner chose. It is the diagnosis companion of Query:
 // the answer reported here is the raw-instance value, not the
-// preferred-repair answer.
+// preferred-repair answer. Snapshot.ExplainPlan is the same report
+// against pinned versions.
 func (db *DB) ExplainPlan(src string) (PlanReport, error) {
-	q, err := query.Parse(src)
-	if err != nil {
-		return PlanReport{}, err
-	}
 	in, err := db.input()
 	if err != nil {
 		return PlanReport{}, err
 	}
-	schemas := make(map[string]*Schema, len(db.order))
-	for _, name := range db.order {
-		inst, ok := in.DB.Relation(name)
-		if !ok {
-			return PlanReport{}, fmt.Errorf("prefcqa: relation %s missing from input", name)
-		}
-		schemas[name] = inst.Schema()
+	return explainPlan(in, src)
+}
+
+// explainPlan runs one traced evaluation of the closed query over the
+// assembled input — shared by the DB and Snapshot entry points.
+func explainPlan(in cqa.Input, src string) (PlanReport, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return PlanReport{}, err
+	}
+	schemas := make(map[string]*Schema, len(in.Rels))
+	for _, r := range in.Rels {
+		schemas[r.Inst.Schema().Name()] = r.Inst.Schema()
 	}
 	if err := query.Validate(q, schemas); err != nil {
 		return PlanReport{}, err
@@ -189,7 +193,7 @@ func (db *DB) ExplainPlan(src string) (PlanReport, error) {
 	if in.ScanOnly {
 		m = query.ScanOnly(m)
 	}
-	holds, trace, err := query.EvalTrace(q, m)
+	holds, trace, err := query.EvalTraceCtx(in.Ctx, q, m)
 	if err != nil {
 		return PlanReport{}, err
 	}

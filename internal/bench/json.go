@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -217,6 +218,23 @@ func JSON(o Options) Report {
 				Extra:      map[string]float64{"x": scanMetric.NsPerOp / idxMetric.NsPerOp},
 			})
 		}
+	}
+
+	// Serving-layer workload: sustained concurrent ground queries
+	// against a live prefserve over real loopback sockets, snapshot
+	// per read — first read-only, then with concurrent writers
+	// churning single-tuple update batches through the incremental
+	// delta path. Reports qps and p50/p99 latency.
+	srvM := pick(1_000, 10_000)
+	srvReqs := pick(800, 4_000)
+	for _, writers := range []int{0, 2} {
+		m, err := ServerWorkload(srvM, 8, writers, srvReqs)
+		if err != nil {
+			m = Metric{Name: fmt.Sprintf("server_query/%s", map[bool]string{false: "readonly", true: "mixed"}[writers > 0]),
+				Extra: map[string]float64{"failed": 1}}
+			fmt.Fprintln(os.Stderr, "server workload failed:", err)
+		}
+		rep.add(m)
 	}
 	return rep
 }

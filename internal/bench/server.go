@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"prefcqa"
+	"prefcqa/client"
+	"prefcqa/internal/server"
+)
+
+// ServerWorkload measures the prefserve serving layer end to end:
+// it boots an in-process server on a loopback socket, preloads a
+// relation of m two-tuple conflict clusters (each resolved by a
+// preference), and drives `clients` concurrent readers issuing
+// `reqs` ground G-Rep queries in total through real HTTP sockets.
+// With writers > 0, that many writer goroutines concurrently run
+// single-tuple update batches (delete + insert + prefer) against
+// their own key ranges for the duration — the mixed read/write
+// serving scenario the snapshot-per-request model exists for.
+//
+// The returned metric reports mean request latency as ns/op and, in
+// Extra, sustained qps plus p50/p99 latency in microseconds.
+func ServerWorkload(m, clients, writers, reqs int) (Metric, error) {
+	name := fmt.Sprintf("server_query/%s", map[bool]string{false: "readonly", true: "mixed"}[writers > 0])
+	srv := server.New(server.Options{MaxInflight: clients + writers + 4})
+	db, err := srv.CreateDB("bench")
+	if err != nil {
+		return Metric{}, err
+	}
+	rel, err := db.CreateRelation("R", prefcqa.IntAttr("K"), prefcqa.IntAttr("V"))
+	if err != nil {
+		return Metric{}, err
+	}
+	if err := rel.AddFD("K -> V"); err != nil {
+		return Metric{}, err
+	}
+	anchors := make([]int, m)
+	for i := 0; i < m; i++ {
+		anchors[i] = rel.MustInsert(i, 0)
+		loser := rel.MustInsert(i, 1)
+		if err := rel.Prefer(anchors[i], loser); err != nil {
+			return Metric{}, err
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Metric{}, err
+	}
+	serveDone := make(chan struct{})
+	go func() { srv.Serve(l); close(serveDone) }() //nolint:errcheck // ErrServerClosed on shutdown
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best effort teardown
+		<-serveDone
+	}()
+	c := client.New("http://" + l.Addr().String())
+	ctx := context.Background()
+
+	// Warm the built state and the snapshot cache.
+	if _, err := c.CountRepairs(ctx, "bench", prefcqa.Global, "R"); err != nil {
+		return Metric{}, err
+	}
+
+	var (
+		stop     = make(chan struct{})
+		rwg, wwg sync.WaitGroup
+		mu       sync.Mutex
+		lats     = make([]time.Duration, 0, reqs)
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// Writers churn their own key range (disjoint from other writers)
+	// until the readers finish.
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			gen, prev := 0, -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (gen*writers + w) % m // writer-disjoint when m % writers == 0
+				tup, _ := prefcqa.MakeTuple(k, 100+gen*writers+w)
+				ids, _, err := c.Insert(ctx, "bench", "R", tup)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if _, err := c.Prefer(ctx, "bench", "R", [2]int{anchors[k], ids[0]}); err != nil {
+					fail(err)
+					return
+				}
+				if prev >= 0 {
+					// Retire the previous generation to keep clusters small.
+					if _, _, err := c.Delete(ctx, "bench", "R", prev); err != nil {
+						fail(err)
+						return
+					}
+				}
+				prev = ids[0]
+				gen++
+			}
+		}(w)
+	}
+
+	perClient := reqs / clients
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		rwg.Add(1)
+		go func(cl int) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(int64(42 + cl)))
+			local := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				k := rng.Intn(m)
+				t0 := time.Now()
+				a, err := c.Query(ctx, "bench", prefcqa.Global, fmt.Sprintf("R(%d, 0)", k))
+				if err != nil {
+					fail(err)
+					return
+				}
+				if a != prefcqa.True {
+					fail(fmt.Errorf("anchor R(%d, 0) = %v, want true", k, a))
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(cl)
+	}
+	rwg.Wait() // writers keep churning until the readers are done
+	elapsed := time.Since(start)
+	close(stop)
+	wwg.Wait()
+	if firstErr != nil {
+		return Metric{}, fmt.Errorf("%s: %w", name, firstErr)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	var total time.Duration
+	for _, d := range lats {
+		total += d
+	}
+	mean := float64(total.Nanoseconds()) / float64(len(lats))
+	return Metric{
+		Name:       name,
+		Iterations: len(lats),
+		NsPerOp:    mean,
+		Extra: map[string]float64{
+			"qps":     float64(len(lats)) / elapsed.Seconds(),
+			"p50_us":  float64(pct(0.50).Microseconds()),
+			"p99_us":  float64(pct(0.99).Microseconds()),
+			"clients": float64(clients),
+			"writers": float64(writers),
+		},
+	}, nil
+}

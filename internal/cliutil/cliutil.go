@@ -1,10 +1,12 @@
-// Package cliutil holds the input plumbing shared by the cmd/ tools:
-// loading a CSV instance, declaring dependencies, and parsing
-// preference files.
+// Package cliutil holds the plumbing shared by the cmd/ tools: the
+// standard main wrapper, the common flag surface (-data, -rel,
+// -prefs, -fd, -family), loading a CSV instance, declaring
+// dependencies, and parsing preference files.
 package cliutil
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +16,53 @@ import (
 	"prefcqa"
 	"prefcqa/internal/relation"
 )
+
+// Main runs a command body and reports an error in the standard
+// "name: error" form on stderr with exit code 1 — the shared main()
+// of every cmd/ tool.
+func Main(name string, run func() error) {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, name+":", err)
+		os.Exit(1)
+	}
+}
+
+// DataFlags is the flag surface shared by the tools that load one CSV
+// relation: -data, -rel, -prefs and repeatable -fd.
+type DataFlags struct {
+	Data  string
+	Rel   string
+	Prefs string
+	FDs   StringList
+}
+
+// RegisterDataFlags declares the shared relation-loading flags on the
+// default flag set. Call before flag.Parse.
+func RegisterDataFlags() *DataFlags {
+	d := &DataFlags{}
+	flag.StringVar(&d.Data, "data", "", "CSV file with a typed header")
+	flag.StringVar(&d.Rel, "rel", "R", "relation name")
+	flag.StringVar(&d.Prefs, "prefs", "", "preference file (tuple > tuple per line)")
+	flag.Var(&d.FDs, "fd", "functional dependency 'X -> Y' (repeatable)")
+	return d
+}
+
+// Load builds a database from the parsed flags. A missing -data
+// prints usage and errors.
+func (d *DataFlags) Load() (*prefcqa.DB, *prefcqa.Relation, error) {
+	if d.Data == "" {
+		flag.Usage()
+		return nil, nil, fmt.Errorf("-data is required")
+	}
+	return LoadDB(d.Data, d.Rel, d.FDs, d.Prefs)
+}
+
+// RegisterFamilyFlag declares the shared -family flag on the default
+// flag set. Call before flag.Parse; parse the value with
+// prefcqa.ParseFamily.
+func RegisterFamilyFlag() *string {
+	return flag.String("family", "rep", "repair family: rep, local, semiglobal, global, common")
+}
 
 // StringList is a repeatable string flag.
 type StringList []string
@@ -31,36 +80,47 @@ func (s *StringList) Set(v string) error {
 // a preference file (may be empty). It returns the database and the
 // loaded relation.
 func LoadDB(dataPath, relName string, fds []string, prefsPath string) (*prefcqa.DB, *prefcqa.Relation, error) {
-	f, err := os.Open(dataPath)
+	db := prefcqa.New()
+	rel, err := LoadInto(db, dataPath, relName, fds, prefsPath)
 	if err != nil {
 		return nil, nil, err
+	}
+	return db, rel, nil
+}
+
+// LoadInto loads a CSV instance, its dependencies and preferences
+// into an existing database — used by prefserve to preload a served
+// database at boot.
+func LoadInto(db *prefcqa.DB, dataPath, relName string, fds []string, prefsPath string) (*prefcqa.Relation, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
 	}
 	defer f.Close()
 	inst, err := prefcqa.ReadCSV(relName, f)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	db := prefcqa.New()
 	rel, err := db.AddInstance(inst)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	for _, spec := range fds {
 		if err := rel.AddFD(spec); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	if prefsPath != "" {
 		pf, err := os.Open(prefsPath)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		defer pf.Close()
 		if err := ApplyPrefs(rel, pf); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
-	return db, rel, nil
+	return rel, nil
 }
 
 // ApplyPrefs reads preference lines "v1,v2,... > w1,w2,..." (the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -84,8 +85,20 @@ func (c *CountCache) Len() int {
 // commutative, so folding the cache misses in after the hits cannot
 // change the result, the zero short-circuit, or the overflow verdict.
 func (e *Engine) CountCached(f Family, p *priority.Priority, cc *CountCache) (int64, error) {
+	return e.CountCachedCtx(context.Background(), f, p, cc)
+}
+
+// CountCachedCtx is CountCached with cancellation, checked per
+// cache-missed component: once ctx is cancelled the merge stops and
+// ctx.Err() is returned. Counts already folded in are discarded;
+// per-component entries cached before the abort are kept (they are
+// valid values, only the fold was abandoned).
+func (e *Engine) CountCachedCtx(ctx context.Context, f Family, p *priority.Priority, cc *CountCache) (int64, error) {
 	if cc == nil {
-		return e.Count(f, p)
+		return e.CountCtx(ctx, f, p)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	g := p.Graph()
 	comps, ids := g.ComponentsWithIDs()
@@ -120,10 +133,13 @@ func (e *Engine) CountCached(f Family, p *priority.Priority, cc *CountCache) (in
 	for k, i := range missIdx {
 		missComps[k] = comps[i]
 	}
-	pend := e.startChoices(f, p, missComps)
+	pend := e.startChoices(ctx, f, p, missComps)
 	defer pend.cancel()
 	for k, i := range missIdx {
-		c := int64(pend.count(k))
+		c, err := pend.countCtx(ctx, k)
+		if err != nil {
+			return 0, err
+		}
 		cc.put(countKey{era: era, comp: ids[i], f: f}, c)
 		if c == 0 {
 			return 0, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
@@ -108,13 +109,31 @@ func (e *Engine) ComponentChoices(f Family, p *priority.Priority) [][]*bitset.Se
 // the building block of the CQA component pruning, which restricts
 // evaluation to the components a ground query touches.
 func (e *Engine) ChoicesFor(f Family, p *priority.Priority, comps [][]int) [][]*bitset.Set {
-	pend := e.startChoices(f, p, comps)
-	pend.waitAll()
-	out := make([][]*bitset.Set, len(comps))
-	for i := range comps {
-		out[i] = pend.wait(i)
+	out, err := e.ChoicesForCtx(context.Background(), f, p, comps)
+	if err != nil {
+		panic("core: ChoicesFor cancelled without a context") // unreachable: Background never cancels
 	}
 	return out
+}
+
+// ChoicesForCtx is ChoicesFor with cancellation, checked per
+// component: once ctx is cancelled no further component is evaluated
+// and ctx.Err() is returned.
+func (e *Engine) ChoicesForCtx(ctx context.Context, f Family, p *priority.Priority, comps [][]int) ([][]*bitset.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pend := e.startChoices(ctx, f, p, comps)
+	defer pend.cancel()
+	out := make([][]*bitset.Set, len(comps))
+	for i := range comps {
+		cs, err := pend.waitCtx(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cs
+	}
+	return out, nil
 }
 
 // Enumerate yields every preferred repair of the family, identical in
@@ -124,6 +143,19 @@ func (e *Engine) ChoicesFor(f Family, p *priority.Priority, comps [][]int) [][]*
 // per-component computation: the walk blocks only when it reaches a
 // component whose choices are not ready yet.
 func (e *Engine) Enumerate(f Family, p *priority.Priority, yield func(*bitset.Set) bool) error {
+	return e.EnumerateCtx(context.Background(), f, p, yield)
+}
+
+// EnumerateCtx is Enumerate with cancellation, checked once per
+// component of the cross-product walk: once ctx is cancelled the walk
+// stops and ctx.Err() is returned (distinguishable from
+// repair.ErrStopped, which still reports an early-stopping yield).
+// A single component's choice-set computation is not interruptible;
+// the abort granularity is one component.
+func (e *Engine) EnumerateCtx(ctx context.Context, f Family, p *priority.Priority, yield func(*bitset.Set) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	comps := p.Graph().Components()
 	cur := bitset.New(p.Graph().Len())
 	if len(comps) == 0 {
@@ -132,17 +164,24 @@ func (e *Engine) Enumerate(f Family, p *priority.Priority, yield func(*bitset.Se
 		}
 		return nil
 	}
-	pend := e.startChoices(f, p, comps)
+	pend := e.startChoices(ctx, f, p, comps)
 	defer pend.cancel()
 	var rec func(i int) error
 	rec = func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if i == len(comps) {
 			if !yield(cur) {
 				return repair.ErrStopped
 			}
 			return nil
 		}
-		for _, c := range pend.wait(i) {
+		choices, err := pend.waitCtx(ctx, i)
+		if err != nil {
+			return err
+		}
+		for _, c := range choices {
 			cur.UnionWith(c)
 			if err := rec(i + 1); err != nil {
 				return err
@@ -170,15 +209,30 @@ func (e *Engine) All(f Family, p *priority.Priority) []*bitset.Set {
 // component completion order as workers finish, so Count never
 // materializes or waits on the full cross-product.
 func (e *Engine) Count(f Family, p *priority.Priority) (int64, error) {
+	return e.CountCtx(context.Background(), f, p)
+}
+
+// CountCtx is Count with cancellation, checked per component as the
+// per-component counts stream in: once ctx is cancelled the merge
+// stops waiting and ctx.Err() is returned.
+func (e *Engine) CountCtx(ctx context.Context, f Family, p *priority.Priority) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	comps := p.Graph().Components()
 	if len(comps) == 0 {
 		return 1, nil
 	}
-	pend := e.startChoices(f, p, comps)
+	pend := e.startChoices(ctx, f, p, comps)
 	defer pend.cancel()
 	total := int64(1)
 	for range comps {
-		i := <-pend.done
+		var i int
+		select {
+		case i = <-pend.done:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
 		c := int64(pend.count(i))
 		if c == 0 {
 			return 0, nil

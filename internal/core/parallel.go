@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,7 +48,13 @@ type pendingChoices struct {
 // the engine's worker pool. With one worker (or one component) the
 // computation runs inline on the calling goroutine, making the
 // sequential path allocation- and scheduling-free.
-func (e *Engine) startChoices(f Family, p *priority.Priority, comps [][]int) *pendingChoices {
+//
+// Cancellation granularity is one component: once ctx is cancelled no
+// further component is started (inline or on a worker), but an
+// in-flight component runs to completion. A cancelled run may leave
+// ready channels that never close; consumers must use the ctx-aware
+// waits (waitCtx / the done channel paired with ctx.Done()).
+func (e *Engine) startChoices(ctx context.Context, f Family, p *priority.Priority, comps [][]int) *pendingChoices {
 	n := len(comps)
 	pend := &pendingChoices{
 		comps:  comps,
@@ -62,6 +69,10 @@ func (e *Engine) startChoices(f Family, p *priority.Priority, comps [][]int) *pe
 	workers := e.effectiveWorkers(n)
 	if workers <= 1 {
 		for i, comp := range comps {
+			if ctx.Err() != nil {
+				pend.stopped.Store(true)
+				return pend
+			}
 			pend.local[i] = e.componentLocalChoices(f, p, comp)
 			close(pend.ready[i])
 			pend.done <- i
@@ -77,7 +88,7 @@ func (e *Engine) startChoices(f Family, p *priority.Priority, comps [][]int) *pe
 			defer pend.wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || pend.stopped.Load() {
+				if i >= n || pend.stopped.Load() || ctx.Err() != nil {
 					return
 				}
 				pend.local[i] = e.componentLocalChoices(f, p, comps[i])
@@ -96,11 +107,38 @@ func (p *pendingChoices) count(i int) int {
 	return len(p.local[i])
 }
 
+// countCtx is count with cancellation: it returns ctx.Err() once the
+// context is cancelled instead of waiting for component i.
+func (p *pendingChoices) countCtx(ctx context.Context, i int) (int64, error) {
+	select {
+	case <-p.ready[i]:
+		return int64(len(p.local[i])), nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
 // wait blocks until component i's choices are available and returns
 // them lifted to global TupleIDs. Must be called from a single
 // consumer goroutine (the lifted cache is unsynchronized).
 func (p *pendingChoices) wait(i int) []*bitset.Set {
 	<-p.ready[i]
+	return p.lift(i)
+}
+
+// waitCtx is wait with cancellation: it returns ctx.Err() once the
+// context is cancelled, without waiting for component i to finish.
+// Same single-consumer requirement as wait.
+func (p *pendingChoices) waitCtx(ctx context.Context, i int) ([]*bitset.Set, error) {
+	select {
+	case <-p.ready[i]:
+		return p.lift(i), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (p *pendingChoices) lift(i int) []*bitset.Set {
 	if p.lifted[i] == nil {
 		if len(p.comps[i]) == 0 {
 			p.lifted[i] = p.local[i]
@@ -109,13 +147,6 @@ func (p *pendingChoices) wait(i int) []*bitset.Set {
 		}
 	}
 	return p.lifted[i]
-}
-
-// waitAll blocks until every component's choices are available.
-func (p *pendingChoices) waitAll() {
-	for i := range p.ready {
-		<-p.ready[i]
-	}
 }
 
 // cancel tells the workers to stop after their in-flight component

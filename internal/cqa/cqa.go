@@ -15,6 +15,7 @@
 package cqa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -25,6 +26,7 @@ import (
 	"prefcqa/internal/priority"
 	"prefcqa/internal/query"
 	"prefcqa/internal/relation"
+	"prefcqa/internal/repair"
 )
 
 // Relation bundles one relation's inconsistency context: the
@@ -60,6 +62,11 @@ type Input struct {
 	// tuples. Results are identical; this is the ablation/back-out
 	// switch behind the facade's WithIndexes(false).
 	ScanOnly bool
+	// Ctx, when non-nil, cancels evaluation: the engine checks it per
+	// conflict-graph component and the repair walks check it per
+	// enumerated combination, so a server deadline aborts a long
+	// evaluation with ctx.Err() instead of running to completion.
+	Ctx context.Context
 }
 
 // WithEngine returns a copy of the input evaluating on the given
@@ -74,6 +81,22 @@ func (in Input) WithEngine(e *core.Engine) Input {
 func (in Input) WithScanOnly(on bool) Input {
 	in.ScanOnly = on
 	return in
+}
+
+// WithContext returns a copy of the input whose evaluation is
+// cancelled when ctx is — the plumbing behind per-request deadlines
+// in the serving layer.
+func (in Input) WithContext(ctx context.Context) Input {
+	in.Ctx = ctx
+	return in
+}
+
+// ctx resolves the cancellation context, defaulting to Background.
+func (in Input) ctx() context.Context {
+	if in.Ctx != nil {
+		return in.Ctx
+	}
+	return context.Background()
 }
 
 // engine resolves the evaluation engine, defaulting to the sequential
@@ -153,26 +176,36 @@ func (in Input) model(subsets map[string]*bitset.Set) query.Model {
 // and calls visit with one subset per relation. visit returns false
 // to stop. Per-relation repairs come from the input's engine, so the
 // inner re-enumerations hit the engine's choice-set cache when
-// memoization is on.
-func (in Input) forEachPreferredRepair(f core.Family, visit func(map[string]*bitset.Set) bool) {
+// memoization is on. A non-nil error is the input context's
+// cancellation (an early visit stop is not an error).
+func (in Input) forEachPreferredRepair(f core.Family, visit func(map[string]*bitset.Set) bool) error {
+	ctx := in.ctx()
 	eng := in.engine()
 	subsets := make(map[string]*bitset.Set, len(in.Rels))
-	var rec func(i int) bool
-	rec = func(i int) bool {
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
 		if i == len(in.Rels) {
-			return visit(subsets)
+			return visit(subsets), nil
 		}
 		r := in.Rels[i]
 		name := r.Inst.Schema().Name()
 		cont := true
-		eng.Enumerate(f, r.Pri, func(s *bitset.Set) bool { //nolint:errcheck // stop propagates via cont
+		var inner error
+		err := eng.EnumerateCtx(ctx, f, r.Pri, func(s *bitset.Set) bool {
 			subsets[name] = s
-			cont = rec(i + 1)
-			return cont
+			cont, inner = rec(i + 1)
+			return cont && inner == nil
 		})
-		return cont
+		if inner != nil {
+			return false, inner
+		}
+		if err != nil && err != repair.ErrStopped {
+			return false, err // context cancellation
+		}
+		return cont, nil
 	}
-	rec(0)
+	_, err := rec(0)
+	return err
 }
 
 // Certain reports whether true is the X-consistent answer to the
@@ -230,6 +263,9 @@ func EvaluateFull(f core.Family, in Input, q query.Expr) (Answer, error) {
 // open queries are instantiated over the mixed active domain) simply
 // make the atom false.
 func evaluateClosed(f core.Family, in Input, q query.Expr) (Answer, error) {
+	if err := in.ctx().Err(); err != nil {
+		return 0, err
+	}
 	if query.IsGround(q) {
 		return evaluateGroundPruned(f, in, q)
 	}
@@ -239,8 +275,8 @@ func evaluateClosed(f core.Family, in Input, q query.Expr) (Answer, error) {
 func evaluateFull(f core.Family, in Input, q query.Expr) (Answer, error) {
 	seenTrue, seenFalse := false, false
 	var evalErr error
-	in.forEachPreferredRepair(f, func(subsets map[string]*bitset.Set) bool {
-		holds, err := query.Eval(q, in.model(subsets))
+	walkErr := in.forEachPreferredRepair(f, func(subsets map[string]*bitset.Set) bool {
+		holds, err := query.EvalCtx(in.Ctx, q, in.model(subsets))
 		if err != nil {
 			evalErr = err
 			return false
@@ -254,6 +290,9 @@ func evaluateFull(f core.Family, in Input, q query.Expr) (Answer, error) {
 	})
 	if evalErr != nil {
 		return 0, evalErr
+	}
+	if walkErr != nil {
+		return 0, walkErr
 	}
 	return verdict(seenTrue, seenFalse)
 }
@@ -344,7 +383,10 @@ func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error)
 			}
 			comps = append(comps, g.Component(cid))
 		}
-		lists := eng.ChoicesFor(f, r.Pri, comps)
+		lists, err := eng.ChoicesForCtx(in.ctx(), f, r.Pri, comps)
+		if err != nil {
+			return 0, err
+		}
 		for _, cs := range lists {
 			if len(cs) == 0 {
 				return 0, fmt.Errorf("cqa: component with no preferred choice (P1 violated?)")
@@ -356,12 +398,17 @@ func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error)
 	// the union per relation (untouched components are invisible —
 	// the ground query never consults them).
 	seenTrue, seenFalse := false, false
+	ctx := in.ctx()
 	var evalErr error
 	subsets := make(map[string]*bitset.Set, len(work))
 	var rec func(wi, ci int) bool
 	rec = func(wi, ci int) bool {
 		if wi == len(work) {
-			holds, err := query.Eval(q, in.model(subsets))
+			if err := ctx.Err(); err != nil {
+				evalErr = err
+				return false
+			}
+			holds, err := query.EvalCtx(in.Ctx, q, in.model(subsets))
 			if err != nil {
 				evalErr = err
 				return false
@@ -399,7 +446,7 @@ func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error)
 		// No touched components anywhere: every atom references an
 		// absent tuple, so the answer is fixed and visibility is
 		// irrelevant. Evaluate once.
-		holds, err := query.Eval(q, in.model(map[string]*bitset.Set{}))
+		holds, err := query.EvalCtx(in.Ctx, q, in.model(map[string]*bitset.Set{}))
 		if err != nil {
 			return 0, err
 		}

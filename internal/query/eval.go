@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"prefcqa/internal/bitset"
@@ -303,10 +304,23 @@ func (m DBModel) Card(rel string) int {
 // never scans the model. EvalNaive skips the planner entirely;
 // EvalScan plans but forbids index access paths.
 func Eval(e Expr, m Model) (bool, error) {
+	return EvalCtx(nil, e, m)
+}
+
+// EvalCtx is Eval with cancellation: a non-nil ctx is checked
+// periodically as candidate rows and domain values are iterated, so
+// a deadline aborts a long evaluation with ctx.Err() mid-join
+// instead of running to completion. A nil ctx disables the checks.
+func EvalCtx(ctx context.Context, e Expr, m Model) (bool, error) {
 	if fv := FreeVars(e); len(fv) != 0 {
 		return false, fmt.Errorf("query: formula is not closed, free variables %v", fv)
 	}
-	ev := &evaluator{m: m, root: e, join: true}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+	}
+	ev := &evaluator{m: m, root: e, join: true, ctx: ctx}
 	return ev.eval(e, map[string]relation.Value{})
 }
 
@@ -314,11 +328,22 @@ func Eval(e Expr, m Model) (bool, error) {
 // were compiled and executed (with estimated and actual row counts)
 // for EXPLAIN-style diagnostics.
 func EvalTrace(e Expr, m Model) (bool, *Trace, error) {
+	return EvalTraceCtx(nil, e, m)
+}
+
+// EvalTraceCtx is EvalTrace with the cancellation behavior of
+// EvalCtx.
+func EvalTraceCtx(ctx context.Context, e Expr, m Model) (bool, *Trace, error) {
 	if fv := FreeVars(e); len(fv) != 0 {
 		return false, nil, fmt.Errorf("query: formula is not closed, free variables %v", fv)
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return false, nil, err
+		}
+	}
 	tr := &Trace{}
-	ev := &evaluator{m: m, root: e, join: true, trace: tr}
+	ev := &evaluator{m: m, root: e, join: true, trace: tr, ctx: ctx}
 	res, err := ev.eval(e, map[string]relation.Value{})
 	return res, tr, err
 }
@@ -379,6 +404,24 @@ type evaluator struct {
 	domainOK bool
 	join     bool   // enable the plan-based fast path
 	trace    *Trace // when non-nil, collect executed plans
+	// ctx, when non-nil, cancels the evaluation: tick() samples it
+	// every few hundred iterated candidates (plan rows and domain
+	// values), bounding how far past a deadline an evaluation runs.
+	ctx   context.Context
+	steps int
+}
+
+// tick reports the context's cancellation, sampled every 256 calls
+// to keep the per-row overhead negligible.
+func (ev *evaluator) tick() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	ev.steps++
+	if ev.steps&255 != 0 {
+		return nil
+	}
+	return ev.ctx.Err()
 }
 
 // dom returns the active domain, collecting it on first use.
@@ -454,6 +497,9 @@ func (ev *evaluator) evalQuant(q Quant, env map[string]relation.Value, i int) (b
 		}
 	}()
 	for _, v := range ev.dom() {
+		if err := ev.tick(); err != nil {
+			return false, err
+		}
 		env[name] = v
 		res, err := ev.evalQuant(q, env, i+1)
 		if err != nil {

@@ -355,6 +355,10 @@ func (ev *evaluator) runStep(p *Plan, exec *PlanExec, si int, env map[string]rel
 	found := false
 	var loopErr error
 	visit := func(t relation.Tuple) bool {
+		if err := ev.tick(); err != nil {
+			loopErr = err
+			return false
+		}
 		if exec != nil {
 			exec.ActRows[si]++
 		}

@@ -32,14 +32,9 @@ func ReadCSV(relName string, src io.Reader) (*Instance, error) {
 		if !ok {
 			return nil, fmt.Errorf("relation: header cell %q must be attr:kind", cell)
 		}
-		var kind Kind
-		switch strings.TrimSpace(kindStr) {
-		case "name":
-			kind = KindName
-		case "int":
-			kind = KindInt
-		default:
-			return nil, fmt.Errorf("relation: unknown kind %q in header cell %q (want name or int)", kindStr, cell)
+		kind, err := ParseKind(strings.TrimSpace(kindStr))
+		if err != nil {
+			return nil, fmt.Errorf("relation: header cell %q: %w", cell, err)
 		}
 		attrs[i] = Attribute{Name: strings.TrimSpace(name), Kind: kind}
 	}
@@ -79,6 +74,19 @@ func ReadCSV(relName string, src io.Reader) (*Instance, error) {
 	return inst, nil
 }
 
+// ParseKind parses "name" or "int" — the textual attribute kinds of
+// the CSV header and the JSON wire schema.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "name":
+		return KindName, nil
+	case "int":
+		return KindInt, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown kind %q (want name or int)", s)
+	}
+}
+
 // WriteCSV writes the instance in the format accepted by ReadCSV,
 // tuples in deterministic value order.
 func WriteCSV(dst io.Writer, inst *Instance) error {
@@ -107,4 +115,105 @@ func WriteCSV(dst io.Writer, inst *Instance) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// The JSON wire codec below is the value- and instance-level encoding
+// of the prefserve protocol: schemas as {name, kind} attribute lists,
+// cells in the textual constant syntax of Value.String / ParseValue
+// (integers bare, names single-quoted with '' escaping), so every
+// value round-trips exactly — including names that look like integers
+// or contain quotes. Only live tuples are encoded: a tombstoned
+// instance wires to its live content, and decoding re-densifies the
+// tuple IDs.
+
+// WireAttr is one attribute of a wire-encoded schema.
+type WireAttr struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "name" or "int"
+}
+
+// WireInstance is the JSON wire form of a relation instance.
+type WireInstance struct {
+	Relation string     `json:"relation"`
+	Attrs    []WireAttr `json:"attrs"`
+	// Rows holds the live tuples in deterministic value order, one
+	// cell per attribute, encoded by EncodeValue.
+	Rows [][]string `json:"rows"`
+}
+
+// EncodeValue renders a value in the wire cell syntax (Value.String).
+func EncodeValue(v Value) string { return v.String() }
+
+// DecodeValue parses a wire cell against an attribute kind. Unlike
+// the bare ParseValue convenience (which falls back to names for
+// unquoted non-integers), the expected kind disambiguates, so decode
+// is the exact inverse of EncodeValue.
+func DecodeValue(kind Kind, cell string) (Value, error) {
+	v, err := ParseValue(cell)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Kind() != kind {
+		return Value{}, fmt.Errorf("relation: wire cell %q is a %s, want %s", cell, v.Kind(), kind)
+	}
+	return v, nil
+}
+
+// EncodeWire encodes the instance's schema and live tuples for the
+// wire. The inverse is DecodeWire.
+func EncodeWire(inst *Instance) WireInstance {
+	s := inst.Schema()
+	w := WireInstance{
+		Relation: s.Name(),
+		Attrs:    make([]WireAttr, s.Arity()),
+		Rows:     make([][]string, 0, inst.Len()),
+	}
+	for i := 0; i < s.Arity(); i++ {
+		w.Attrs[i] = WireAttr{Name: s.Attr(i).Name, Kind: s.Attr(i).Kind.String()}
+	}
+	for _, id := range inst.SortedIDs() {
+		t := inst.Tuple(id)
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = EncodeValue(v)
+		}
+		w.Rows = append(w.Rows, row)
+	}
+	return w
+}
+
+// DecodeWire rebuilds an instance from its wire form. Tuple IDs are
+// assigned densely in row order; the live tuple set and schema equal
+// the encoded instance's.
+func DecodeWire(w WireInstance) (*Instance, error) {
+	attrs := make([]Attribute, len(w.Attrs))
+	for i, a := range w.Attrs {
+		kind, err := ParseKind(a.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("relation: wire attr %q: %w", a.Name, err)
+		}
+		attrs[i] = Attribute{Name: a.Name, Kind: kind}
+	}
+	schema, err := NewSchema(w.Relation, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	inst := NewInstance(schema)
+	for ri, row := range w.Rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("relation: wire row %d has %d cells, want %d", ri, len(row), len(attrs))
+		}
+		t := make(Tuple, len(row))
+		for i, cell := range row {
+			v, err := DecodeValue(attrs[i].Kind, cell)
+			if err != nil {
+				return nil, fmt.Errorf("relation: wire row %d, attr %s: %w", ri, attrs[i].Name, err)
+			}
+			t[i] = v
+		}
+		if _, _, err := inst.Insert(t); err != nil {
+			return nil, fmt.Errorf("relation: wire row %d: %w", ri, err)
+		}
+	}
+	return inst, nil
 }

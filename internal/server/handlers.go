@@ -1,0 +1,409 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"prefcqa"
+	"prefcqa/client"
+	"prefcqa/internal/relation"
+)
+
+// routes wires every endpoint of the v1 protocol.
+func (s *Server) routes() {
+	s.mux.Handle(client.PathCreateDB, s.endpoint(http.MethodPost, s.handleCreateDB))
+	s.mux.Handle(client.PathRelation, s.endpoint(http.MethodPost, s.handleRelation))
+	s.mux.Handle(client.PathFD, s.endpoint(http.MethodPost, s.handleFD))
+	s.mux.Handle(client.PathInsert, s.endpoint(http.MethodPost, s.handleInsert))
+	s.mux.Handle(client.PathDelete, s.endpoint(http.MethodPost, s.handleDelete))
+	s.mux.Handle(client.PathPrefer, s.endpoint(http.MethodPost, s.handlePrefer))
+	s.mux.Handle(client.PathQuery, s.endpoint(http.MethodPost, s.handleQuery))
+	s.mux.Handle(client.PathQueryOpen, s.endpoint(http.MethodPost, s.handleQueryOpen))
+	s.mux.Handle(client.PathCount, s.endpoint(http.MethodPost, s.handleCount))
+	s.mux.Handle(client.PathRepairs, s.endpoint(http.MethodPost, s.handleRepairs))
+	s.mux.Handle(client.PathExplain, s.endpoint(http.MethodPost, s.handleExplain))
+	s.mux.Handle(client.PathStats, s.endpoint(http.MethodGet, s.handleStats))
+	s.mux.HandleFunc(client.PathHealth, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck // health probe
+	})
+}
+
+func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) error {
+	var req client.CreateDBRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if _, err := s.CreateDB(req.DB); err != nil {
+		return &httpError{code: http.StatusConflict, err: err}
+	}
+	return writeJSON(w, client.VersionResponse{Version: 0})
+}
+
+func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) error {
+	var req client.RelationRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	t, err := s.tenant(req.DB)
+	if err != nil {
+		return err
+	}
+	attrs := make([]prefcqa.Attribute, len(req.Attrs))
+	for i, a := range req.Attrs {
+		kind, err := relation.ParseKind(a.Kind)
+		if err != nil {
+			return err
+		}
+		attrs[i] = prefcqa.Attribute{Name: a.Name, Kind: kind}
+	}
+	// Schema changes take the tenant write lock: prefcqa.DB does not
+	// synchronize relation creation with concurrent use.
+	t.mu.Lock()
+	_, err = t.db.CreateRelation(req.Relation, attrs...)
+	t.mu.Unlock()
+	if err != nil {
+		return &httpError{code: http.StatusConflict, err: err}
+	}
+	return writeJSON(w, client.VersionResponse{Version: t.bumped()})
+}
+
+// withRelation resolves a tenant and relation and runs fn holding the
+// tenant read lock (guarding against concurrent relation creation;
+// tuple-level mutation is synchronized by the facade itself).
+func (s *Server) withRelation(db, rel string, fn func(t *tenant, r *prefcqa.Relation) error) (*tenant, error) {
+	t, err := s.tenant(db)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.db.Relation(rel)
+	if !ok {
+		return nil, &httpError{code: http.StatusNotFound, err: fmt.Errorf("unknown relation %q in database %q", rel, db)}
+	}
+	return t, fn(t, r)
+}
+
+func (s *Server) handleFD(w http.ResponseWriter, r *http.Request) error {
+	var req client.FDRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	t, err := s.withRelation(req.DB, req.Relation, func(t *tenant, rel *prefcqa.Relation) error {
+		return rel.AddFD(req.FD)
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, client.VersionResponse{Version: t.bumped()})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
+	var req client.InsertRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(req.Rows))
+	t, err := s.withRelation(req.DB, req.Relation, func(t *tenant, rel *prefcqa.Relation) error {
+		// Decode and type-check every row before inserting any, so a
+		// malformed batch is rejected whole: no partial, unversioned
+		// mutation can hide behind the cached snapshot and surface as
+		// a phantom after an unrelated later write.
+		schema := rel.Schema()
+		tuples := make([][]any, len(req.Rows))
+		for ri, row := range req.Rows {
+			if len(row) != schema.Arity() {
+				return fmt.Errorf("row %d has %d cells, schema %s needs %d", ri, len(row), schema.Name(), schema.Arity())
+			}
+			vals := make([]any, len(row))
+			for i, cell := range row {
+				v, err := prefcqa.DecodeValue(schema.Attr(i).Kind, cell)
+				if err != nil {
+					return fmt.Errorf("row %d: %w", ri, err)
+				}
+				vals[i] = v
+			}
+			tuples[ri] = vals
+		}
+		for ri, vals := range tuples {
+			id, err := rel.Insert(vals...)
+			if err != nil {
+				// Unreachable after validation; version what applied.
+				if len(ids) > 0 {
+					t.bumped()
+				}
+				return fmt.Errorf("row %d: %w", ri, err)
+			}
+			ids = append(ids, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, client.InsertResponse{IDs: ids, Version: t.bumped()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	var req client.DeleteRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	deleted := 0
+	t, err := s.withRelation(req.DB, req.Relation, func(t *tenant, rel *prefcqa.Relation) error {
+		for _, id := range req.IDs {
+			if rel.Delete(id) {
+				deleted++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, client.DeleteResponse{Deleted: deleted, Version: t.bumped()})
+}
+
+func (s *Server) handlePrefer(w http.ResponseWriter, r *http.Request) error {
+	var req client.PreferRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	t, err := s.withRelation(req.DB, req.Relation, func(t *tenant, rel *prefcqa.Relation) error {
+		for i, p := range req.Pairs {
+			if err := rel.Prefer(p[0], p[1]); err != nil {
+				// A later pair can fail after earlier ones applied (a
+				// concurrent delete can invalidate an ID between any
+				// pre-check and the apply, so the batch is inherently
+				// non-atomic). Publish a version for what did apply:
+				// partial effects must never hide behind the cached
+				// snapshot and surface later as phantoms.
+				if i > 0 {
+					t.bumped()
+				}
+				return fmt.Errorf("pair %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, client.VersionResponse{Version: t.bumped()})
+}
+
+// pinned resolves a tenant and a snapshot satisfying the read options.
+func (s *Server) pinned(db string, opts client.ReadOptions) (*prefcqa.Snapshot, uint64, error) {
+	t, err := s.tenant(db)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t.snapshotAtLeast(opts.MinVersion)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	var req client.QueryRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	fam, err := prefcqa.ParseFamily(req.Family)
+	if err != nil {
+		return err
+	}
+	snap, wv, err := s.pinned(req.DB, req.ReadOptions)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+	ans, err := snap.QueryContext(ctx, fam, req.Query)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, client.QueryResponse{Answer: ans.String(), Version: wv, Versions: snap.Versions()})
+}
+
+func (s *Server) handleQueryOpen(w http.ResponseWriter, r *http.Request) error {
+	var req client.QueryRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	fam, err := prefcqa.ParseFamily(req.Family)
+	if err != nil {
+		return err
+	}
+	snap, wv, err := s.pinned(req.DB, req.ReadOptions)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+	bindings, err := snap.QueryOpenContext(ctx, fam, req.Query)
+	if err != nil {
+		return err
+	}
+	resp := client.QueryOpenResponse{Bindings: make([]map[string]string, 0, len(bindings)), Version: wv}
+	for _, b := range bindings {
+		m := make(map[string]string, len(b))
+		for name, v := range b {
+			m[name] = prefcqa.EncodeValue(v)
+		}
+		resp.Bindings = append(resp.Bindings, m)
+	}
+	return writeJSON(w, resp)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
+	var req client.CountRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	fam, err := prefcqa.ParseFamily(req.Family)
+	if err != nil {
+		return err
+	}
+	snap, wv, err := s.pinned(req.DB, req.ReadOptions)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+	n, err := snap.CountRepairsContext(ctx, fam, req.Relation)
+	if err != nil {
+		if _, ok := snap.Instance(req.Relation); !ok {
+			return &httpError{code: http.StatusNotFound, err: err}
+		}
+		return err
+	}
+	return writeJSON(w, client.CountResponse{Count: n, Version: wv})
+}
+
+// handleRepairs streams the preferred repairs as NDJSON: one
+// client.RepairsLine per repair, flushed as produced, then a terminal
+// Done (or Error) line. Errors after the first line cannot change the
+// status code; the terminal line carries them instead.
+func (s *Server) handleRepairs(w http.ResponseWriter, r *http.Request) error {
+	var req client.RepairsRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	fam, err := prefcqa.ParseFamily(req.Family)
+	if err != nil {
+		return err
+	}
+	snap, _, err := s.pinned(req.DB, req.ReadOptions)
+	if err != nil {
+		return err
+	}
+	if _, ok := snap.Instance(req.Relation); !ok {
+		return &httpError{code: http.StatusNotFound, err: fmt.Errorf("unknown relation %q in database %q", req.Relation, req.DB)}
+	}
+	max := req.Max
+	if max <= 0 {
+		max = s.opts.MaxRepairs
+	}
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(line client.RepairsLine) bool {
+		if err := enc.Encode(line); err != nil {
+			return false // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	count, truncated := 0, false
+	err = snap.EnumerateRepairs(ctx, fam, req.Relation, func(inst *prefcqa.Instance) bool {
+		// Truncated is only true when a repair beyond the cap exists:
+		// an enumeration of exactly max repairs is complete, not cut.
+		if count >= max {
+			truncated = true
+			return false
+		}
+		wi := prefcqa.EncodeWire(inst)
+		if !emit(client.RepairsLine{Repair: &wi}) {
+			return false
+		}
+		count++
+		return true
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.timeouts.Add(1)
+		}
+		emit(client.RepairsLine{Error: err.Error()})
+		return nil // status already sent; the error travelled in-band
+	}
+	emit(client.RepairsLine{Done: true, Count: count, Truncated: truncated})
+	return nil
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) error {
+	var req client.ExplainRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	snap, wv, err := s.pinned(req.DB, req.ReadOptions)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+	rep, err := snap.ExplainPlanContext(ctx, req.Query)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, client.ExplainResponse{
+		Query: rep.Query, Indexed: rep.Indexed, Holds: rep.Holds, Plans: rep.Plans, Version: wv,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	s.mu.RLock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.RUnlock()
+	resp := client.StatsResponse{DBs: make(map[string]client.DBStats, len(tenants)), Server: s.Stats()}
+	for _, t := range tenants {
+		hits, misses := t.db.EngineStats()
+		ds := client.DBStats{
+			WriteVersion: t.wv.Load(),
+			CacheHits:    hits,
+			CacheMisses:  misses,
+			Relations:    map[string]client.RelationStats{},
+		}
+		// Relation detail comes from the already-cached snapshot only:
+		// stats is an observability endpoint and must never trigger a
+		// fresh materialization (a monitoring poll against a
+		// write-active database would otherwise force the heaviest
+		// computation in the server on every scrape). A database with
+		// no cached snapshot yet — or whose build currently fails —
+		// reports its write-version without detail.
+		if p := t.snap.Load(); p != nil {
+			snap := p.snap
+			for name, ver := range snap.Versions() {
+				inst, _ := snap.Instance(name)
+				conflicts, _ := snap.Conflicts(name)
+				components, _ := snap.Components(name)
+				ds.Relations[name] = client.RelationStats{
+					Version:    ver,
+					Tuples:     inst.Len(),
+					Conflicts:  conflicts,
+					Components: components,
+				}
+			}
+		}
+		resp.DBs[t.name] = ds
+	}
+	return writeJSON(w, resp)
+}

@@ -1,0 +1,344 @@
+// Package server implements prefserve: a concurrent HTTP/JSON serving
+// layer over the prefcqa engine. It hosts a registry of named
+// databases (tenants), answers preferred-repair reads from pinned
+// snapshots so they run lock-free and concurrently with writes,
+// batches writes through the facade's incremental delta path, and
+// protects itself with admission control (a bounded in-flight
+// semaphore) and per-request deadlines plumbed down into the
+// evaluation engine via context cancellation.
+//
+// The wire protocol — paths, request and response shapes — is defined
+// in prefcqa/client, which doubles as the Go client.
+//
+// # Consistency model
+//
+// Every read pins one prefcqa.Snapshot: a point-in-time cut across
+// the database's relations, immune to concurrent mutation. Writes
+// return a monotone per-database write-version; a read carrying
+// min_version is served from a snapshot at least that new. Reads
+// default to "at least as new as the last completed write", so a
+// client that writes then reads on one connection — or hands its
+// write version to another client — always observes its write
+// (read-your-writes). Snapshots are cached and reused between writes:
+// a read burst against a quiet database takes one snapshot, not one
+// per request.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prefcqa"
+	"prefcqa/client"
+)
+
+// Options configure a Server.
+type Options struct {
+	// MaxInflight bounds the number of requests admitted at once;
+	// excess requests wait for a slot until their deadline and are
+	// rejected with 503 when none frees up. Zero selects 64.
+	MaxInflight int
+	// DefaultTimeout is the per-request evaluation deadline applied
+	// when the request does not carry timeout_ms. Zero selects 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout_ms. Zero selects 5m.
+	MaxTimeout time.Duration
+	// MaxRepairs caps a repair enumeration stream when the request
+	// does not set max. Zero selects 1024.
+	MaxRepairs int
+	// MaxBodyBytes bounds request bodies. Zero selects 32 MiB.
+	MaxBodyBytes int64
+	// DBOptions are applied to every database the server creates.
+	DBOptions []prefcqa.Option
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.MaxRepairs <= 0 {
+		o.MaxRepairs = 1024
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	return o
+}
+
+// Server is the prefserve HTTP server. Create with New, expose with
+// Serve (or use Handler under an existing http.Server), stop with
+// Shutdown.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	http *http.Server
+
+	mu      sync.RWMutex // guards tenants
+	tenants map[string]*tenant
+
+	sem      chan struct{} // admission-control slots
+	served   atomic.Uint64
+	rejected atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+// tenant is one named database plus its serving state.
+type tenant struct {
+	name string
+	// mu serializes registry-level schema changes (relation creation)
+	// against every other use of db: prefcqa.DB does not synchronize
+	// CreateRelation with concurrent queries. Reads and tuple-level
+	// writes take the read side (the facade synchronizes those
+	// itself), CreateRelation the write side.
+	mu sync.RWMutex
+	db *prefcqa.DB
+	// wv is the write-version: bumped after every completed write
+	// batch, returned to the client, accepted back as min_version.
+	wv atomic.Uint64
+	// snap caches the latest pinned snapshot with the write-version
+	// it is known to cover, so read bursts between writes share one
+	// snapshot instead of re-materializing per request.
+	snap atomic.Pointer[pinnedSnap]
+}
+
+type pinnedSnap struct {
+	wv   uint64
+	snap *prefcqa.Snapshot
+}
+
+// New returns a Server with an empty database registry.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:    opts.withDefaults(),
+		tenants: make(map[string]*tenant),
+	}
+	s.sem = make(chan struct{}, s.opts.MaxInflight)
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the server's root handler, for embedding in an
+// existing http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests drain until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
+// CreateDB registers a named database programmatically (the HTTP
+// equivalent is POST /v1/db) — used by the daemon to preload data.
+func (s *Server) CreateDB(name string) (*prefcqa.DB, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: empty database name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[name]; dup {
+		return nil, fmt.Errorf("server: database %q already exists", name)
+	}
+	t := &tenant{name: name, db: prefcqa.New(s.opts.DBOptions...)}
+	s.tenants[name] = t
+	return t.db, nil
+}
+
+// tenant resolves a named database.
+func (s *Server) tenant(name string) (*tenant, error) {
+	s.mu.RLock()
+	t, ok := s.tenants[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, &httpError{code: http.StatusNotFound, err: fmt.Errorf("unknown database %q", name)}
+	}
+	return t, nil
+}
+
+// bumped labels a completed write batch: called after the facade
+// mutation returns, so by the time a client holds the returned
+// version, any snapshot taken later includes the write.
+func (t *tenant) bumped() uint64 { return t.wv.Add(1) }
+
+// snapshotAtLeast returns a snapshot covering at least write-version
+// min (and never older than the last completed write), plus the
+// version it is labelled with. The cached snapshot is reused when new
+// enough; otherwise a fresh cut is taken and published. The label is
+// read before the cut, so it is a lower bound on what the snapshot
+// contains.
+//
+// A min above the database's current write-version cannot be
+// honored and is rejected (412): every version this database ever
+// returned is covered by now (writes complete before their version
+// is handed out), so an unsatisfiable min is a client mixing up
+// versions across databases or servers — serving older data with a
+// 200 would silently void the read-your-writes contract.
+func (t *tenant) snapshotAtLeast(min uint64) (*prefcqa.Snapshot, uint64, error) {
+	cur := t.wv.Load()
+	if min > cur {
+		return nil, 0, &httpError{
+			code: http.StatusPreconditionFailed,
+			err:  fmt.Errorf("min_version %d is beyond database %q's write-version %d (version from another database?)", min, t.name, cur),
+		}
+	}
+	min = cur
+	if p := t.snap.Load(); p != nil && p.wv >= min {
+		return p.snap, p.wv, nil
+	}
+	wv := t.wv.Load()
+	t.mu.RLock()
+	snap, err := t.db.Snapshot()
+	t.mu.RUnlock()
+	if err != nil {
+		// A failing build (e.g. contradictory preferences) is the
+		// client's doing: surface as a conflict, not a server error.
+		return nil, 0, &httpError{code: http.StatusConflict, err: err}
+	}
+	p := &pinnedSnap{wv: wv, snap: snap}
+	for {
+		old := t.snap.Load()
+		if old != nil && old.wv >= p.wv {
+			return snap, wv, nil // someone published a newer cut
+		}
+		if t.snap.CompareAndSwap(old, p) {
+			return snap, wv, nil
+		}
+	}
+}
+
+// httpError carries a status code with an error.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+// handlerFunc is an endpoint body: it returns an error to be mapped
+// to a status code (httpError for a specific one, 400 otherwise).
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+// endpoint wraps a handler with admission control and accounting.
+// Admission: the request must win a semaphore slot before any work;
+// when the server is saturated it waits until the client gives up or
+// the request deadline passes, then is rejected with 503.
+func (s *Server) endpoint(method string, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Saturated: wait for a slot, bounded by the default
+			// timeout so a stuffed queue sheds load instead of piling
+			// up goroutines forever.
+			waitCtx, cancel := context.WithTimeout(r.Context(), s.opts.DefaultTimeout)
+			select {
+			case s.sem <- struct{}{}:
+				cancel()
+			case <-waitCtx.Done():
+				cancel()
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, errors.New("server saturated (admission control)"))
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		defer s.served.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		if err := h(w, r); err != nil {
+			s.writeHandlerError(w, err)
+		}
+	})
+}
+
+// readCtx derives the evaluation context of a read request from its
+// timeout options: the requested timeout clamped to MaxTimeout, on
+// top of the client connection's own cancellation.
+func (s *Server) readCtx(r *http.Request, opts client.ReadOptions) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if opts.TimeoutMS > 0 {
+		d = time.Duration(opts.TimeoutMS) * time.Millisecond
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeHandlerError maps a handler error to a status code.
+func (s *Server) writeHandlerError(w http.ResponseWriter, err error) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		writeError(w, he.code, he.err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, errors.New("deadline exceeded"))
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(client.ErrorResponse{Error: err.Error()}) //nolint:errcheck // best effort on a failing request
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// decode parses a JSON request body into dst.
+func decode(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// Stats samples the server's counters (also served at /v1/stats).
+func (s *Server) Stats() client.ServerStats {
+	return client.ServerStats{
+		Inflight:    len(s.sem),
+		MaxInflight: s.opts.MaxInflight,
+		Served:      s.served.Load(),
+		Rejected:    s.rejected.Load(),
+		Timeouts:    s.timeouts.Load(),
+	}
+}

@@ -113,6 +113,41 @@ func NewSchema(name string, attrs ...Attribute) (*Schema, error) {
 // NewInstance returns an empty instance of the schema.
 func NewInstance(schema *Schema) *Instance { return relation.NewInstance(schema) }
 
+// MakeTuple coerces native Go values (string → name, integer types →
+// int, Value passed through) into a Tuple — the row-building
+// companion of the client package's Insert.
+func MakeTuple(vals ...any) (Tuple, error) { return relation.CoerceTuple(vals...) }
+
+// Wire types of the JSON codec (see EncodeWire / DecodeWire): the
+// value- and instance-level encoding of the prefserve protocol.
+type (
+	// WireAttr is one attribute of a wire-encoded schema.
+	WireAttr = relation.WireAttr
+	// WireInstance is the JSON wire form of a relation instance.
+	WireInstance = relation.WireInstance
+)
+
+// EncodeWire encodes an instance's schema and live tuples for the
+// JSON wire; DecodeWire is the inverse. Cells use the textual
+// constant syntax of Value.String (integers bare, names
+// single-quoted), so every value round-trips exactly.
+func EncodeWire(inst *Instance) WireInstance { return relation.EncodeWire(inst) }
+
+// DecodeWire rebuilds an instance from its wire form; tuple IDs are
+// assigned densely in row order.
+func DecodeWire(w WireInstance) (*Instance, error) { return relation.DecodeWire(w) }
+
+// EncodeValue renders a value in the wire cell syntax; DecodeValue
+// parses one against an attribute kind ("name" or "int" — see
+// Attribute.Kind), rejecting mismatches.
+func EncodeValue(v Value) string { return relation.EncodeValue(v) }
+
+// DecodeValue parses a wire cell against the attribute kind of the
+// column it belongs to.
+func DecodeValue(kind relation.Kind, cell string) (Value, error) {
+	return relation.DecodeValue(kind, cell)
+}
+
 // ReadCSV parses an instance from CSV with a typed header
 // ("attr:kind" cells, kind ∈ {name, int}); see WriteCSV for the
 // inverse. This is the on-disk format of the cmd tools.
@@ -659,6 +694,13 @@ func (r *Relation) Conflicts() (int, error) {
 func (r *Relation) Consistent() (bool, error) {
 	n, err := r.Conflicts()
 	return n == 0, err
+}
+
+// EngineStats returns the evaluation engine's cumulative choice-set
+// cache hit and miss counts (both zero with WithCache(false)) — the
+// numbers behind the serving layer's /v1/stats endpoint.
+func (db *DB) EngineStats() (hits, misses int64) {
+	return db.engine.CacheStats()
 }
 
 // input assembles the cqa.Input across all relations.

@@ -1,6 +1,7 @@
 package prefcqa
 
 import (
+	"context"
 	"fmt"
 
 	"prefcqa/internal/bitset"
@@ -8,6 +9,7 @@ import (
 	"prefcqa/internal/core"
 	"prefcqa/internal/cqa"
 	"prefcqa/internal/query"
+	"prefcqa/internal/repair"
 )
 
 // Snapshot is an immutable point-in-time view of a DB: every relation
@@ -20,10 +22,16 @@ import (
 // A snapshot shares the DB's evaluation engine and per-relation count
 // caches; cache entries are keyed by immutable (era, component ID)
 // identities, so sharing them across versions is safe.
+//
+// The Context-suffixed variants accept a cancellation context that is
+// plumbed down into the evaluation engine and checked per
+// conflict-graph component — the serving layer uses them to enforce
+// per-request deadlines. The plain variants never cancel.
 type Snapshot struct {
-	engine *core.Engine
-	order  []string
-	rels   map[string]snapRel
+	engine   *core.Engine
+	order    []string
+	rels     map[string]snapRel
+	scanOnly bool
 }
 
 type snapRel struct {
@@ -43,9 +51,10 @@ type snapRel struct {
 // loads per relation.
 func (db *DB) Snapshot() (*Snapshot, error) {
 	s := &Snapshot{
-		engine: db.engine,
-		order:  append([]string(nil), db.order...),
-		rels:   make(map[string]snapRel, len(db.order)),
+		engine:   db.engine,
+		order:    append([]string(nil), db.order...),
+		rels:     make(map[string]snapRel, len(db.order)),
+		scanOnly: !db.indexes,
 	}
 	db.snapMu.Lock()
 	defer db.snapMu.Unlock()
@@ -85,7 +94,7 @@ func (s *Snapshot) Instance(rel string) (*Instance, bool) {
 }
 
 // input assembles the CQA input over the pinned versions.
-func (s *Snapshot) input() (cqa.Input, error) {
+func (s *Snapshot) input(ctx context.Context) (cqa.Input, error) {
 	rels := make([]*cqa.Relation, 0, len(s.order))
 	for _, name := range s.order {
 		rels = append(rels, s.rels[name].rel)
@@ -94,17 +103,28 @@ func (s *Snapshot) input() (cqa.Input, error) {
 	if err != nil {
 		return cqa.Input{}, err
 	}
-	return in.WithEngine(s.engine), nil
+	in = in.WithEngine(s.engine).WithScanOnly(s.scanOnly)
+	if ctx != nil {
+		in = in.WithContext(ctx)
+	}
+	return in, nil
 }
 
 // Query evaluates a closed first-order query under the family's
 // preferred-repair semantics against the pinned versions.
 func (s *Snapshot) Query(f Family, src string) (Answer, error) {
+	return s.QueryContext(context.Background(), f, src)
+}
+
+// QueryContext is Query with cancellation: once ctx is cancelled the
+// evaluation aborts with ctx.Err(), checked per conflict-graph
+// component and per enumerated repair combination.
+func (s *Snapshot) QueryContext(ctx context.Context, f Family, src string) (Answer, error) {
 	q, err := query.Parse(src)
 	if err != nil {
 		return 0, err
 	}
-	in, err := s.input()
+	in, err := s.input(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -134,11 +154,17 @@ func (s *Snapshot) Possible(f Family, src string) (bool, error) {
 // QueryOpen evaluates an open query (free variables allowed) and
 // returns its certain answers on the pinned versions.
 func (s *Snapshot) QueryOpen(f Family, src string) ([]Binding, error) {
+	return s.QueryOpenContext(context.Background(), f, src)
+}
+
+// QueryOpenContext is QueryOpen with cancellation, checked per
+// candidate substitution of the free variables.
+func (s *Snapshot) QueryOpenContext(ctx context.Context, f Family, src string) ([]Binding, error) {
 	q, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	in, err := s.input()
+	in, err := s.input(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -148,27 +174,52 @@ func (s *Snapshot) QueryOpen(f Family, src string) ([]Binding, error) {
 // CountRepairs returns the number of preferred repairs of a relation
 // at the pinned version.
 func (s *Snapshot) CountRepairs(f Family, rel string) (int64, error) {
+	return s.CountRepairsContext(context.Background(), f, rel)
+}
+
+// CountRepairsContext is CountRepairs with cancellation, checked per
+// conflict-graph component as the counts are merged.
+func (s *Snapshot) CountRepairsContext(ctx context.Context, f Family, rel string) (int64, error) {
 	sr, ok := s.rels[rel]
 	if !ok {
 		return 0, fmt.Errorf("prefcqa: unknown relation %q", rel)
 	}
-	return s.engine.CountCached(f, sr.rel.Pri, sr.counts)
+	return s.engine.CountCachedCtx(ctx, f, sr.rel.Pri, sr.counts)
 }
 
 // Repairs materializes the family's preferred repairs of one relation
 // at the pinned version. Use CountRepairs first — the result can be
 // exponential.
 func (s *Snapshot) Repairs(f Family, rel string) ([]*Instance, error) {
-	sr, ok := s.rels[rel]
-	if !ok {
-		return nil, fmt.Errorf("prefcqa: unknown relation %q", rel)
-	}
 	var out []*Instance
-	s.engine.Enumerate(f, sr.rel.Pri, func(set *bitset.Set) bool { //nolint:errcheck // never stops
-		out = append(out, sr.rel.Inst.Subset(set))
+	err := s.EnumerateRepairs(context.Background(), f, rel, func(inst *Instance) bool {
+		out = append(out, inst)
 		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// EnumerateRepairs streams the family's preferred repairs of one
+// relation at the pinned version, in canonical enumeration order,
+// without materializing the full (possibly exponential) list. yield
+// returns false to stop early (not an error). Once ctx is cancelled
+// the enumeration aborts with ctx.Err(). This is the backing of the
+// serving layer's NDJSON repair streaming.
+func (s *Snapshot) EnumerateRepairs(ctx context.Context, f Family, rel string, yield func(*Instance) bool) error {
+	sr, ok := s.rels[rel]
+	if !ok {
+		return fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	err := s.engine.EnumerateCtx(ctx, f, sr.rel.Pri, func(set *bitset.Set) bool {
+		return yield(sr.rel.Inst.Subset(set))
+	})
+	if err == repair.ErrStopped {
+		return nil // the consumer stopped; not a failure
+	}
+	return err
 }
 
 // Clean runs Algorithm 1 on the pinned version of the relation.
@@ -188,4 +239,33 @@ func (s *Snapshot) Conflicts(rel string) (int, error) {
 		return 0, fmt.Errorf("prefcqa: unknown relation %q", rel)
 	}
 	return sr.rel.Pri.Graph().NumEdges(), nil
+}
+
+// Components returns the number of connected components of a
+// relation's conflict graph at the pinned version — the unit of
+// parallel evaluation and the granularity of cancellation checks.
+func (s *Snapshot) Components(rel string) (int, error) {
+	sr, ok := s.rels[rel]
+	if !ok {
+		return 0, fmt.Errorf("prefcqa: unknown relation %q", rel)
+	}
+	return len(sr.rel.Pri.Graph().Components()), nil
+}
+
+// ExplainPlan compiles and runs the closed query once against the
+// pinned full instances and reports the physical plans the planner
+// chose — DB.ExplainPlan against a snapshot.
+func (s *Snapshot) ExplainPlan(src string) (PlanReport, error) {
+	return s.ExplainPlanContext(context.Background(), src)
+}
+
+// ExplainPlanContext is ExplainPlan with cancellation: once ctx is
+// cancelled the traced evaluation aborts with ctx.Err(), checked
+// periodically as candidate rows are iterated.
+func (s *Snapshot) ExplainPlanContext(ctx context.Context, src string) (PlanReport, error) {
+	in, err := s.input(ctx)
+	if err != nil {
+		return PlanReport{}, err
+	}
+	return explainPlan(in, src)
 }
