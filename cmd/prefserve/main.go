@@ -10,12 +10,22 @@
 // Usage:
 //
 //	prefserve -addr :7171
+//	prefserve -addr :7171 -data-dir /var/lib/prefserve -fsync always
 //	prefserve -addr :7171 -db mydb \
 //	          -data mgr.csv -rel Mgr -fd 'Dept -> Name,Salary,Reports' -prefs prefs.txt
 //
 // With -data, the CSV relation (plus -fd / -prefs) is preloaded into
 // the database named by -db before serving. Without it the server
 // starts empty; create databases and relations over the API.
+//
+// With -data-dir every database is durable: mutations are written to a
+// per-database write-ahead log under <data-dir>/<name> before they are
+// acknowledged, and a restart recovers every database found there
+// (latest checkpoint plus log tail) before the listener opens. -fsync
+// picks the sync policy: "always" fsyncs before acking each write,
+// "group" acks immediately and fsyncs on a short timer, "never" leaves
+// syncing to the OS (data still survives a process crash, not a power
+// failure).
 //
 //	curl -s localhost:7171/v1/query -d '{"db":"mydb","family":"global",
 //	      "query":"EXISTS d,s,r . Mgr('\''Mary'\'', d, s, r)"}'
@@ -35,11 +45,21 @@ import (
 	"syscall"
 	"time"
 
+	"prefcqa"
 	"prefcqa/internal/cliutil"
 	"prefcqa/internal/server"
 )
 
 func main() { cliutil.Main("prefserve", run) }
+
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
 
 func run() error {
 	var (
@@ -49,27 +69,50 @@ func run() error {
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		maxRepairs  = flag.Int("max-repairs", 1024, "default cap on streamed repair enumerations")
+		dataDir     = flag.String("data-dir", "", "root directory for durable databases (empty: in-memory only)")
+		fsync       = flag.String("fsync", "always", "WAL sync policy with -data-dir: always, group, or never")
 		data        = cliutil.RegisterDataFlags()
 	)
 	flag.Parse()
 
+	policy, err := prefcqa.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
 	srv := server.New(server.Options{
 		MaxInflight:    *maxInflight,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxRepairs:     *maxRepairs,
+		DataDir:        *dataDir,
+		DBOptions:      []prefcqa.Option{prefcqa.WithSyncPolicy(policy)},
 	})
+	recovered, err := srv.RecoverDBs()
+	if err != nil {
+		return err
+	}
+	for _, name := range recovered {
+		fmt.Fprintf(os.Stderr, "prefserve: recovered database %q from %s\n",
+			name, *dataDir)
+	}
 	if data.Data != "" {
-		db, err := srv.CreateDB(*dbName)
-		if err != nil {
-			return err
+		// A recovered database already holds its data — preloading
+		// again would double-insert, so -data only seeds a database
+		// that does not exist yet.
+		if contains(recovered, *dbName) {
+			fmt.Fprintf(os.Stderr, "prefserve: database %q recovered from log; skipping -data preload\n", *dbName)
+		} else {
+			db, err := srv.CreateDB(*dbName)
+			if err != nil {
+				return err
+			}
+			rel, err := cliutil.LoadInto(db, data.Data, data.Rel, data.FDs, data.Prefs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "prefserve: loaded %s.%s (%d tuples)\n",
+				*dbName, data.Rel, rel.Instance().Len())
 		}
-		rel, err := cliutil.LoadInto(db, data.Data, data.Rel, data.FDs, data.Prefs)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "prefserve: loaded %s.%s (%d tuples)\n",
-			*dbName, data.Rel, rel.Instance().Len())
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -1,0 +1,432 @@
+package prefcqa
+
+import (
+	"fmt"
+	"time"
+
+	"prefcqa/internal/fd"
+	"prefcqa/internal/relation"
+	"prefcqa/internal/wal"
+)
+
+// SyncPolicy selects the durability barrier of a durable DB: how much
+// must be on disk before a mutation call returns.
+type SyncPolicy = wal.SyncPolicy
+
+// The durability policies (see WithSyncPolicy).
+const (
+	// SyncAlways fsyncs before acknowledging every mutation;
+	// concurrent writers share fsyncs (group commit). An acknowledged
+	// write survives SIGKILL and power loss.
+	SyncAlways = wal.SyncAlways
+	// SyncGroup acknowledges once the record reaches the OS and fsyncs
+	// on a bounded background interval: a power failure loses at most
+	// the last interval, process death loses nothing.
+	SyncGroup = wal.SyncGroup
+	// SyncNever never fsyncs while serving (a clean Close still does).
+	SyncNever = wal.SyncNever
+)
+
+// ParseSyncPolicy parses "always", "group" or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// WithSyncPolicy sets the durability barrier of a DB opened with Open
+// (default SyncAlways). Ignored by New.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(db *DB) { db.walOpts.Policy = p }
+}
+
+// WithFlushInterval bounds how long a SyncGroup write may sit
+// unsynced (default 2ms). Ignored by New.
+func WithFlushInterval(d time.Duration) Option {
+	return func(db *DB) { db.walOpts.FlushInterval = d }
+}
+
+// WithCheckpointBytes sets the log growth after which a mutation
+// triggers an automatic compacting checkpoint (default 8 MiB;
+// negative disables automatic checkpoints). Ignored by New.
+func WithCheckpointBytes(n int64) Option {
+	return func(db *DB) { db.walOpts.CheckpointBytes = n }
+}
+
+// Open opens a durable database rooted at dir, creating the directory
+// on first use. Every mutation is written ahead to an append-only,
+// CRC-framed log and acknowledged under the configured SyncPolicy;
+// periodic checkpoints compact the log. Reopening the directory
+// recovers the database: the newest checkpoint is loaded, the log
+// tail is replayed (a torn final record — a crash mid-append — is
+// truncated; any other corruption is a loud error), and the recovered
+// write-version is republished so version-pinned reads survive the
+// restart.
+//
+// A recovered database is bit-for-bit equivalent to the acknowledged
+// history: same tuple IDs, same instance versions, same preferences,
+// same answers under every repair family.
+func Open(dir string, opts ...Option) (*DB, error) {
+	db := New(opts...)
+	log, ckpt, tail, err := wal.Open(dir, db.walOpts)
+	if err != nil {
+		return nil, err
+	}
+	if ckpt != nil {
+		if err := db.loadCheckpoint(ckpt); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("prefcqa: recovering %s: checkpoint: %w", dir, err)
+		}
+	}
+	for _, rec := range tail {
+		if err := db.applyRecord(rec); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("prefcqa: recovering %s: record %d: %w", dir, rec.Seq, err)
+		}
+	}
+	db.ver.Store(log.Seq())
+	db.log = log
+	return db, nil
+}
+
+// Durable reports whether the database is backed by a write-ahead log
+// (created with Open rather than New).
+func (db *DB) Durable() bool { return db.log != nil }
+
+// WriteVersion returns the database's current write-version: a
+// monotone counter bumped exactly once per applied mutation batch. On
+// a durable DB it equals the sequence of the last logged record, so
+// it survives restart — a reader holding a version from before a
+// crash can still demand at-least-that-new data after recovery.
+func (db *DB) WriteVersion() uint64 {
+	if db.log != nil {
+		return db.log.Seq()
+	}
+	return db.ver.Load()
+}
+
+// Close flushes and closes the write-ahead log after waiting for
+// in-flight mutations to finish. Reads remain possible; further
+// mutations fail. On a non-durable DB it is a no-op.
+func (db *DB) Close() error {
+	if db.log == nil {
+		return nil
+	}
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	return db.log.Close()
+}
+
+// Checkpoint writes a compacted snapshot of the whole database to the
+// log directory and truncates the log. It runs under the snapshot
+// gate, so it waits for in-flight mutations and captures one
+// consistent cut; recovery afterwards loads the checkpoint instead of
+// replaying history. Mutations trigger checkpoints automatically once
+// the log outgrows WithCheckpointBytes; call Checkpoint directly to
+// force one (e.g. before a backup).
+func (db *DB) Checkpoint() error {
+	if db.log == nil {
+		return fmt.Errorf("prefcqa: Checkpoint on a non-durable database")
+	}
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	c := &wal.Checkpoint{Seq: db.log.Seq()}
+	for _, name := range db.order {
+		r := db.rels[name]
+		r.mu.Lock()
+		c.Relations = append(c.Relations, checkpointRelation(name, r))
+		r.mu.Unlock()
+	}
+	return db.log.WriteCheckpoint(c)
+}
+
+// checkpointRelation captures one relation's writer-side state.
+// Caller holds db.snapMu and r.mu. Every tuple is stored in ID order,
+// tombstoned ones included: the TupleID universe must survive the
+// checkpoint bit-for-bit, because tail records and recorded
+// preferences address tuples by ID.
+func checkpointRelation(name string, r *Relation) wal.CheckpointRelation {
+	cr := wal.CheckpointRelation{
+		Name:  name,
+		Attrs: wireAttrs(r.inst.Schema()),
+		Rows:  make([][]string, r.inst.NumIDs()),
+		Prefs: append([][2]TupleID(nil), r.prefs...),
+	}
+	for id := 0; id < r.inst.NumIDs(); id++ {
+		cr.Rows[id] = encodeRow(r.inst.Tuple(id))
+		if !r.inst.Live(id) {
+			cr.Dead = append(cr.Dead, id)
+		}
+	}
+	for _, f := range r.fds.All() {
+		cr.FDs = append(cr.FDs, f.String())
+	}
+	return cr
+}
+
+// logAppend assigns the mutation its write-version: on a durable DB
+// it appends the record (built lazily — mk runs only when a log is
+// attached) and returns its sequence; in memory it just bumps the
+// version counter. Callers hold the relation lock (and the snapshot
+// gate), so log order matches apply order. Call commit with the
+// returned sequence after releasing the locks.
+func (db *DB) logAppend(mk func() wal.Record) (uint64, error) {
+	if db.log == nil {
+		return db.ver.Add(1), nil
+	}
+	return db.log.Append(mk())
+}
+
+// commit applies the durability barrier for a mutation logged at seq
+// (0 = nothing was logged) and, when the log has outgrown its
+// checkpoint threshold, compacts it. Must be called after the
+// mutation's locks are released: the barrier may block on an fsync
+// and the checkpoint needs the snapshot gate.
+func (db *DB) commit(seq uint64) error {
+	if db.log == nil || seq == 0 {
+		return nil
+	}
+	if err := db.log.Sync(seq); err != nil {
+		return err
+	}
+	if db.log.NeedCheckpoint() && db.ckptBusy.CompareAndSwap(false, true) {
+		defer db.ckptBusy.Store(false)
+		// Best effort: a failed automatic checkpoint surfaces on the
+		// next mutation through the log's sticky error.
+		db.Checkpoint() //nolint:errcheck
+	}
+	return nil
+}
+
+// --- recovery ---------------------------------------------------------
+
+// loadCheckpoint rebuilds every relation from a checkpoint. Strict:
+// any mismatch between the declared and reproduced state (a row that
+// replays to the wrong ID, an unknown kind, an undeclared dead ID) is
+// a loud error — a checkpoint that cannot be reproduced exactly must
+// never be served.
+func (db *DB) loadCheckpoint(c *wal.Checkpoint) error {
+	for _, cr := range c.Relations {
+		r, err := db.replayCreate(cr.Name, cr.Attrs, cr.Rows, cr.Dead)
+		if err != nil {
+			return fmt.Errorf("relation %s: %w", cr.Name, err)
+		}
+		for _, spec := range cr.FDs {
+			if err := r.replayFD(spec); err != nil {
+				return fmt.Errorf("relation %s: %w", cr.Name, err)
+			}
+		}
+		// Checkpoint preferences are the recorded history: pairs may
+		// reference tombstoned tuples (they are pruned lazily), so
+		// liveness is not required — only freshness.
+		if err := r.replayPrefs(cr.Prefs, false); err != nil {
+			return fmt.Errorf("relation %s: %w", cr.Name, err)
+		}
+	}
+	return nil
+}
+
+// applyRecord replays one log record. Strict where the public API is
+// lenient: the log only holds records for mutations that actually
+// applied, so a duplicate insert, a dead delete or a duplicate
+// preference during replay means the log does not match the state it
+// claims to rebuild — fail loudly rather than serve silently wrong
+// answers.
+func (db *DB) applyRecord(rec wal.Record) error {
+	switch rec.Op {
+	case wal.OpCreate:
+		_, err := db.replayCreate(rec.Rel, rec.Attrs, rec.Rows, rec.IDs)
+		return err
+	case wal.OpFD:
+		r, err := db.replayRel(rec.Rel)
+		if err != nil {
+			return err
+		}
+		return r.replayFD(rec.FD)
+	case wal.OpInsert:
+		r, err := db.replayRel(rec.Rel)
+		if err != nil {
+			return err
+		}
+		return r.replayInserts(rec.Rows)
+	case wal.OpDelete:
+		r, err := db.replayRel(rec.Rel)
+		if err != nil {
+			return err
+		}
+		return r.replayDeletes(rec.IDs)
+	case wal.OpPrefer:
+		r, err := db.replayRel(rec.Rel)
+		if err != nil {
+			return err
+		}
+		return r.replayPrefs(rec.Pairs, true)
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+func (db *DB) replayRel(name string) (*Relation, error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// replayCreate registers a relation and reloads its tuple universe:
+// every row is inserted in ID order, with tombstoned IDs deleted
+// immediately after insertion so set-semantics deduplication — which
+// only considers live tuples — reproduces the exact original IDs.
+func (db *DB) replayCreate(name string, wattrs []relation.WireAttr, rows [][]string, dead []int) (*Relation, error) {
+	if _, dup := db.rels[name]; dup {
+		return nil, fmt.Errorf("relation already exists")
+	}
+	attrs, err := parseWireAttrs(wattrs)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := relation.NewSchema(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	fds, err := fd.NewSet(schema)
+	if err != nil {
+		return nil, err
+	}
+	deadSet := make(map[int]bool, len(dead))
+	for _, id := range dead {
+		if id < 0 || id >= len(rows) || deadSet[id] {
+			return nil, fmt.Errorf("dead ID %d out of range or duplicated", id)
+		}
+		deadSet[id] = true
+	}
+	inst := relation.NewInstance(schema)
+	for i, cells := range rows {
+		tup, err := decodeRow(schema, cells)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		id, fresh, err := inst.Insert(tup)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		if !fresh || id != i {
+			return nil, fmt.Errorf("row %d replayed to ID %d (fresh=%v): duplicate row", i, id, fresh)
+		}
+		if deadSet[i] {
+			inst.Delete(i)
+		}
+	}
+	r := db.newRelation(name, inst, fds)
+	db.rels[name] = r
+	db.order = append(db.order, name)
+	return r, nil
+}
+
+func (r *Relation) replayFD(spec string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, err := fd.Parse(r.inst.Schema(), spec)
+	if err != nil {
+		return err
+	}
+	nfds, err := fd.NewSet(r.inst.Schema(), append(r.fds.All(), f)...)
+	if err != nil {
+		return err
+	}
+	r.fds = nfds
+	r.pend.rebuild = true
+	r.dirty.Store(true)
+	return nil
+}
+
+func (r *Relation) replayInserts(rows [][]string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, cells := range rows {
+		tup, err := decodeRow(r.inst.Schema(), cells)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		id, fresh, err := r.inst.Insert(tup)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		if !fresh {
+			return fmt.Errorf("row %d replayed as a duplicate of tuple %d", i, id)
+		}
+	}
+	r.dirty.Store(true)
+	return nil
+}
+
+func (r *Relation) replayDeletes(ids []int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		if !r.inst.Live(id) {
+			return fmt.Errorf("delete of non-live tuple %d", id)
+		}
+		r.inst.Delete(id)
+	}
+	r.dirty.Store(true)
+	return nil
+}
+
+func (r *Relation) replayPrefs(pairs [][2]TupleID, requireLive bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range pairs {
+		if requireLive && (!r.inst.Live(p[0]) || !r.inst.Live(p[1])) {
+			return fmt.Errorf("preference (%d, %d) on non-live tuples", p[0], p[1])
+		}
+		if r.prefSeen[p] {
+			return fmt.Errorf("duplicate preference (%d, %d)", p[0], p[1])
+		}
+		r.preferLocked(p[0], p[1])
+	}
+	return nil
+}
+
+// --- wire helpers -----------------------------------------------------
+
+func encodeRow(t Tuple) []string {
+	cells := make([]string, len(t))
+	for i, v := range t {
+		cells[i] = relation.EncodeValue(v)
+	}
+	return cells
+}
+
+func decodeRow(schema *Schema, cells []string) (Tuple, error) {
+	if len(cells) != schema.Arity() {
+		return nil, fmt.Errorf("%d cells for arity-%d schema", len(cells), schema.Arity())
+	}
+	tup := make(Tuple, len(cells))
+	for i, cell := range cells {
+		v, err := relation.DecodeValue(schema.Attr(i).Kind, cell)
+		if err != nil {
+			return nil, err
+		}
+		tup[i] = v
+	}
+	return tup, nil
+}
+
+func wireAttrs(schema *Schema) []relation.WireAttr {
+	attrs := schema.Attrs()
+	out := make([]relation.WireAttr, len(attrs))
+	for i, a := range attrs {
+		out[i] = relation.WireAttr{Name: a.Name, Kind: a.Kind.String()}
+	}
+	return out
+}
+
+func parseWireAttrs(wattrs []relation.WireAttr) ([]Attribute, error) {
+	out := make([]Attribute, len(wattrs))
+	for i, w := range wattrs {
+		k, err := relation.ParseKind(w.Kind)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Attribute{Name: w.Name, Kind: k}
+	}
+	return out, nil
+}

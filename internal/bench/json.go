@@ -236,6 +236,26 @@ func JSON(o Options) Report {
 		}
 		rep.add(m)
 	}
+
+	// Durability cost: sustained write throughput through the full
+	// stack — HTTP, facade, write-ahead log — under each fsync
+	// policy. fsync=off is the no-durability-cost baseline (the log
+	// is written, the OS flushes), group batches fsyncs on a short
+	// timer, always fsyncs before every ack (group commit shares
+	// fsyncs across concurrent committers).
+	durWrites := pick(400, 2_000)
+	for _, policy := range []prefcqa.SyncPolicy{prefcqa.SyncNever, prefcqa.SyncGroup, prefcqa.SyncAlways} {
+		m, err := ServerWriteWorkload(policy, 8, durWrites)
+		if err != nil {
+			label := policy.String()
+			if policy == prefcqa.SyncNever {
+				label = "off"
+			}
+			m = Metric{Name: "server_write/" + label, Extra: map[string]float64{"failed": 1}}
+			fmt.Fprintln(os.Stderr, "durable write workload failed:", err)
+		}
+		rep.add(m)
+	}
 	return rep
 }
 

@@ -220,6 +220,11 @@ func (r *Instance) typeCheck(t Tuple) error {
 	return nil
 }
 
+// TypeCheck validates a tuple against the schema without inserting
+// it — the pre-validation step of write-ahead logging, which must
+// know a row will apply before logging it.
+func (r *Instance) TypeCheck(t Tuple) error { return r.typeCheck(t) }
+
 // Insert adds a tuple. It returns the tuple's ID and whether the
 // tuple was new; inserting a duplicate is not an error (set
 // semantics) and returns the existing ID. Re-inserting a previously

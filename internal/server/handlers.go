@@ -36,10 +36,13 @@ func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(r, &req); err != nil {
 		return err
 	}
-	if _, err := s.CreateDB(req.DB); err != nil {
+	db, err := s.CreateDB(req.DB)
+	if err != nil {
 		return &httpError{code: http.StatusConflict, err: err}
 	}
-	return writeJSON(w, client.VersionResponse{Version: 0})
+	// A fresh database reports version 0; a durable one whose
+	// directory carried prior state reports the recovered version.
+	return writeJSON(w, client.VersionResponse{Version: db.WriteVersion()})
 }
 
 func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) error {
@@ -67,7 +70,7 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return &httpError{code: http.StatusConflict, err: err}
 	}
-	return writeJSON(w, client.VersionResponse{Version: t.bumped()})
+	return writeJSON(w, client.VersionResponse{Version: t.version()})
 }
 
 // withRelation resolves a tenant and relation and runs fn holding the
@@ -98,7 +101,7 @@ func (s *Server) handleFD(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, client.VersionResponse{Version: t.bumped()})
+	return writeJSON(w, client.VersionResponse{Version: t.version()})
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
@@ -106,45 +109,39 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(r, &req); err != nil {
 		return err
 	}
-	ids := make([]int, 0, len(req.Rows))
+	var ids []int
 	t, err := s.withRelation(req.DB, req.Relation, func(t *tenant, rel *prefcqa.Relation) error {
 		// Decode and type-check every row before inserting any, so a
 		// malformed batch is rejected whole: no partial, unversioned
 		// mutation can hide behind the cached snapshot and surface as
 		// a phantom after an unrelated later write.
 		schema := rel.Schema()
-		tuples := make([][]any, len(req.Rows))
+		tuples := make([]prefcqa.Tuple, len(req.Rows))
 		for ri, row := range req.Rows {
 			if len(row) != schema.Arity() {
 				return fmt.Errorf("row %d has %d cells, schema %s needs %d", ri, len(row), schema.Name(), schema.Arity())
 			}
-			vals := make([]any, len(row))
+			tup := make(prefcqa.Tuple, len(row))
 			for i, cell := range row {
 				v, err := prefcqa.DecodeValue(schema.Attr(i).Kind, cell)
 				if err != nil {
 					return fmt.Errorf("row %d: %w", ri, err)
 				}
-				vals[i] = v
+				tup[i] = v
 			}
-			tuples[ri] = vals
+			tuples[ri] = tup
 		}
-		for ri, vals := range tuples {
-			id, err := rel.Insert(vals...)
-			if err != nil {
-				// Unreachable after validation; version what applied.
-				if len(ids) > 0 {
-					t.bumped()
-				}
-				return fmt.Errorf("row %d: %w", ri, err)
-			}
-			ids = append(ids, id)
-		}
-		return nil
+		// One batch call: one lock acquisition, one log record, one
+		// durability barrier — a bulk load costs one fsync, not one
+		// per row.
+		var err error
+		ids, err = rel.InsertRows(tuples)
+		return err
 	})
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, client.InsertResponse{IDs: ids, Version: t.bumped()})
+	return writeJSON(w, client.InsertResponse{IDs: ids, Version: t.version()})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
@@ -154,8 +151,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	}
 	deleted := 0
 	t, err := s.withRelation(req.DB, req.Relation, func(t *tenant, rel *prefcqa.Relation) error {
-		for _, id := range req.IDs {
-			if rel.Delete(id) {
+		for i, id := range req.IDs {
+			ok, err := rel.Delete(id)
+			if err != nil {
+				// A durability failure mid-batch: what applied before it
+				// is logged and versioned per delete, so the partial
+				// effect is recoverable and never hides behind the
+				// cached snapshot.
+				return fmt.Errorf("id %d (index %d): %w", id, i, err)
+			}
+			if ok {
 				deleted++
 			}
 		}
@@ -164,7 +169,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, client.DeleteResponse{Deleted: deleted, Version: t.bumped()})
+	return writeJSON(w, client.DeleteResponse{Deleted: deleted, Version: t.version()})
 }
 
 func (s *Server) handlePrefer(w http.ResponseWriter, r *http.Request) error {
@@ -178,12 +183,12 @@ func (s *Server) handlePrefer(w http.ResponseWriter, r *http.Request) error {
 				// A later pair can fail after earlier ones applied (a
 				// concurrent delete can invalidate an ID between any
 				// pre-check and the apply, so the batch is inherently
-				// non-atomic). Publish a version for what did apply:
-				// partial effects must never hide behind the cached
-				// snapshot and surface later as phantoms.
-				if i > 0 {
-					t.bumped()
-				}
+				// non-atomic). Each applied pair was validated, logged
+				// and versioned individually before this failure — the
+				// partial batch is exactly what the write-version (and,
+				// on a durable database, the log) says it is, so
+				// nothing hides behind the cached snapshot and recovery
+				// reproduces precisely the applied prefix.
 				return fmt.Errorf("pair %d: %w", i, err)
 			}
 		}
@@ -192,7 +197,7 @@ func (s *Server) handlePrefer(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, client.VersionResponse{Version: t.bumped()})
+	return writeJSON(w, client.VersionResponse{Version: t.version()})
 }
 
 // pinned resolves a tenant and a snapshot satisfying the read options.
@@ -377,7 +382,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	for _, t := range tenants {
 		hits, misses := t.db.EngineStats()
 		ds := client.DBStats{
-			WriteVersion: t.wv.Load(),
+			WriteVersion: t.version(),
 			CacheHits:    hits,
 			CacheMisses:  misses,
 			Relations:    map[string]client.RelationStats{},

@@ -254,8 +254,8 @@ func TestConcurrentMixedWorkloadMatchesFacade(t *testing.T) {
 		}
 	}
 	for _, op := range deletes {
-		if !mrel.Delete(op.deleteID) {
-			t.Fatalf("replay delete %d: tuple not live", op.deleteID)
+		if ok, err := mrel.Delete(op.deleteID); err != nil || !ok {
+			t.Fatalf("replay delete %d: ok=%v err=%v", op.deleteID, ok, err)
 		}
 	}
 	snap, err := mirror.Snapshot()

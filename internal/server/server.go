@@ -31,6 +31,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +59,12 @@ type Options struct {
 	MaxRepairs int
 	// MaxBodyBytes bounds request bodies. Zero selects 32 MiB.
 	MaxBodyBytes int64
+	// DataDir, when set, makes every database durable: each named
+	// database keeps a write-ahead log under DataDir/<name>, writes are
+	// acknowledged under the configured sync policy (see
+	// prefcqa.WithSyncPolicy in DBOptions), and RecoverDBs reopens
+	// every database found there at boot. Empty means in-memory.
+	DataDir string
 	// DBOptions are applied to every database the server creates.
 	DBOptions []prefcqa.Option
 }
@@ -105,14 +115,19 @@ type tenant struct {
 	// itself), CreateRelation the write side.
 	mu sync.RWMutex
 	db *prefcqa.DB
-	// wv is the write-version: bumped after every completed write
-	// batch, returned to the client, accepted back as min_version.
-	wv atomic.Uint64
 	// snap caches the latest pinned snapshot with the write-version
 	// it is known to cover, so read bursts between writes share one
 	// snapshot instead of re-materializing per request.
 	snap atomic.Pointer[pinnedSnap]
 }
+
+// version is the database's write-version: the facade bumps it once
+// per applied mutation record, handlers return it to the client, and
+// snapshotAtLeast accepts it back as min_version. On a durable
+// database it is the write-ahead log sequence, so it survives restart
+// and a version handed out before a crash remains satisfiable after
+// recovery.
+func (t *tenant) version() uint64 { return t.db.WriteVersion() }
 
 type pinnedSnap struct {
 	wv   uint64
@@ -150,11 +165,29 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown gracefully stops the server: no new connections, in-flight
-// requests drain until ctx expires.
-func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+// requests drain until ctx expires, then every durable database is
+// closed — flushing and fsyncing its write-ahead log — so a SIGTERM
+// drain loses nothing even under the "group" and "never" sync
+// policies.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	s.mu.RLock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range tenants {
+		if cerr := t.db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // CreateDB registers a named database programmatically (the HTTP
 // equivalent is POST /v1/db) — used by the daemon to preload data.
+// With DataDir set the database is durable, rooted at DataDir/<name>.
 func (s *Server) CreateDB(name string) (*prefcqa.DB, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: empty database name")
@@ -164,9 +197,73 @@ func (s *Server) CreateDB(name string) (*prefcqa.DB, error) {
 	if _, dup := s.tenants[name]; dup {
 		return nil, fmt.Errorf("server: database %q already exists", name)
 	}
-	t := &tenant{name: name, db: prefcqa.New(s.opts.DBOptions...)}
+	db, err := s.openDB(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &tenant{name: name, db: db}
 	s.tenants[name] = t
 	return t.db, nil
+}
+
+// openDB builds a tenant's database: durable under DataDir/<name>
+// when a data directory is configured, in-memory otherwise.
+func (s *Server) openDB(name string) (*prefcqa.DB, error) {
+	if s.opts.DataDir == "" {
+		return prefcqa.New(s.opts.DBOptions...), nil
+	}
+	if err := validateDBName(name); err != nil {
+		return nil, err
+	}
+	return prefcqa.Open(filepath.Join(s.opts.DataDir, name), s.opts.DBOptions...)
+}
+
+// validateDBName rejects names that cannot double as a directory
+// name under DataDir.
+func validateDBName(name string) error {
+	if name == "." || name == ".." || strings.ContainsAny(name, `/\`) {
+		return fmt.Errorf("server: database name %q is not usable as a directory name", name)
+	}
+	return nil
+}
+
+// RecoverDBs reopens every database found under DataDir — loading
+// each one's newest checkpoint and replaying its log tail — and
+// registers them for serving, returning the recovered names. Called
+// at boot, before the listener opens; a no-op without a DataDir. A
+// database that fails recovery aborts the boot: serving a silently
+// emptier registry would violate every version its clients hold.
+func (s *Server) RecoverDBs() ([]string, error) {
+	if s.opts.DataDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.opts.DataDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if _, dup := s.tenants[name]; dup {
+			continue
+		}
+		db, err := prefcqa.Open(filepath.Join(s.opts.DataDir, name), s.opts.DBOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("server: recovering database %q: %w", name, err)
+		}
+		s.tenants[name] = &tenant{name: name, db: db}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // tenant resolves a named database.
@@ -179,11 +276,6 @@ func (s *Server) tenant(name string) (*tenant, error) {
 	}
 	return t, nil
 }
-
-// bumped labels a completed write batch: called after the facade
-// mutation returns, so by the time a client holds the returned
-// version, any snapshot taken later includes the write.
-func (t *tenant) bumped() uint64 { return t.wv.Add(1) }
 
 // snapshotAtLeast returns a snapshot covering at least write-version
 // min (and never older than the last completed write), plus the
@@ -199,7 +291,7 @@ func (t *tenant) bumped() uint64 { return t.wv.Add(1) }
 // versions across databases or servers — serving older data with a
 // 200 would silently void the read-your-writes contract.
 func (t *tenant) snapshotAtLeast(min uint64) (*prefcqa.Snapshot, uint64, error) {
-	cur := t.wv.Load()
+	cur := t.version()
 	if min > cur {
 		return nil, 0, &httpError{
 			code: http.StatusPreconditionFailed,
@@ -210,7 +302,7 @@ func (t *tenant) snapshotAtLeast(min uint64) (*prefcqa.Snapshot, uint64, error) 
 	if p := t.snap.Load(); p != nil && p.wv >= min {
 		return p.snap, p.wv, nil
 	}
-	wv := t.wv.Load()
+	wv := t.version()
 	t.mu.RLock()
 	snap, err := t.db.Snapshot()
 	t.mu.RUnlock()

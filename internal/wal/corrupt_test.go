@@ -1,0 +1,243 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// corruptFixture builds a log of n records and returns the directory,
+// the records as appended, the segment path and its raw bytes, plus
+// the frame boundary offsets (frames[i] is where record i+1 starts;
+// the final entry is the file length).
+func corruptFixture(t *testing.T, n int) (dir string, recs []Record, seg string, data []byte, frames []int) {
+	t.Helper()
+	dir = t.TempDir()
+	log, _, _, err := Open(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := Record{Op: OpInsert, Rel: "R", Rows: [][]string{{fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)}}}
+		if _, err := log.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg = filepath.Join(dir, fmt.Sprintf("wal-%016x.log", 1))
+	data, err = os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn bool
+	recs, _, torn, err = DecodeSegment(data)
+	if err != nil || torn || len(recs) != n {
+		t.Fatalf("fixture decode: %d records, torn=%v, err=%v", len(recs), torn, err)
+	}
+	off := 0
+	for range recs {
+		_, size, _, _ := readFrame(data[off:])
+		off += size
+		frames = append(frames, off)
+	}
+	return dir, recs, seg, data, frames
+}
+
+// reopenWith writes raw as the only segment of a fresh directory and
+// opens it, returning whatever recovery produced.
+func reopenWith(t *testing.T, raw []byte) ([]Record, error) {
+	t.Helper()
+	dir := t.TempDir()
+	seg := filepath.Join(dir, fmt.Sprintf("wal-%016x.log", 1))
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, _, tail, err := Open(dir, Options{Policy: SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	log.Close()
+	return tail, nil
+}
+
+// isPrefix reports whether got is a prefix of want, record for record.
+func isPrefix(got, want []Record) bool {
+	if len(got) > len(want) {
+		return false
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTruncationEveryOffset truncates the segment at every byte
+// offset — modelling a crash at any point during any append — and
+// requires recovery to yield exactly the records whose frames are
+// fully contained in the prefix, never an error, never invented data.
+func TestTruncationEveryOffset(t *testing.T) {
+	_, recs, _, data, frames := corruptFixture(t, 5)
+	for off := 0; off <= len(data); off++ {
+		complete := 0
+		for _, end := range frames {
+			if end <= off {
+				complete++
+			}
+		}
+		got, err := reopenWith(t, data[:off])
+		if err != nil {
+			t.Fatalf("truncate at %d: loud error on a torn tail: %v", off, err)
+		}
+		if len(got) != complete || !isPrefix(got, recs) {
+			t.Fatalf("truncate at %d: recovered %d records, want prefix of %d", off, len(got), complete)
+		}
+	}
+}
+
+// TestTornTailTruncatedAndAppendable checks recovery repairs the file
+// in place: after a torn tail, the segment holds only the valid
+// prefix and appending continues the sequence.
+func TestTornTailTruncatedAndAppendable(t *testing.T) {
+	_, recs, _, data, frames := corruptFixture(t, 3)
+	dir := t.TempDir()
+	seg := filepath.Join(dir, fmt.Sprintf("wal-%016x.log", 1))
+	cut := frames[1] + 3 // mid-frame of record 3
+	if err := os.WriteFile(seg, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, _, tail, err := Open(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 2 || !isPrefix(tail, recs) {
+		t.Fatalf("recovered %d records, want 2", len(tail))
+	}
+	if fi, err := os.Stat(seg); err != nil || fi.Size() != int64(frames[1]) {
+		t.Fatalf("segment size %d after repair, want %d (err %v)", fi.Size(), frames[1], err)
+	}
+	seq, err := log.Append(Record{Op: OpInsert, Rel: "R", Rows: [][]string{{"x", "y"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("append after repair got seq %d, want 3 (torn record's slot reused)", seq)
+	}
+	log.Close()
+}
+
+// TestBitFlipNeverSilentlyWrong flips every bit of the segment, one
+// at a time, and requires recovery to either fail loudly or return a
+// clean prefix of the original records — byte-for-byte equal, never
+// altered, reordered or invented.
+func TestBitFlipNeverSilentlyWrong(t *testing.T) {
+	_, recs, _, data, _ := corruptFixture(t, 5)
+	raw := make([]byte, len(data))
+	for pos := 0; pos < len(data); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(raw, data)
+			raw[pos] ^= 1 << bit
+			got, err := reopenWith(t, raw)
+			if err != nil {
+				continue // loud failure: acceptable
+			}
+			if !isPrefix(got, recs) {
+				t.Fatalf("flip byte %d bit %d: recovery accepted non-prefix state: %+v", pos, bit, got)
+			}
+			if len(got) == len(recs) {
+				t.Fatalf("flip byte %d bit %d: corruption went entirely undetected", pos, bit)
+			}
+		}
+	}
+}
+
+// TestCorruptionBeforeIntactRecordsIsLoud pins the stricter half of
+// the torn-vs-corrupt distinction: damage to a record that is
+// *followed by intact data* cannot be a crash artifact (appends are
+// sequential), so recovery must refuse rather than truncate away
+// acknowledged records.
+func TestCorruptionBeforeIntactRecordsIsLoud(t *testing.T) {
+	_, _, _, data, frames := corruptFixture(t, 5)
+	cases := []struct {
+		name string
+		pos  int
+	}{
+		{"payload of record 1", frames[0] - 2},
+		{"crc of record 2", frames[0] + 5},
+		{"payload of record 3", frames[2] - 2},
+	}
+	for _, tc := range cases {
+		raw := append([]byte(nil), data...)
+		raw[tc.pos] ^= 0x01
+		if _, err := reopenWith(t, raw); err == nil {
+			t.Errorf("%s: corruption before intact records recovered silently", tc.name)
+		}
+	}
+}
+
+// TestCorruptFinalRecordIsTorn is the counterpart: damage confined to
+// the final record is indistinguishable from a torn append, so it is
+// dropped and the prefix recovered.
+func TestCorruptFinalRecordIsTorn(t *testing.T) {
+	_, recs, _, data, _ := corruptFixture(t, 5)
+	raw := append([]byte(nil), data...)
+	raw[len(raw)-1] ^= 0x01 // payload tail of the final record
+	got, err := reopenWith(t, raw)
+	if err != nil {
+		t.Fatalf("corrupt final record: %v", err)
+	}
+	if len(got) != len(recs)-1 || !isPrefix(got, recs) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(recs)-1)
+	}
+}
+
+// TestCheckpointCorruptionAlwaysLoud flips every bit of a checkpoint
+// file: a checkpoint is written atomically (tmp + rename), so damage
+// is never a crash artifact and recovery must always refuse.
+func TestCheckpointCorruptionAlwaysLoud(t *testing.T) {
+	dir := t.TempDir()
+	log, _, _, err := Open(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := log.Append(Record{Op: OpInsert, Rel: "R", Rows: [][]string{{fmt.Sprint(i), "v"}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.WriteCheckpoint(&Checkpoint{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	path := filepath.Join(dir, fmt.Sprintf("checkpoint-%016x.ckpt", 3))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(data); pos++ {
+		raw := append([]byte(nil), data...)
+		raw[pos] ^= 0x10
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if l, _, _, err := Open(dir, Options{Policy: SyncNever}); err == nil {
+			l.Close()
+			t.Fatalf("flip at %d: corrupt checkpoint recovered silently", pos)
+		}
+	}
+	// Truncations of the checkpoint are equally fatal.
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if l, _, _, err := Open(dir, Options{Policy: SyncNever}); err == nil {
+			l.Close()
+			t.Fatalf("truncate at %d: short checkpoint recovered silently", cut)
+		}
+	}
+}

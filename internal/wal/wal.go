@@ -1,0 +1,523 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects the durability barrier applied before a logged
+// mutation is acknowledged.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every acknowledgement. Concurrent
+	// committers are batched into shared fsyncs by the flusher
+	// goroutine (group commit), so the cost is one fsync per batch of
+	// concurrent writers, not one per write. A write acknowledged
+	// under SyncAlways survives SIGKILL and power loss.
+	SyncAlways SyncPolicy = iota
+	// SyncGroup acknowledges immediately after the record reaches the
+	// OS; a background flusher fsyncs on a bounded interval
+	// (Options.FlushInterval). A crash can lose at most the writes of
+	// the last interval; process death without power loss loses
+	// nothing (the records are already in the page cache).
+	SyncGroup
+	// SyncNever performs no fsyncs while serving (records still reach
+	// the OS on every append; a clean Close syncs once). Process death
+	// loses nothing, power loss may lose anything since the OS last
+	// wrote back.
+	SyncNever
+)
+
+// ParseSyncPolicy parses "always", "group" or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "group":
+		return SyncGroup, nil
+	case "never", "off":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, group or never)", s)
+	}
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncGroup:
+		return "group"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Options configure a Log.
+type Options struct {
+	// Policy is the durability barrier (default SyncAlways).
+	Policy SyncPolicy
+	// FlushInterval bounds how long a SyncGroup record may sit
+	// unsynced. Zero selects 2ms.
+	FlushInterval time.Duration
+	// CheckpointBytes is the log growth after which NeedCheckpoint
+	// reports true. Zero selects 8 MiB; negative disables automatic
+	// checkpoints.
+	CheckpointBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Millisecond
+	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 8 << 20
+	}
+	return o
+}
+
+// Log is an append-only write-ahead log bound to one directory. The
+// directory holds at most one checkpoint file plus the log segments
+// written since; Append adds records to the active segment,
+// WriteCheckpoint atomically replaces everything with a fresh
+// checkpoint and an empty segment.
+//
+// Append is safe for concurrent use; callers serialize per-relation
+// ordering themselves (the facade appends under its relation lock).
+type Log struct {
+	dir  string
+	opts Options
+
+	seq atomic.Uint64 // last assigned record sequence
+
+	mu             sync.Mutex
+	cond           *sync.Cond // broadcast when syncedSeq or err advances
+	f              *os.File   // active segment
+	segStart       uint64     // first sequence the active segment may hold
+	ckptSeq        uint64     // sequence of the newest durable checkpoint
+	syncedSeq      uint64     // highest sequence known durable
+	bytesSinceCkpt int64
+	err            error // sticky I/O failure
+	closed         bool
+
+	flushCh chan struct{} // wakes the flusher (SyncAlways)
+	quit    chan struct{}
+	done    chan struct{}
+}
+
+func segName(start uint64) string { return fmt.Sprintf("wal-%016x.log", start) }
+func ckptName(seq uint64) string  { return fmt.Sprintf("checkpoint-%016x.ckpt", seq) }
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	var n uint64
+	if _, err := fmt.Sscanf(mid, "%x", &n); err != nil || len(mid) != 16 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open opens (or creates) the log directory, recovers its state and
+// readies the log for appending. It returns the newest checkpoint (nil
+// if none) and the tail records beyond it, in sequence order; the
+// caller replays checkpoint then tail to rebuild the database. A torn
+// final record — a crash mid-append — is truncated silently; any other
+// inconsistency is a loud error.
+func Open(dir string, opts Options) (*Log, *Checkpoint, []Record, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var segStarts, ckptSeqs []uint64
+	for _, e := range entries {
+		if s, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
+			segStarts = append(segStarts, s)
+		}
+		if s, ok := parseSeqName(e.Name(), "checkpoint-", ".ckpt"); ok {
+			ckptSeqs = append(ckptSeqs, s)
+		}
+	}
+	sort.Slice(segStarts, func(i, j int) bool { return segStarts[i] < segStarts[j] })
+	sort.Slice(ckptSeqs, func(i, j int) bool { return ckptSeqs[i] < ckptSeqs[j] })
+	os.Remove(filepath.Join(dir, "checkpoint.tmp")) // leftover of an interrupted checkpoint
+
+	var ckpt *Checkpoint
+	base := uint64(0)
+	if len(ckptSeqs) > 0 {
+		newest := ckptSeqs[len(ckptSeqs)-1]
+		data, err := os.ReadFile(filepath.Join(dir, ckptName(newest)))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ckpt, err = decodeCheckpoint(data)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", ckptName(newest), err)
+		}
+		if ckpt.Seq != newest {
+			return nil, nil, nil, fmt.Errorf("wal: checkpoint %s declares seq %d", ckptName(newest), ckpt.Seq)
+		}
+		base = newest
+	}
+
+	var tail []Record
+	prev := uint64(0)
+	for i, start := range segStarts {
+		name := filepath.Join(dir, segName(start))
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		recs, validLen, torn, err := DecodeSegment(data)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", segName(start), err)
+		}
+		if torn && i != len(segStarts)-1 {
+			return nil, nil, nil, fmt.Errorf("wal: %s: torn record in a non-final segment", segName(start))
+		}
+		if len(recs) > 0 {
+			if recs[0].Seq != start {
+				return nil, nil, nil, fmt.Errorf("wal: %s: first record has seq %d", segName(start), recs[0].Seq)
+			}
+			if prev != 0 && recs[0].Seq != prev+1 {
+				return nil, nil, nil, fmt.Errorf("wal: %s: seq %d does not follow %d", segName(start), recs[0].Seq, prev)
+			}
+			prev = recs[len(recs)-1].Seq
+		}
+		for _, r := range recs {
+			if r.Seq > base {
+				tail = append(tail, r)
+			}
+		}
+		if torn && validLen < len(data) {
+			if err := os.Truncate(name, int64(validLen)); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	if len(tail) > 0 && tail[0].Seq != base+1 {
+		return nil, nil, nil, fmt.Errorf("wal: gap after checkpoint: first tail record has seq %d, checkpoint covers %d", tail[0].Seq, base)
+	}
+	last := base
+	if len(tail) > 0 {
+		last = tail[len(tail)-1].Seq
+	}
+
+	l := &Log{
+		dir:       dir,
+		opts:      opts,
+		segStart:  base + 1,
+		ckptSeq:   base,
+		syncedSeq: last,
+		flushCh:   make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.seq.Store(last)
+	if len(segStarts) > 0 {
+		l.segStart = segStarts[len(segStarts)-1]
+		f, err := os.OpenFile(filepath.Join(dir, segName(l.segStart)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		l.f = f
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, nil, err
+		}
+		l.bytesSinceCkpt = fi.Size()
+	} else {
+		f, err := os.OpenFile(filepath.Join(dir, segName(l.segStart)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		l.f = f
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, nil, nil, err
+		}
+	}
+	switch opts.Policy {
+	case SyncAlways, SyncGroup:
+		go l.flusher()
+	default:
+		close(l.done)
+	}
+	return l, ckpt, tail, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Seq returns the last assigned record sequence — the write-version of
+// the logged history.
+func (l *Log) Seq() uint64 { return l.seq.Load() }
+
+// SyncPolicy returns the configured durability policy.
+func (l *Log) SyncPolicy() SyncPolicy { return l.opts.Policy }
+
+// NeedCheckpoint reports whether the log has grown past the
+// checkpoint threshold since the last checkpoint.
+func (l *Log) NeedCheckpoint() bool {
+	if l.opts.CheckpointBytes < 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesSinceCkpt > l.opts.CheckpointBytes
+}
+
+// fail records a sticky I/O error and wakes every waiter. Caller
+// holds l.mu.
+func (l *Log) fail(err error) {
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: %w", err)
+	}
+	l.cond.Broadcast()
+}
+
+// Append assigns the next sequence to rec, writes its frame to the
+// active segment and returns the sequence. The record is in the OS
+// when Append returns; call Sync to apply the durability barrier
+// before acknowledging the mutation to a client.
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	seq := l.seq.Load() + 1
+	rec.Seq = seq
+	frame, err := EncodeRecord(rec)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.fail(err)
+		return 0, l.err
+	}
+	l.seq.Store(seq)
+	l.bytesSinceCkpt += int64(len(frame))
+	return seq, nil
+}
+
+// Sync blocks until the record with the given sequence is durable
+// under the configured policy: for SyncAlways it waits for an fsync
+// covering seq (sharing the fsync with concurrent committers); for
+// SyncGroup and SyncNever it returns immediately.
+func (l *Log) Sync(seq uint64) error {
+	if l.opts.Policy != SyncAlways {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncedSeq < seq && l.err == nil && !l.closed {
+		select {
+		case l.flushCh <- struct{}{}:
+		default:
+		}
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.syncedSeq < seq {
+		return fmt.Errorf("wal: closed before seq %d was synced", seq)
+	}
+	return nil
+}
+
+// flusher batches fsyncs: it wakes on demand (SyncAlways committers)
+// or on the flush interval (SyncGroup) and syncs everything appended
+// so far, waking all committers the sync covers.
+func (l *Log) flusher() {
+	defer close(l.done)
+	var tick *time.Ticker
+	var tickCh <-chan time.Time
+	if l.opts.Policy == SyncGroup {
+		tick = time.NewTicker(l.opts.FlushInterval)
+		tickCh = tick.C
+		defer tick.Stop()
+	}
+	for {
+		select {
+		case <-l.flushCh:
+		case <-tickCh:
+		case <-l.quit:
+			l.flushOnce()
+			return
+		}
+		l.flushOnce()
+	}
+}
+
+// flushOnce fsyncs the active segment up to the current sequence.
+func (l *Log) flushOnce() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil || l.closed {
+		return
+	}
+	target := l.seq.Load()
+	if l.syncedSeq >= target {
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.fail(err)
+		return
+	}
+	l.syncedSeq = target
+	l.cond.Broadcast()
+}
+
+// WriteCheckpoint durably installs a checkpoint covering the whole
+// logged history (c.Seq must equal the last assigned sequence; the
+// facade guarantees quiescence by holding its snapshot gate) and
+// truncates the log: a fresh empty segment becomes active and every
+// older segment and checkpoint file is removed. Once the checkpoint
+// file is durable it subsumes all logged records, so waiting
+// committers are released by it.
+func (l *Log) WriteCheckpoint(c *Checkpoint) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if c.Seq != l.seq.Load() {
+		return fmt.Errorf("wal: checkpoint at seq %d, log is at %d", c.Seq, l.seq.Load())
+	}
+	if c.Seq == l.ckptSeq && l.bytesSinceCkpt == 0 {
+		return nil // nothing logged since the last checkpoint
+	}
+	frame, err := encodeCheckpointFile(c)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(l.dir, "checkpoint.tmp")
+	if err := writeFileSync(tmp, frame); err != nil {
+		l.fail(err)
+		return l.err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, ckptName(c.Seq))); err != nil {
+		l.fail(err)
+		return l.err
+	}
+	if err := syncDir(l.dir); err != nil {
+		l.fail(err)
+		return l.err
+	}
+	// The checkpoint is durable: rotate to a fresh segment and drop
+	// everything it subsumes.
+	newStart := c.Seq + 1
+	nf, err := os.OpenFile(filepath.Join(l.dir, segName(newStart)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		l.fail(err)
+		return l.err
+	}
+	old, oldStart := l.f, l.segStart
+	l.f, l.segStart = nf, newStart
+	old.Close()
+	entries, err := os.ReadDir(l.dir)
+	if err == nil {
+		for _, e := range entries {
+			if s, ok := parseSeqName(e.Name(), "wal-", ".log"); ok && s != newStart {
+				os.Remove(filepath.Join(l.dir, e.Name()))
+			}
+			if s, ok := parseSeqName(e.Name(), "checkpoint-", ".ckpt"); ok && s != c.Seq {
+				os.Remove(filepath.Join(l.dir, e.Name()))
+			}
+		}
+	}
+	syncDir(l.dir) //nolint:errcheck // removals are cleanup, not correctness
+	_ = oldStart
+	l.ckptSeq = c.Seq
+	l.bytesSinceCkpt = 0
+	l.syncedSeq = c.Seq
+	l.cond.Broadcast()
+	return nil
+}
+
+// Close flushes and fsyncs the active segment (a clean shutdown is
+// durable under every policy), stops the flusher and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	var err error
+	if l.err == nil && l.syncedSeq < l.seq.Load() {
+		if err = l.f.Sync(); err == nil {
+			l.syncedSeq = l.seq.Load()
+		}
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.done
+	l.mu.Lock()
+	cerr := l.f.Close()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+func encodeCheckpointFile(c *Checkpoint) ([]byte, error) {
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(nil, payload), nil
+}
+
+func writeFileSync(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,301 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, *Checkpoint, []Record) {
+	t.Helper()
+	l, c, tail, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, c, tail
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, c, tail := mustOpen(t, dir, Options{Policy: SyncNever})
+	if c != nil || len(tail) != 0 {
+		t.Fatalf("fresh log returned ckpt=%v tail=%v", c, tail)
+	}
+	want := []Record{
+		{Op: OpCreate, Rel: "r", Attrs: nil},
+		{Op: OpInsert, Rel: "r", Rows: [][]string{{"a", "1"}, {"b", "2"}}},
+		{Op: OpDelete, Rel: "r", IDs: []int{0}},
+		{Op: OpPrefer, Rel: "r", Pairs: [][2]int{{1, 0}}},
+		{Op: OpFD, Rel: "r", FD: "A -> B"},
+	}
+	for i := range want {
+		seq, err := l.Append(want[i])
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append seq = %d, want %d", seq, i+1)
+		}
+		want[i].Seq = seq
+		if err := l.Sync(seq); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+	}
+	if l.Seq() != 5 {
+		t.Fatalf("Seq = %d", l.Seq())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, c2, tail2 := mustOpen(t, dir, Options{Policy: SyncAlways})
+	defer l2.Close()
+	if c2 != nil {
+		t.Fatalf("unexpected checkpoint: %+v", c2)
+	}
+	if !reflect.DeepEqual(tail2, want) {
+		t.Fatalf("tail after reopen = %+v, want %+v", tail2, want)
+	}
+	if l2.Seq() != 5 {
+		t.Fatalf("Seq after reopen = %d", l2.Seq())
+	}
+	// Appending continues the sequence.
+	seq, err := l2.Append(Record{Op: OpInsert, Rel: "r", Rows: [][]string{{"c", "3"}}})
+	if err != nil || seq != 6 {
+		t.Fatalf("Append after reopen = %d, %v", seq, err)
+	}
+	if err := l2.Sync(seq); err != nil {
+		t.Fatalf("Sync after reopen: %v", err)
+	}
+}
+
+func TestConcurrentCommittersSyncAlways(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir, Options{Policy: SyncAlways})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seq, err := l.Append(Record{Op: OpInsert, Rel: "r", Rows: [][]string{{"x"}}})
+			if err == nil {
+				err = l.Sync(seq)
+			}
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent commit: %v", err)
+		}
+	}
+	if l.Seq() != 32 {
+		t.Fatalf("Seq = %d, want 32", l.Seq())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, _, tail := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if len(tail) != 32 {
+		t.Fatalf("tail after concurrent commits = %d records", len(tail))
+	}
+}
+
+func TestGroupCommitFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir, Options{Policy: SyncGroup, FlushInterval: time.Millisecond})
+	seq, err := l.Append(Record{Op: OpInsert, Rel: "r", Rows: [][]string{{"x"}}})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Sync(seq); err != nil { // no-op barrier under group policy
+		t.Fatalf("Sync: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		synced := l.syncedSeq
+		l.mu.Unlock()
+		if synced >= seq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background flusher never synced seq %d", seq)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestCheckpointTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir, Options{Policy: SyncNever})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(Record{Op: OpInsert, Rel: "r", Rows: [][]string{{"x"}}}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	ck := &Checkpoint{Seq: 3, Relations: []CheckpointRelation{{
+		Name:  "r",
+		Attrs: nil,
+		Rows:  [][]string{{"x"}, {"x"}, {"x"}},
+	}}}
+	if err := l.WriteCheckpoint(ck); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	// Records after the checkpoint land in the fresh segment.
+	if seq, err := l.Append(Record{Op: OpDelete, Rel: "r", IDs: []int{0}}); err != nil || seq != 4 {
+		t.Fatalf("Append after checkpoint = %d, %v", seq, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Exactly one checkpoint and one segment remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("dir after checkpoint = %v", names)
+	}
+
+	l2, c2, tail := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if c2 == nil || c2.Seq != 3 || len(c2.Relations) != 1 {
+		t.Fatalf("recovered checkpoint = %+v", c2)
+	}
+	if len(tail) != 1 || tail[0].Seq != 4 || tail[0].Op != OpDelete {
+		t.Fatalf("recovered tail = %+v", tail)
+	}
+	if l2.Seq() != 4 {
+		t.Fatalf("Seq after recovery = %d", l2.Seq())
+	}
+}
+
+func TestCheckpointSeqMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir, Options{Policy: SyncNever})
+	defer l.Close()
+	if _, err := l.Append(Record{Op: OpInsert, Rel: "r", Rows: [][]string{{"x"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteCheckpoint(&Checkpoint{Seq: 7}); err == nil {
+		t.Fatal("checkpoint at wrong seq accepted")
+	}
+}
+
+func TestNeedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir, Options{Policy: SyncNever, CheckpointBytes: 64})
+	defer l.Close()
+	if l.NeedCheckpoint() {
+		t.Fatal("fresh log wants a checkpoint")
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append(Record{Op: OpInsert, Rel: "r", Rows: [][]string{{"some-longish-value"}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.NeedCheckpoint() {
+		t.Fatal("log past threshold does not want a checkpoint")
+	}
+
+	ldis, _, _ := mustOpen(t, t.TempDir(), Options{Policy: SyncNever, CheckpointBytes: -1})
+	defer ldis.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := ldis.Append(Record{Op: OpInsert, Rel: "r", Rows: [][]string{{"some-longish-value"}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ldis.NeedCheckpoint() {
+		t.Fatal("disabled auto-checkpoint still reports need")
+	}
+}
+
+func TestRecoveryRejectsGapAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir, Options{Policy: SyncNever})
+	for i := 0; i < 2; i++ {
+		if _, err := l.Append(Record{Op: OpInsert, Rel: "r", Rows: [][]string{{"x"}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := encodeCheckpointFile(&Checkpoint{Seq: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ckptName(5)), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Records 1..2 are subsumed (seq <= 5): recovery succeeds with an
+	// empty tail and continues from 5.
+	l2, c2, tail := mustOpen(t, dir, Options{})
+	if c2 == nil || c2.Seq != 5 || len(tail) != 0 {
+		t.Fatalf("ckpt=%+v tail=%+v", c2, tail)
+	}
+	if l2.Seq() != 5 {
+		t.Fatalf("Seq = %d, want 5", l2.Seq())
+	}
+	l2.Close()
+
+	// A checkpoint at seq 1 with a segment whose first record is seq 3
+	// leaves record 2 unaccounted for — a gap — and must fail loudly.
+	dir2 := t.TempDir()
+	rec3, err := EncodeRecord(Record{Seq: 3, Op: OpInsert, Rel: "r", Rows: [][]string{{"x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, segName(3)), rec3, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	frame1, err := encodeCheckpointFile(&Checkpoint{Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, ckptName(1)), frame1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(dir2, Options{}); err == nil {
+		t.Fatal("gap after checkpoint accepted")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"always", SyncAlways, true},
+		{"group", SyncGroup, true},
+		{"never", SyncNever, true},
+		{"off", SyncNever, true}, // alias
+		{"sometimes", 0, false},
+		{"", 0, false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.ok && tc.in != "off" && got.String() != tc.in {
+			t.Errorf("SyncPolicy.String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+}

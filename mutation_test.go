@@ -178,11 +178,11 @@ func TestDeleteBasics(t *testing.T) {
 	if n, _ := r.Conflicts(); n != 1 {
 		t.Fatalf("conflicts = %d, want 1", n)
 	}
-	if !r.Delete(a) {
-		t.Fatal("Delete(a) = false")
+	if ok, err := r.Delete(a); err != nil || !ok {
+		t.Fatalf("Delete(a) = %v, %v", ok, err)
 	}
-	if r.Delete(a) {
-		t.Fatal("double Delete(a) = true")
+	if ok, err := r.Delete(a); err != nil || ok {
+		t.Fatalf("double Delete(a) = %v, %v", ok, err)
 	}
 	if n, _ := r.Conflicts(); n != 0 {
 		t.Fatalf("conflicts after delete = %d, want 0", n)
@@ -232,22 +232,9 @@ func TestPreferByRankIdempotent(t *testing.T) {
 	if len(r.prefs) != first {
 		t.Fatalf("duplicate Prefer recorded: %d pairs", len(r.prefs))
 	}
-	if c, err := r.db(t).CountRepairs(Global, "R"); err != nil || c != 1 {
+	if c, err := r.db.CountRepairs(Global, "R"); err != nil || c != 1 {
 		t.Fatalf("G-Rep count = %d, %v; want 1", c, err)
 	}
-}
-
-// db finds the DB owning the relation in tests (helper registered on
-// the test fixture instead of threading both values around).
-func (r *Relation) db(t *testing.T) *DB {
-	t.Helper()
-	db := New()
-	// Rebuild a one-relation DB view sharing r is not possible from
-	// outside; keep the helper trivial by querying through a fresh DB
-	// holding the same relation object.
-	db.rels["R"] = r
-	db.order = []string{"R"}
-	return db
 }
 
 // TestMutationAfterAddFDRebuilds checks the rebuild escape hatch:

@@ -47,6 +47,7 @@ import (
 	"prefcqa/internal/priority"
 	"prefcqa/internal/query"
 	"prefcqa/internal/relation"
+	"prefcqa/internal/wal"
 )
 
 // Core data-model types, re-exported from the engine.
@@ -189,6 +190,15 @@ type DB struct {
 	engine *core.Engine
 	snapMu sync.RWMutex // see Relation.snap
 
+	// log is the write-ahead log of a durable DB (see Open); nil on an
+	// in-memory DB. ver is the in-memory write-version counter; on a
+	// durable DB the log's record sequence is the write-version. See
+	// WriteVersion.
+	log      *wal.Log
+	ver      atomic.Uint64
+	walOpts  wal.Options
+	ckptBusy atomic.Bool // gates automatic checkpoints to one at a time
+
 	parallelism int
 	cache       bool
 	incremental bool
@@ -262,6 +272,8 @@ type Relation struct {
 	// side, DB.Snapshot the write side, making a snapshot a true
 	// point-in-time cut across all relations. Acquired before mu.
 	snap *sync.RWMutex
+	db   *DB
+	name string
 
 	mu           sync.Mutex // guards all writer state below
 	inst         *relation.Instance
@@ -292,9 +304,11 @@ func (p *pendingDelta) dirty() bool {
 	return p.rebuild || len(p.inserts)+len(p.deletes)+len(p.prefs) > 0
 }
 
-func (db *DB) newRelation(inst *relation.Instance, fds *fd.Set) *Relation {
+func (db *DB) newRelation(name string, inst *relation.Instance, fds *fd.Set) *Relation {
 	return &Relation{
 		snap: &db.snapMu,
+		db:   db,
+		name: name,
 		inst: inst, fds: fds,
 		prefSeen:    make(map[[2]TupleID]bool),
 		incremental: db.incremental,
@@ -304,38 +318,80 @@ func (db *DB) newRelation(inst *relation.Instance, fds *fd.Set) *Relation {
 
 // CreateRelation adds an empty relation with the given schema.
 func (db *DB) CreateRelation(name string, attrs ...Attribute) (*Relation, error) {
+	r, seq, err := db.createRelation(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return r, db.commit(seq)
+}
+
+func (db *DB) createRelation(name string, attrs []Attribute) (*Relation, uint64, error) {
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
 	if _, dup := db.rels[name]; dup {
-		return nil, fmt.Errorf("prefcqa: relation %q already exists", name)
+		return nil, 0, fmt.Errorf("prefcqa: relation %q already exists", name)
 	}
 	schema, err := relation.NewSchema(name, attrs...)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	fds, err := fd.NewSet(schema)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	r := db.newRelation(relation.NewInstance(schema), fds)
+	seq, err := db.logAppend(func() wal.Record {
+		return wal.Record{Op: wal.OpCreate, Rel: name, Attrs: wireAttrs(schema)}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	r := db.newRelation(name, relation.NewInstance(schema), fds)
 	db.rels[name] = r
 	db.order = append(db.order, name)
-	return r, nil
+	return r, seq, nil
 }
 
 // AddInstance registers an existing instance (with no dependencies
-// yet) under its schema name.
+// yet) under its schema name. On a durable DB the instance's whole
+// tuple universe — including tombstones, which anchor the ID
+// assignment — is logged as one creation record.
 func (db *DB) AddInstance(inst *Instance) (*Relation, error) {
-	name := inst.Schema().Name()
-	if _, dup := db.rels[name]; dup {
-		return nil, fmt.Errorf("prefcqa: relation %q already exists", name)
-	}
-	fds, err := fd.NewSet(inst.Schema())
+	r, seq, err := db.addInstance(inst)
 	if err != nil {
 		return nil, err
 	}
-	r := db.newRelation(inst, fds)
+	return r, db.commit(seq)
+}
+
+func (db *DB) addInstance(inst *Instance) (*Relation, uint64, error) {
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	name := inst.Schema().Name()
+	if _, dup := db.rels[name]; dup {
+		return nil, 0, fmt.Errorf("prefcqa: relation %q already exists", name)
+	}
+	fds, err := fd.NewSet(inst.Schema())
+	if err != nil {
+		return nil, 0, err
+	}
+	seq, err := db.logAppend(func() wal.Record {
+		rec := wal.Record{Op: wal.OpCreate, Rel: name, Attrs: wireAttrs(inst.Schema())}
+		rec.Rows = make([][]string, inst.NumIDs())
+		for id := 0; id < inst.NumIDs(); id++ {
+			rec.Rows[id] = encodeRow(inst.Tuple(id))
+			if !inst.Live(id) {
+				rec.IDs = append(rec.IDs, id)
+			}
+		}
+		return rec
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	r := db.newRelation(name, inst, fds)
 	db.rels[name] = r
 	db.order = append(db.order, name)
-	return r, nil
+	return r, seq, nil
 }
 
 // Relation returns a previously created relation.
@@ -386,31 +442,130 @@ func (r *Relation) beginMutate() {
 
 // Insert adds a row from native Go values (string → name, integer
 // types → int) and returns its tuple ID. Duplicate inserts return
-// the existing ID (set semantics) without touching any state.
+// the existing ID (set semantics) without touching any state. On a
+// durable DB the row is logged before it is applied and the call
+// blocks on the configured durability barrier.
 func (r *Relation) Insert(vals ...any) (TupleID, error) {
 	tup, err := relation.CoerceTuple(vals...)
 	if err != nil {
 		return -1, err
 	}
+	id, seq, err := r.insertTuple(tup)
+	if err != nil {
+		return id, err
+	}
+	return id, r.db.commit(seq)
+}
+
+// insertTuple applies one insert under the locks: validate, log,
+// apply — in that order, so a logged row is always an applied row.
+func (r *Relation) insertTuple(tup Tuple) (TupleID, uint64, error) {
 	r.snap.RLock()
 	defer r.snap.RUnlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if id, ok := r.inst.Lookup(tup); ok {
-		return id, nil // duplicate: no mutation, no fork
+		return id, 0, nil // duplicate: no mutation, no fork
+	}
+	if err := r.inst.TypeCheck(tup); err != nil {
+		return -1, 0, err
+	}
+	seq, err := r.db.logAppend(func() wal.Record {
+		return wal.Record{Op: wal.OpInsert, Rel: r.name, Rows: [][]string{encodeRow(tup)}}
+	})
+	if err != nil {
+		return -1, 0, err
 	}
 	r.beginMutate()
-	id, fresh, err := r.inst.Insert(tup)
+	id, _, err := r.inst.Insert(tup) // validated fresh above: always applies
 	if err != nil {
-		return id, err
+		return id, 0, err
 	}
-	if fresh {
+	if r.cur.Load() != nil {
+		r.pend.inserts = append(r.pend.inserts, id)
+	}
+	r.dirty.Store(true)
+	return id, seq, nil
+}
+
+// InsertRows inserts a batch of rows under one lock acquisition and —
+// on a durable DB — one log record and one durability barrier, so a
+// large batch costs one fsync instead of one per row. It returns one
+// tuple ID per input row; duplicates (against the relation or within
+// the batch) resolve to the first occurrence's ID, as in Insert.
+func (r *Relation) InsertRows(rows []Tuple) ([]TupleID, error) {
+	ids, seq, err := r.insertRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return ids, r.db.commit(seq)
+}
+
+func (r *Relation) insertRows(rows []Tuple) ([]TupleID, uint64, error) {
+	r.snap.RLock()
+	defer r.snap.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, tup := range rows {
+		if err := r.inst.TypeCheck(tup); err != nil {
+			return nil, 0, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	// Partition the batch: rows already present resolve immediately,
+	// the rest dedupe against each other so the log carries exactly the
+	// rows that will apply fresh.
+	ids := make([]TupleID, len(rows))
+	var freshIdx []int            // indexes into rows, in apply order
+	byKey := make(map[string]int) // batch-local tuple key → freshIdx position
+	ref := make([]int, len(rows)) // per row: freshIdx position, or -1 when resolved
+	for i, tup := range rows {
+		if id, ok := r.inst.Lookup(tup); ok {
+			ids[i] = id
+			ref[i] = -1
+			continue
+		}
+		k := tup.Key()
+		if p, ok := byKey[k]; ok {
+			ref[i] = p
+			continue
+		}
+		p := len(freshIdx)
+		byKey[k] = p
+		freshIdx = append(freshIdx, i)
+		ref[i] = p
+	}
+	if len(freshIdx) == 0 {
+		return ids, 0, nil
+	}
+	seq, err := r.db.logAppend(func() wal.Record {
+		enc := make([][]string, len(freshIdx))
+		for p, i := range freshIdx {
+			enc[p] = encodeRow(rows[i])
+		}
+		return wal.Record{Op: wal.OpInsert, Rel: r.name, Rows: enc}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	r.beginMutate()
+	freshIDs := make([]TupleID, len(freshIdx))
+	for p, i := range freshIdx {
+		id, _, err := r.inst.Insert(rows[i]) // validated fresh above: always applies
+		if err != nil {
+			return nil, 0, err
+		}
+		freshIDs[p] = id
 		if r.cur.Load() != nil {
 			r.pend.inserts = append(r.pend.inserts, id)
 		}
-		r.dirty.Store(true)
 	}
-	return id, nil
+	r.dirty.Store(true)
+	for i := range rows {
+		if ref[i] >= 0 {
+			ids[i] = freshIDs[ref[i]]
+		}
+	}
+	return ids, seq, nil
 }
 
 // MustInsert is Insert that panics on error, for fixtures.
@@ -426,14 +581,29 @@ func (r *Relation) MustInsert(vals ...any) TupleID {
 // it was live. Other tuple IDs are unchanged; preferences touching
 // the tuple are dropped from the built priority. The built state is
 // patched, not rebuilt: cost is proportional to the tuple's conflict
-// component.
-func (r *Relation) Delete(id TupleID) bool {
+// component. The error is nil on an in-memory DB; on a durable DB it
+// reports a failed log write or durability barrier.
+func (r *Relation) Delete(id TupleID) (bool, error) {
+	ok, seq, err := r.deleteTuple(id)
+	if !ok || err != nil {
+		return false, err
+	}
+	return true, r.db.commit(seq)
+}
+
+func (r *Relation) deleteTuple(id TupleID) (bool, uint64, error) {
 	r.snap.RLock()
 	defer r.snap.RUnlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.inst.Live(id) {
-		return false
+		return false, 0, nil
+	}
+	seq, err := r.db.logAppend(func() wal.Record {
+		return wal.Record{Op: wal.OpDelete, Rel: r.name, IDs: []int{id}}
+	})
+	if err != nil {
+		return false, 0, err
 	}
 	r.beginMutate()
 	r.inst.Delete(id)
@@ -441,31 +611,47 @@ func (r *Relation) Delete(id TupleID) bool {
 		r.pend.deletes = append(r.pend.deletes, id)
 	}
 	r.dirty.Store(true)
-	return true
+	return true, seq, nil
 }
 
 // AddFD declares a functional dependency, e.g. "Dept -> Name, Salary".
 // Unlike tuple-level mutations, adding a dependency rebuilds the
 // conflict graph from scratch on the next read.
 func (r *Relation) AddFD(spec string) error {
+	seq, err := r.addFD(spec)
+	if err != nil {
+		return err
+	}
+	return r.db.commit(seq)
+}
+
+func (r *Relation) addFD(spec string) (uint64, error) {
 	r.snap.RLock()
 	defer r.snap.RUnlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f, err := fd.Parse(r.inst.Schema(), spec)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Replace rather than mutate the dependency set: the published
 	// version keeps referencing the old one.
 	nfds, err := fd.NewSet(r.inst.Schema(), append(r.fds.All(), f)...)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	// Log the normalized rendering, not the raw spec: FD.String
+	// round-trips through fd.Parse on replay.
+	seq, err := r.db.logAppend(func() wal.Record {
+		return wal.Record{Op: wal.OpFD, Rel: r.name, FD: f.String()}
+	})
+	if err != nil {
+		return 0, err
 	}
 	r.fds = nfds
 	r.pend.rebuild = true
 	r.dirty.Store(true)
-	return nil
+	return seq, nil
 }
 
 // FDs renders the declared dependencies.
@@ -481,15 +667,52 @@ func (r *Relation) FDs() string {
 // reported when the priority is built. Duplicate pairs are recorded
 // once.
 func (r *Relation) Prefer(x, y TupleID) error {
+	seq, err := r.preferPairs([][2]TupleID{{x, y}}, true)
+	if err != nil {
+		return err
+	}
+	return r.db.commit(seq)
+}
+
+// preferPairs validates, logs and applies a batch of preference
+// pairs under the locks. With mustLive set, a pair touching a
+// non-live tuple is an error (the Prefer contract); otherwise such
+// pairs are skipped (PreferByRank derives pairs from a built state a
+// concurrent writer may since have deleted from). Only pairs that are
+// both live and fresh reach the log — a logged pair is exactly an
+// applied pair, which is what makes strict replay possible.
+func (r *Relation) preferPairs(pairs [][2]TupleID, mustLive bool) (uint64, error) {
 	r.snap.RLock()
 	defer r.snap.RUnlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if !r.inst.Live(x) || !r.inst.Live(y) {
-		return fmt.Errorf("prefcqa: preference on unknown tuple IDs (%d, %d)", x, y)
+	fresh := make([][2]TupleID, 0, len(pairs))
+	batchSeen := make(map[[2]TupleID]bool, len(pairs))
+	for _, p := range pairs {
+		if !r.inst.Live(p[0]) || !r.inst.Live(p[1]) {
+			if mustLive {
+				return 0, fmt.Errorf("prefcqa: preference on unknown tuple IDs (%d, %d)", p[0], p[1])
+			}
+			continue
+		}
+		if !r.prefSeen[p] && !batchSeen[p] {
+			batchSeen[p] = true
+			fresh = append(fresh, p)
+		}
 	}
-	r.preferLocked(x, y)
-	return nil
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	seq, err := r.db.logAppend(func() wal.Record {
+		return wal.Record{Op: wal.OpPrefer, Rel: r.name, Pairs: fresh}
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range fresh {
+		r.preferLocked(p[0], p[1])
+	}
+	return seq, nil
 }
 
 // preferLocked records x ≻ y, deduplicating. Caller holds r.mu.
@@ -518,7 +741,8 @@ func (r *Relation) preferLocked(x, y TupleID) {
 // read the relation (Instance, ExplainTuple, ...). Conflicts are
 // taken from the state observed on entry; pairs whose tuples are
 // deleted by a concurrent writer before the pairs are recorded are
-// dropped when the priority is next built.
+// skipped (a preference on a tombstoned tuple can never matter again
+// — IDs are not reused).
 func (r *Relation) PreferByRank(rank func(TupleID) int) error {
 	r.mu.Lock()
 	built, err := r.materializeLocked()
@@ -538,14 +762,11 @@ func (r *Relation) PreferByRank(rank func(TupleID) int) error {
 			pairs = append(pairs, [2]TupleID{e.B, e.A})
 		}
 	}
-	r.snap.RLock()
-	defer r.snap.RUnlock()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, p := range pairs {
-		r.preferLocked(p[0], p[1])
+	seq, err := r.preferPairs(pairs, false)
+	if err != nil {
+		return err
 	}
-	return nil
+	return r.db.commit(seq)
 }
 
 // build returns the up-to-date built state, applying any pending
