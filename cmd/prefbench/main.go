@@ -12,12 +12,18 @@
 //	                     # B/op, allocs/op, repairs/sec) on stdout —
 //	                     # the source of the checked-in BENCH_*.json
 //	                     # trajectory snapshots
+//
+// -cpuprofile and -memprofile write pprof profiles covering whatever
+// ran (experiments or the JSON suite), for chasing hotspots in the
+// vectorized executors: `prefbench -quick -json -cpuprofile cpu.out`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"prefcqa/internal/bench"
 	"prefcqa/internal/cliutil"
@@ -43,11 +49,38 @@ func main() { cliutil.Main("prefbench", run) }
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (or 'all')")
-		quick    = flag.Bool("quick", false, "small input sizes")
-		jsonMode = flag.Bool("json", false, "emit machine-readable benchmark results as JSON")
+		exp        = flag.String("exp", "all", "experiment to run (or 'all')")
+		quick      = flag.Bool("quick", false, "small input sizes")
+		jsonMode   = flag.Bool("json", false, "emit machine-readable benchmark results as JSON")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prefbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prefbench: memprofile:", err)
+			}
+		}()
+	}
 	opts := bench.Options{Quick: *quick}
 	if *jsonMode {
 		return bench.JSON(opts).WriteJSON(os.Stdout)

@@ -220,6 +220,27 @@ func JSON(o Options) Report {
 		}
 	}
 
+	// Acyclic-join workload: a three-atom chain with an empty join,
+	// answered by the Yannakakis executor (bottom-up semijoin
+	// reduction) vs the vectorized greedy executor forced via
+	// query.EvalGreedy. No scan baseline: without index access paths
+	// the chain is quadratic and does not terminate in benchmark time
+	// at this scale.
+	acyN := pick(10_000, 100_000)
+	yanMetric := measure("acyclic_chain_query/yannakakis",
+		map[string]float64{"tuples": float64(acyN)}, AcyclicWorkload(acyN, "yannakakis"))
+	greedyMetric := measure("acyclic_chain_query/greedy",
+		map[string]float64{"tuples": float64(acyN)}, AcyclicWorkload(acyN, "greedy"))
+	rep.add(yanMetric)
+	rep.add(greedyMetric)
+	if yanMetric.NsPerOp > 0 {
+		rep.add(Metric{
+			Name:       "acyclic_chain_query/speedup",
+			Iterations: 1,
+			Extra:      map[string]float64{"x": greedyMetric.NsPerOp / yanMetric.NsPerOp},
+		})
+	}
+
 	// Serving-layer workload: sustained concurrent ground queries
 	// against a live prefserve over real loopback sockets, snapshot
 	// per read — first read-only, then with concurrent writers
@@ -317,6 +338,72 @@ func SelectiveWorkload(n int, indexed bool, kind string) func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := query.Eval(q, m)
+			if err != nil || res {
+				b.Fatalf("%v, %v", res, err)
+			}
+		}
+	}
+}
+
+// AcyclicWorkload builds a three-relation chain R(A,B) ⋈ S(B,C) ⋈
+// T(C,D) with n tuples each, where S and T share no C values, and
+// returns a benchmark whose op is the closed chain query
+//
+//	EXISTS a, b, c, d . R(a, b) AND S(b, c) AND T(c, d)
+//
+// The join is empty, so no executor can short-circuit on a witness:
+// the vectorized greedy executor walks all n R tuples probing S and
+// T per tuple, while the Yannakakis executor discovers the emptiness
+// in one bottom-up semijoin pass (T semijoin S empties T's mask) and
+// never enumerates. mode selects the executor: "yannakakis" is the
+// cost-based query.Eval, asserted to actually pick the Yannakakis
+// path; "greedy" forces the vectorized greedy executor via
+// query.EvalGreedy. Exported so the top-level go-bench suite measures
+// exactly the prefbench workload.
+func AcyclicWorkload(n int, mode string) func(b *testing.B) {
+	return func(b *testing.B) {
+		db := relation.NewDatabase()
+		r := relation.NewInstance(relation.MustSchema("R",
+			relation.IntAttr("A"), relation.IntAttr("B")))
+		s := relation.NewInstance(relation.MustSchema("S",
+			relation.IntAttr("B"), relation.IntAttr("C")))
+		tr := relation.NewInstance(relation.MustSchema("T",
+			relation.IntAttr("C"), relation.IntAttr("D")))
+		for i := 0; i < n; i++ {
+			r.MustInsert(i, i)
+			s.MustInsert(i, i)
+			tr.MustInsert(i+n, i) // S.C and T.C are disjoint
+		}
+		for _, inst := range []*relation.Instance{r, s, tr} {
+			if err := db.AddInstance(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m := query.DBModel{DB: db}
+		eval := query.Eval
+		if mode == "greedy" {
+			eval = query.EvalGreedy
+		} else if mode != "yannakakis" {
+			b.Fatalf("unknown acyclic workload mode %q", mode)
+		}
+		q := query.MustParse("EXISTS a, b, c, d . R(a, b) AND S(b, c) AND T(c, d)")
+		// Warm the lazily built indexes; in Yannakakis mode also pin
+		// that the cost-based planner actually chose that executor.
+		if mode == "yannakakis" {
+			res, trace, err := query.EvalTrace(q, m)
+			if err != nil || res {
+				b.Fatalf("warmup: %v, %v", res, err)
+			}
+			if len(trace.Execs) == 0 || trace.Execs[0].Executor != query.ExecYannakakis {
+				b.Fatalf("planner did not choose the Yannakakis executor:\n%s",
+					trace.Execs[0].Describe())
+			}
+		} else if res, err := eval(q, m); err != nil || res {
+			b.Fatalf("warmup: %v, %v", res, err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eval(q, m)
 			if err != nil || res {
 				b.Fatalf("%v, %v", res, err)
 			}

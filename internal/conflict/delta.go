@@ -63,23 +63,27 @@ func newLHSIndex(inst *relation.Instance, fds *fd.Set) *lhsIndex {
 	for i := range idx.buckets {
 		idx.buckets[i] = make(map[string][]int32)
 	}
-	inst.Range(func(id relation.TupleID, t relation.Tuple) bool {
-		idx.add(id, t)
+	inst.RangeIDs(func(id relation.TupleID) bool {
+		idx.add(inst, id)
 		return true
 	})
 	return idx
 }
 
-func (idx *lhsIndex) add(id relation.TupleID, t relation.Tuple) {
+// add buckets tuple id under its LHS key for every dependency, reading
+// the instance columns directly.
+func (idx *lhsIndex) add(inst *relation.Instance, id relation.TupleID) {
+	var buf [48]byte
 	for i, f := range idx.fds {
-		k := f.LHSKey(t)
-		idx.buckets[i][k] = append(idx.buckets[i][k], int32(id))
+		k := f.AppendLHSKeyAt(buf[:0], inst, id)
+		idx.buckets[i][string(k)] = append(idx.buckets[i][string(k)], int32(id))
 	}
 }
 
-func (idx *lhsIndex) remove(id relation.TupleID, t relation.Tuple) {
+func (idx *lhsIndex) remove(inst *relation.Instance, id relation.TupleID) {
+	var buf [48]byte
 	for i, f := range idx.fds {
-		k := f.LHSKey(t)
+		k := string(f.AppendLHSKeyAt(buf[:0], inst, id))
 		b := idx.buckets[i][k]
 		for j, x := range b {
 			if x == int32(id) {
@@ -212,23 +216,25 @@ func (g *Graph) newComp(members []int, rep *DeltaReport) int32 {
 // the partner components (if any) merge with t into one fresh
 // component.
 func (g *Graph) insertVertex(t relation.TupleID, rep *DeltaReport) {
-	tup := g.inst.Tuple(t)
 	// Discover conflict partners per dependency; the first dependency
-	// witnessing a pair labels the edge, matching Build.
+	// witnessing a pair labels the edge, matching Build. Partner probes
+	// compare column cells by ID — no tuple materialization.
 	var partners []int32
+	var buf [48]byte
 	fdOf := make(map[int32]int)
 	for fi, f := range g.lhs.fds {
-		for _, c := range g.lhs.buckets[fi][f.LHSKey(tup)] {
+		k := f.AppendLHSKeyAt(buf[:0], g.inst, t)
+		for _, c := range g.lhs.buckets[fi][string(k)] {
 			if _, seen := fdOf[c]; seen {
 				continue
 			}
-			if f.Conflicts(tup, g.inst.Tuple(int(c))) {
+			if f.ConflictsAt(g.inst, t, int(c)) {
 				fdOf[c] = fi
 				partners = append(partners, c)
 			}
 		}
 	}
-	g.lhs.add(t, tup)
+	g.lhs.add(g.inst, t)
 	g.compList.Store((*componentListing)(nil))
 	if len(partners) == 0 {
 		g.newComp([]int{t}, rep)
@@ -263,8 +269,7 @@ func (g *Graph) insertVertex(t relation.TupleID, rep *DeltaReport) {
 // patched, incident edges leave the live set, and its component is
 // re-split by a walk bounded by the component size.
 func (g *Graph) deleteVertex(v relation.TupleID, rep *DeltaReport) {
-	tup := g.inst.Tuple(v)
-	g.lhs.remove(v, tup)
+	g.lhs.remove(g.inst, v)
 	g.compList.Store((*componentListing)(nil))
 	nbrs := append([]int32(nil), g.Neighbors(v)...)
 	for _, u := range nbrs {

@@ -85,13 +85,12 @@ func FreeAnswers(f core.Family, in Input, q query.Expr) ([]Binding, error) {
 // activeDomain collects the distinct values of the whole database
 // (a superset of every repair's domain) plus the query constants.
 //
-// For a relation without tombstones the distinct values come from
-// the secondary index — O(distinct values) per attribute once the
-// postings exist, instead of an O(n) tuple scan per call — which is
-// exact there. A relation with deleted tuples falls back to the
-// scan: index postings retain tombstoned values, and the active
-// domain must not (a dead value is not in the database, so it is not
-// a candidate binding).
+// The distinct values come from the secondary index postings —
+// O(distinct values) per attribute once the postings exist, instead
+// of an O(n) tuple scan per call. Tombstoned values must not appear
+// (a dead value is not in the database, so it is not a candidate
+// binding), so DistinctValuesLive walks each posting only far enough
+// to find one live tuple carrying the value.
 func (in Input) activeDomain(q query.Expr) []relation.Value {
 	seen := map[string]bool{}
 	var out []relation.Value
@@ -104,21 +103,12 @@ func (in Input) activeDomain(q query.Expr) []relation.Value {
 	}
 	var scratch []relation.Value
 	for _, r := range in.Rels {
-		if r.Inst.Len() == r.Inst.NumIDs() { // no tombstones
-			for attr := 0; attr < r.Inst.Schema().Arity(); attr++ {
-				scratch = r.Inst.DistinctValues(attr, scratch[:0])
-				for _, v := range scratch {
-					add(v)
-				}
-			}
-			continue
-		}
-		r.Inst.Range(func(_ relation.TupleID, t relation.Tuple) bool {
-			for _, v := range t {
+		for attr := 0; attr < r.Inst.Schema().Arity(); attr++ {
+			scratch = r.Inst.DistinctValuesLive(attr, scratch[:0])
+			for _, v := range scratch {
 				add(v)
 			}
-			return true
-		})
+		}
 	}
 	for _, v := range query.Constants(q) {
 		add(v)

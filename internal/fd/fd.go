@@ -141,6 +141,13 @@ func (f FD) LHSKey(t relation.Tuple) string {
 	return string(b)
 }
 
+// AppendLHSKeyAt appends the LHS projection key of tuple id of r to b,
+// reading the columns directly — LHSKey without materializing the
+// tuple, for the bulk conflict-build and delta paths.
+func (f FD) AppendLHSKeyAt(b []byte, r *relation.Instance, id relation.TupleID) []byte {
+	return r.AppendProjectionKey(b, id, f.lhs)
+}
+
 // IsKeyDependency reports whether the FD is a key dependency: X → U
 // where U is all attributes outside X (so conflicting tuples can never
 // be duplicates with respect to it).
@@ -158,6 +165,22 @@ func (f FD) Conflicts(t, u relation.Tuple) bool {
 	}
 	for _, i := range f.rhs {
 		if !t[i].Equal(u[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConflictsAt is Conflicts over two tuples of r addressed by ID,
+// comparing column cells directly without materializing either tuple.
+func (f FD) ConflictsAt(r *relation.Instance, a, b relation.TupleID) bool {
+	for _, i := range f.lhs {
+		if !r.ValueAt(a, i).Equal(r.ValueAt(b, i)) {
+			return false
+		}
+	}
+	for _, i := range f.rhs {
+		if !r.ValueAt(a, i).Equal(r.ValueAt(b, i)) {
 			return true
 		}
 	}

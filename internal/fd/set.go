@@ -104,11 +104,12 @@ type Violation struct {
 // number of conflicts rather than all tuple pairs.
 func (s *Set) Violations(r *relation.Instance) []Violation {
 	var out []Violation
+	var buf []byte
 	for fi, f := range s.fds {
 		groups := make(map[string][]relation.TupleID)
-		r.Range(func(id relation.TupleID, t relation.Tuple) bool {
-			k := t.Project(f.lhs).Key()
-			groups[k] = append(groups[k], id)
+		r.RangeIDs(func(id relation.TupleID) bool {
+			buf = r.AppendProjectionKey(buf[:0], id, f.lhs)
+			groups[string(buf)] = append(groups[string(buf)], id)
 			return true
 		})
 		for _, ids := range groups {
@@ -120,7 +121,8 @@ func (s *Set) Violations(r *relation.Instance) []Violation {
 			byRHS := make(map[string][]relation.TupleID)
 			var order []string
 			for _, id := range ids {
-				k := r.Tuple(id).Project(f.rhs).Key()
+				buf = r.AppendProjectionKey(buf[:0], id, f.rhs)
+				k := string(buf)
 				if _, seen := byRHS[k]; !seen {
 					order = append(order, k)
 				}

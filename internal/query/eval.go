@@ -119,6 +119,14 @@ func (m InstanceModel) Card(rel string) int {
 	return m.Inst.Len()
 }
 
+// Backing implements ColumnarModel: the whole instance is visible.
+func (m InstanceModel) Backing(rel string) (*relation.Instance, *bitset.Set, bool) {
+	if rel != m.Inst.Schema().Name() {
+		return nil, nil, false
+	}
+	return m.Inst, nil, true
+}
+
 // SubsetModel exposes a subset of an instance (e.g. a repair) as a
 // single-relation model.
 type SubsetModel struct {
@@ -191,6 +199,14 @@ func (m SubsetModel) Card(rel string) int {
 		return 0
 	}
 	return m.IDs.Len()
+}
+
+// Backing implements ColumnarModel: the subset is the visible view.
+func (m SubsetModel) Backing(rel string) (*relation.Instance, *bitset.Set, bool) {
+	if rel != m.Inst.Schema().Name() {
+		return nil, nil, false
+	}
+	return m.Inst, m.IDs, true
 }
 
 // DBModel exposes a multi-relation database with one visible subset
@@ -284,6 +300,16 @@ func (m DBModel) Card(rel string) int {
 	return inst.Len()
 }
 
+// Backing implements ColumnarModel; a nil subset means every live
+// tuple of the relation is visible.
+func (m DBModel) Backing(rel string) (*relation.Instance, *bitset.Set, bool) {
+	inst, ok := m.DB.Relation(rel)
+	if !ok {
+		return nil, nil, false
+	}
+	return inst, m.Subsets[rel], true
+}
+
 // Eval evaluates a closed formula over the model in the standard
 // model-theoretic sense (r' |= Q), with quantifiers ranging over the
 // active domain of the model extended with the formula's constants.
@@ -367,6 +393,19 @@ func EvalScan(e Expr, m Model) (bool, error) {
 	return Eval(e, ScanOnly(m))
 }
 
+// EvalGreedy is Eval with the Yannakakis executor disabled: acyclic
+// multi-atom queries run the greedy vectorized nested-loop order even
+// when semijoin reduction would be cheaper. Exposed for differential
+// testing and the Yannakakis-vs-greedy ablation benchmarks; results
+// are identical to Eval.
+func EvalGreedy(e Expr, m Model) (bool, error) {
+	if fv := FreeVars(e); len(fv) != 0 {
+		return false, fmt.Errorf("query: formula is not closed, free variables %v", fv)
+	}
+	ev := &evaluator{m: m, root: e, join: true, greedyOnly: true}
+	return ev.eval(e, map[string]relation.Value{})
+}
+
 // activeDomain collects the distinct values of all visible tuples
 // plus the formula's constants.
 func activeDomain(m Model, e Expr) []relation.Value {
@@ -404,6 +443,9 @@ type evaluator struct {
 	domainOK bool
 	join     bool   // enable the plan-based fast path
 	trace    *Trace // when non-nil, collect executed plans
+	// greedyOnly disables the Yannakakis executor (vectorized greedy
+	// and tuple-at-a-time paths still run), for ablation.
+	greedyOnly bool
 	// ctx, when non-nil, cancels the evaluation: tick() samples it
 	// every few hundred iterated candidates (plan rows and domain
 	// values), bounding how far past a deadline an evaluation runs.
@@ -478,8 +520,19 @@ func (ev *evaluator) evalQuant(q Quant, env map[string]relation.Value, i int) (b
 		if ok {
 			var exec *PlanExec
 			if ev.trace != nil {
-				exec = &PlanExec{Plan: p, ActRows: make([]int, len(p.Steps))}
+				exec = &PlanExec{Plan: p, ActRows: make([]int, len(p.Steps)), Executor: ExecTuple}
 				ev.trace.Execs = append(ev.trace.Execs, exec)
+			}
+			if !p.Unsat {
+				// Models exposing their columnar backing take the
+				// vectorized path: batch execution over tuple-ID
+				// candidates, with a Yannakakis semijoin reduction for
+				// acyclic multi-atom queries when it wins on cost.
+				if cm, columnar := ev.m.(ColumnarModel); columnar {
+					if vp := ev.compileVec(cm, p, env); vp != nil {
+						return ev.runVec(vp, exec, env)
+					}
+				}
 			}
 			return ev.runPlan(p, exec, env)
 		}

@@ -63,11 +63,17 @@ func fuzzPlanModel() Model {
 	s.MustInsert(0, "n0")
 	s.MustInsert(1, "n1")
 	s.MustInsert(2, "n0")
-	if err := db.AddInstance(r); err != nil {
-		panic(err)
+	// T makes three-atom acyclic chains and stars expressible, so the
+	// Yannakakis executor has multi-atom spines to compete on.
+	tr := relation.NewInstance(relation.MustSchema("T", relation.IntAttr("E"), relation.IntAttr("F")))
+	for i := 0; i < 4; i++ {
+		tr.MustInsert(i%2, i)
 	}
-	if err := db.AddInstance(s); err != nil {
-		panic(err)
+	tr.Delete(2)
+	for _, inst := range []*relation.Instance{r, s, tr} {
+		if err := db.AddInstance(inst); err != nil {
+			panic(err)
+		}
 	}
 	return DBModel{DB: db}
 }
@@ -93,6 +99,13 @@ func FuzzPlanEquivalence(f *testing.F) {
 		"EXISTS x, y . R(x, y) AND (S(y, 'n0') OR x = y)",  // disjunctive residual
 		"EXISTS x . x = 1 AND R(1, x)",                     // comparison + atom coverage
 		"EXISTS x, y . R(x, y) AND R(y, x) AND R(0, 0)",    // ground atom in the spine
+		// Acyclic shapes: the Yannakakis executor must agree too.
+		"EXISTS a, b, c . R(a, b) AND T(b, c)",                          // two-atom chain
+		"EXISTS a, b, c, d . R(a, b) AND T(b, c) AND S(c, d)",           // three-atom chain
+		"EXISTS h, a, b . R(h, a) AND T(h, b) AND R(h, h)",              // star on hub h
+		"EXISTS a, b, c, d . R(a, b) AND T(b, c) AND T(b, d) AND d > 0", // tree + residual
+		"EXISTS a, b . R(a, b) AND T(b, a)",                             // cyclic: greedy only
+		"EXISTS a, b . R(a, b) AND T(a, b) AND a < b",                   // shared pair
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -119,13 +132,14 @@ func FuzzPlanEquivalence(f *testing.F) {
 			return
 		}
 		planned, errP := Eval(q, m)
+		greedy, errG := EvalGreedy(q, m)
 		scan, errS := EvalScan(q, m)
 		naive, errN := EvalNaive(q, m)
-		if (errP == nil) != (errN == nil) || (errS == nil) != (errN == nil) {
-			t.Fatalf("error mismatch planned=%v scan=%v naive=%v for %s", errP, errS, errN, q)
+		if (errP == nil) != (errN == nil) || (errS == nil) != (errN == nil) || (errG == nil) != (errN == nil) {
+			t.Fatalf("error mismatch planned=%v greedy=%v scan=%v naive=%v for %s", errP, errG, errS, errN, q)
 		}
-		if errN == nil && (planned != naive || scan != naive) {
-			t.Fatalf("planned=%v scan=%v naive=%v for %s", planned, scan, naive, q)
+		if errN == nil && (planned != naive || greedy != naive || scan != naive) {
+			t.Fatalf("planned=%v greedy=%v scan=%v naive=%v for %s", planned, greedy, scan, naive, q)
 		}
 	})
 }

@@ -88,15 +88,53 @@ type Plan struct {
 	Unsat bool
 }
 
+// Executor names, recorded per executed plan so ExplainPlan shows
+// which runtime answered the quantifier.
+const (
+	// ExecTuple is the tuple-at-a-time interpreter: per-row binding
+	// maps and materialized tuples (scan-only models, and shapes the
+	// vector compiler cannot lower).
+	ExecTuple = "tuple-at-a-time"
+	// ExecGreedyVec is the vectorized nested-loop join in greedy
+	// selectivity order: tuple-ID batches from index postings, flat
+	// binding arrays, no per-row allocation.
+	ExecGreedyVec = "vectorized-greedy"
+	// ExecYannakakis is the semijoin-reduction executor for acyclic
+	// multi-atom queries.
+	ExecYannakakis = "yannakakis"
+)
+
+// BatchStat is the operator-level accounting of one plan step under a
+// vectorized executor. Batches counts access-path invocations (probe
+// batches, or reduction passes touching the atom under Yannakakis);
+// IDs counts candidate tuple IDs inspected after visibility
+// filtering; Out counts rows surviving the step's selections (greedy)
+// or the full semijoin reduction (Yannakakis); Base is the
+// Yannakakis base-candidate count before reduction, so Out/Base is
+// the semijoin reduction ratio.
+type BatchStat struct {
+	Batches int
+	IDs     int
+	Base    int
+	Out     int
+}
+
 // PlanExec pairs a plan with its runtime row counts: ActRows[i] is
 // the total number of candidate tuples step i's access path yielded,
 // summed over every invocation (inner steps run once per outer
 // binding). Counts reflect the executed portion only — an EXISTS
 // short-circuits on its first satisfying binding, so actual rows can
-// undershoot an accurate estimate.
+// undershoot an accurate estimate. Executor records which runtime
+// ran; Batch carries the per-step operator stats of the vectorized
+// executors (nil on the tuple-at-a-time path), and YanCost/GreedyCost
+// the planner's cost estimates behind the executor choice.
 type PlanExec struct {
-	Plan    *Plan
-	ActRows []int
+	Plan       *Plan
+	ActRows    []int
+	Executor   string
+	Batch      []BatchStat
+	YanCost    int
+	GreedyCost int
 }
 
 // Trace collects the executed plans of one evaluation, in the order
@@ -109,10 +147,13 @@ type Trace struct {
 func (p *Plan) String() string { return p.describe(nil) }
 
 // Describe renders the plan with actual row counts next to the
-// estimates.
-func (e *PlanExec) Describe() string { return e.Plan.describe(e.ActRows) }
+// estimates, the executor that ran it, and — for the vectorized
+// executors — per-step batch stats and semijoin reduction ratios.
+func (e *PlanExec) Describe() string { return e.Plan.describeExec(e.ActRows, e) }
 
-func (p *Plan) describe(act []int) string {
+func (p *Plan) describe(act []int) string { return p.describeExec(act, nil) }
+
+func (p *Plan) describeExec(act []int, exec *PlanExec) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "EXISTS %s", strings.Join(p.Vars, ", "))
 	if !p.Indexed {
@@ -120,6 +161,13 @@ func (p *Plan) describe(act []int) string {
 	}
 	if p.Unsat {
 		b.WriteString(" [unsatisfiable: kind mismatch]")
+	}
+	if exec != nil && exec.Executor != "" {
+		fmt.Fprintf(&b, " [exec %s", exec.Executor)
+		if exec.Executor == ExecGreedyVec || exec.Executor == ExecYannakakis {
+			fmt.Fprintf(&b, "; cost yannakakis %d vs greedy %d", exec.YanCost, exec.GreedyCost)
+		}
+		b.WriteString("]")
 	}
 	for i, s := range p.Steps {
 		fmt.Fprintf(&b, "\n  %d. %s  ", i+1, s.Atom)
@@ -134,6 +182,19 @@ func (p *Plan) describe(act []int) string {
 		fmt.Fprintf(&b, "  est %d", s.EstRows)
 		if act != nil {
 			fmt.Fprintf(&b, " act %d", act[i])
+		}
+		if exec != nil && exec.Batch != nil && i < len(exec.Batch) {
+			bs := exec.Batch[i]
+			fmt.Fprintf(&b, "  [batches %d ids %d", bs.Batches, bs.IDs)
+			if exec.Executor == ExecYannakakis {
+				fmt.Fprintf(&b, " base %d semijoin→%d", bs.Base, bs.Out)
+				if bs.Base > 0 {
+					fmt.Fprintf(&b, " (%.0f%%)", 100*float64(bs.Out)/float64(bs.Base))
+				}
+			} else {
+				fmt.Fprintf(&b, " out %d", bs.Out)
+			}
+			b.WriteString("]")
 		}
 		if len(s.Binds) > 0 {
 			fmt.Fprintf(&b, "  binds %s", strings.Join(s.Binds, ", "))
@@ -266,7 +327,7 @@ func (ev *evaluator) estimateStep(a Atom, env map[string]relation.Value, quantif
 	}
 	step := PlanStep{Atom: a, Access: AccessScan, Attr: -1, EstRows: card}
 	schema, _ := ev.m.Schema(a.Rel)
-	hasRuntimeBound := false
+	var runtimePos []int
 	for i, t := range a.Args {
 		var val relation.Value
 		known := false
@@ -278,7 +339,7 @@ func (ev *evaluator) estimateStep(a Atom, env map[string]relation.Value, quantif
 			// its value is only known once an earlier step binds it.
 			if quantified[x.Name] {
 				if bound[x.Name] {
-					hasRuntimeBound = true
+					runtimePos = append(runtimePos, i)
 				}
 			} else if v, ok := env[x.Name]; ok {
 				val, known = v, true
@@ -301,12 +362,27 @@ func (ev *evaluator) estimateStep(a Atom, env map[string]relation.Value, quantif
 			step.Access, step.Attr, step.AttrName, step.EstRows = AccessIndex, i, schema.Attr(i).Name, est
 		}
 	}
-	if step.Access == AccessScan && hasRuntimeBound {
+	if step.Access == AccessScan && len(runtimePos) > 0 {
 		// The probe value arrives when an earlier step binds the
-		// variable; the executor picks the attribute then.
+		// variable; the executor picks the attribute then. With a
+		// columnar backing, the distinct-value count of the probe
+		// attribute turns the guess into card/distinct — the average
+		// posting length — which is what the Yannakakis-vs-greedy cost
+		// choice needs to be sharp about.
 		est := card/2 + 1
 		if im != nil {
 			step.Access = AccessIndex
+			if cm, ok := im.(ColumnarModel); ok {
+				if inst, _, ok := cm.Backing(a.Rel); ok && inst != nil {
+					for _, i := range runtimePos {
+						if d := inst.DistinctEstimate(i); d > 0 {
+							if e := card/d + 1; e < est {
+								est = e
+							}
+						}
+					}
+				}
+			}
 		}
 		if est < step.EstRows {
 			step.EstRows = est
@@ -323,21 +399,9 @@ func (ev *evaluator) runPlan(p *Plan, exec *PlanExec, env map[string]relation.Va
 	if p.Unsat {
 		return false, nil
 	}
-	type saved struct {
-		name string
-		val  relation.Value
-	}
-	var shadowed []saved
-	for _, v := range p.Vars {
-		if val, ok := env[v]; ok {
-			shadowed = append(shadowed, saved{v, val})
-			delete(env, v)
-		}
-	}
+	shadowed := shadowVars(env, p.Vars)
 	res, err := ev.runStep(p, exec, 0, env)
-	for _, s := range shadowed {
-		env[s.name] = s.val
-	}
+	unshadowVars(env, shadowed)
 	return res, err
 }
 

@@ -1,0 +1,322 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/relation"
+)
+
+// acyclicCorpus is the query mix the vectorized differential tests
+// pin: chains, stars, trees (Yannakakis-eligible), a cycle and a
+// shared-pair query (greedy-only), plus residual comparisons and
+// negation that force env materialization.
+var acyclicCorpus = []string{
+	"EXISTS a, b . R(a, b)",
+	"EXISTS a, b, c . R(a, b) AND T(b, c)",
+	"EXISTS a, b, c, d . R(a, b) AND T(b, c) AND S(c, d)",
+	"EXISTS h, a, b . R(h, a) AND T(h, b)",
+	"EXISTS h, a, b, c . R(h, a) AND T(h, b) AND T(b, c)",
+	"EXISTS a, b, c, d . R(a, b) AND T(b, c) AND T(b, d) AND c < d",
+	"EXISTS a, b . R(a, b) AND T(b, a)",
+	"EXISTS a, b . R(a, b) AND T(a, b) AND a <= b",
+	"EXISTS a, b, c . R(a, b) AND T(b, c) AND NOT S(c, 'n0')",
+	"EXISTS a, b, c . R(0, a) AND T(a, b) AND S(b, c)",
+	"FORALL a, b . NOT R(a, b) OR (EXISTS c . T(b, c))",
+	"EXISTS a . R(a, a) AND T(a, a)",
+}
+
+// mutableTriple is a three-relation database the differential tests
+// mutate in place: R(A,B) and T(E,F) join on ints, S(C,D) carries a
+// name column so kind mismatches occur.
+type mutableTriple struct {
+	db      *relation.Database
+	r, s, t *relation.Instance
+}
+
+func newMutableTriple() *mutableTriple {
+	db := relation.NewDatabase()
+	r := relation.NewInstance(relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B")))
+	s := relation.NewInstance(relation.MustSchema("S", relation.IntAttr("C"), relation.NameAttr("D")))
+	tr := relation.NewInstance(relation.MustSchema("T", relation.IntAttr("E"), relation.IntAttr("F")))
+	for _, inst := range []*relation.Instance{r, s, tr} {
+		if err := db.AddInstance(inst); err != nil {
+			panic(err)
+		}
+	}
+	return &mutableTriple{db: db, r: r, s: s, t: tr}
+}
+
+// fork freezes the current head and redirects future mutations to a
+// fresh version chain layer, returning the new head database.
+func (m *mutableTriple) fork() {
+	db := relation.NewDatabase()
+	m.r = m.r.Fork()
+	m.s = m.s.Fork()
+	m.t = m.t.Fork()
+	for _, inst := range []*relation.Instance{m.r, m.s, m.t} {
+		if err := db.AddInstance(inst); err != nil {
+			panic(err)
+		}
+	}
+	m.db = db
+}
+
+func (m *mutableTriple) mutate(rng *rand.Rand) {
+	for i := 0; i < 3+rng.Intn(5); i++ {
+		switch rng.Intn(4) {
+		case 0:
+			m.r.MustInsert(rng.Intn(4), rng.Intn(4))
+		case 1:
+			m.t.MustInsert(rng.Intn(4), rng.Intn(4))
+		case 2:
+			m.s.MustInsert(rng.Intn(4), fmt.Sprintf("n%d", rng.Intn(2)))
+		default:
+			// Tombstone a random live tuple of a random relation: the
+			// vectorized path must skip dead IDs in every posting.
+			insts := []*relation.Instance{m.r, m.s, m.t}
+			inst := insts[rng.Intn(len(insts))]
+			if n := inst.NumIDs(); n > 0 {
+				inst.Delete(rng.Intn(n))
+			}
+		}
+	}
+}
+
+// checkCorpus requires the four strategies to agree bit-for-bit on
+// every corpus query over m.
+func checkCorpus(t *testing.T, tag string, m Model) {
+	t.Helper()
+	for _, src := range acyclicCorpus {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse %q: %v", tag, src, err)
+		}
+		planned, errP := Eval(q, m)
+		greedy, errG := EvalGreedy(q, m)
+		scan, errS := EvalScan(q, m)
+		naive, errN := EvalNaive(q, m)
+		for _, e := range []error{errP, errG, errS} {
+			if (e == nil) != (errN == nil) {
+				t.Fatalf("%s %q: error mismatch planned=%v greedy=%v scan=%v naive=%v", tag, src, errP, errG, errS, errN)
+			}
+		}
+		if errN == nil && (planned != naive || greedy != naive || scan != naive) {
+			t.Fatalf("%s %q: planned=%v greedy=%v scan=%v naive=%v", tag, src, planned, greedy, scan, naive)
+		}
+	}
+}
+
+// TestVectorizedDifferentialMutations pins Yannakakis, vectorized
+// greedy and scan-only evaluation bit-for-bit against naive
+// active-domain iteration across batches of random inserts and
+// deletes, both over the full database and over random visible
+// subsets (the repair-checking shape).
+func TestVectorizedDifferentialMutations(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := newMutableTriple()
+		for batch := 0; batch < 6; batch++ {
+			m.mutate(rng)
+			tag := fmt.Sprintf("seed %d batch %d", seed, batch)
+			checkCorpus(t, tag, DBModel{DB: m.db})
+
+			// Random subsets simulate repairs: visibility masks must
+			// compose with tombstones and index postings.
+			subs := map[string]*bitset.Set{}
+			for _, inst := range []*relation.Instance{m.r, m.s, m.t} {
+				sub := bitset.New(inst.NumIDs())
+				inst.RangeIDs(func(id relation.TupleID) bool {
+					if rng.Intn(3) != 0 {
+						sub.Add(id)
+					}
+					return true
+				})
+				subs[inst.Schema().Name()] = sub
+			}
+			checkCorpus(t, tag+" subset", DBModel{DB: m.db, Subsets: subs})
+		}
+	}
+}
+
+// TestVectorizedDifferentialSnapshots forks a version chain and
+// requires every pinned version to keep answering exactly as it did
+// when it was the head, under all four strategies, while younger
+// forks diverge.
+func TestVectorizedDifferentialSnapshots(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := newMutableTriple()
+	type pinned struct {
+		db  *relation.Database
+		ans map[string]bool
+	}
+	var pins []pinned
+	record := func(db *relation.Database) map[string]bool {
+		ans := map[string]bool{}
+		for _, src := range acyclicCorpus {
+			q, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EvalNaive(q, DBModel{DB: db})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans[src] = got
+		}
+		return ans
+	}
+	for round := 0; round < 5; round++ {
+		m.mutate(rng)
+		pins = append(pins, pinned{db: m.db, ans: record(m.db)})
+		// Freeze the head and continue mutating the fork.
+		m.fork()
+	}
+	for i, p := range pins {
+		model := DBModel{DB: p.db}
+		checkCorpus(t, fmt.Sprintf("pin %d", i), model)
+		for _, src := range acyclicCorpus {
+			q, _ := Parse(src)
+			got, err := Eval(q, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != p.ans[src] {
+				t.Fatalf("pin %d %q: answer drifted to %v after later forks", i, src, got)
+			}
+		}
+	}
+}
+
+// TestVectorizedConcurrentSnapshotReads evaluates the corpus over a
+// pinned version from many goroutines while the head fork keeps
+// mutating (and lazily building shared index postings). Run under
+// -race this pins the snapshot-consistency contract of the columnar
+// store and the shared secondary indexes.
+func TestVectorizedConcurrentSnapshotReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := newMutableTriple()
+	for i := 0; i < 4; i++ {
+		m.mutate(rng)
+	}
+	pinnedDB := m.db
+	want := map[string]bool{}
+	for _, src := range acyclicCorpus {
+		q, _ := Parse(src)
+		got, err := EvalNaive(q, DBModel{DB: pinnedDB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[src] = got
+	}
+	m.fork()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			model := DBModel{DB: pinnedDB}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := acyclicCorpus[(g+i)%len(acyclicCorpus)]
+				q, _ := Parse(src)
+				eval := Eval
+				if i%2 == 1 {
+					eval = EvalGreedy
+				}
+				got, err := eval(q, model)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d %q: %v", g, src, err)
+					return
+				}
+				if got != want[src] {
+					errs <- fmt.Errorf("goroutine %d %q: got %v want %v under concurrent mutation", g, src, got, want[src])
+					return
+				}
+			}
+		}(g)
+	}
+	wrng := rand.New(rand.NewSource(8))
+	for i := 0; i < 40; i++ {
+		m.mutate(wrng)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestYannakakisFiresOnAcyclicChain pins the executor choice and the
+// EXPLAIN surface: a selective three-atom chain must run under the
+// Yannakakis executor and Describe must carry per-step batch and
+// semijoin stats, while a cyclic triangle must fall back to the
+// vectorized greedy executor.
+func TestYannakakisFiresOnAcyclicChain(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.NewInstance(relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B")))
+	s := relation.NewInstance(relation.MustSchema("S", relation.IntAttr("C"), relation.IntAttr("D")))
+	u := relation.NewInstance(relation.MustSchema("U", relation.IntAttr("E"), relation.IntAttr("F")))
+	for i := 0; i < 64; i++ {
+		r.MustInsert(i, i)
+		s.MustInsert(i, i)
+		u.MustInsert(i+64, i) // S and U share no join values
+	}
+	for _, inst := range []*relation.Instance{r, s, u} {
+		if err := db.AddInstance(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := DBModel{DB: db}
+
+	chain := "EXISTS a, b, c, d . R(a, b) AND S(b, c) AND U(c, d)"
+	q, err := Parse(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, tr, err := EvalTrace(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatalf("chain %q should be empty (S and U share no values)", chain)
+	}
+	if len(tr.Execs) == 0 {
+		t.Fatal("no executed plans traced")
+	}
+	exec := tr.Execs[0]
+	if exec.Executor != ExecYannakakis {
+		t.Fatalf("executor = %q, want %q\n%s", exec.Executor, ExecYannakakis, exec.Describe())
+	}
+	desc := exec.Describe()
+	for _, want := range []string{ExecYannakakis, "batches", "semijoin", "cost yannakakis"} {
+		if !strings.Contains(desc, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+
+	triangle := "EXISTS a, b, c . R(a, b) AND S(b, c) AND U(c, a)"
+	q, err = Parse(triangle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err = EvalTrace(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec := tr.Execs[0]; exec.Executor != ExecGreedyVec {
+		t.Fatalf("triangle executor = %q, want %q\n%s", exec.Executor, ExecGreedyVec, exec.Describe())
+	}
+}

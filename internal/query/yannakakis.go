@@ -1,0 +1,480 @@
+package query
+
+import (
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/relation"
+)
+
+// Yannakakis execution for acyclic multi-atom queries.
+//
+// A conjunctive query whose hypergraph (one hyperedge per atom, the
+// atom's quantified variables) is α-acyclic admits a join tree, and
+// Yannakakis' algorithm answers it without ever forming an
+// intermediate join: a bottom-up pass semijoin-reduces each parent by
+// its children, after which the boolean EXISTS answer is simply
+// "every relation still has candidates". Only when residual
+// comparisons span atoms (or a residual needs the tree-walking
+// evaluator) does the executor complete the reduction with a top-down
+// pass and enumerate — over the reduced candidate sets, where every
+// partial binding is guaranteed to extend to at least one full match.
+//
+// The machinery runs entirely on the batch currency of vector.go:
+// candidate sets are bitset.Words masks over the instance's tuple-ID
+// universe (carved from the pooled scratch arena), semijoins hash the
+// join-key cells straight out of the columns, and enumeration binds
+// into the flat value array. Acyclicity is decided by GYO ear
+// removal, which also yields the join forest and the bottom-up
+// reduction order; disconnected queries need no special casing — an
+// atom sharing no variables attaches with an empty join key, making
+// its semijoin the "is it non-empty" test a cross product requires.
+
+// yanEdge is one parent←child semijoin of the join forest, with the
+// shared variables resolved to column positions on both sides
+// (aligned by index).
+type yanEdge struct {
+	child, parent       int
+	childPos, parentPos []int
+}
+
+// yanNode is one atom in enumeration preorder: parents before
+// children, so a node's shared variables are always bound when its
+// group lookup runs.
+type yanNode struct {
+	atom    int
+	keyVars []int    // shared vars with parent (empty at a root)
+	keyPos  []int    // their first-occurrence positions in this atom
+	binds   []vecOp  // vars first bound here
+	cmps    []vecCmp // cross-atom comparisons checkable after binds
+}
+
+// yanPlan is the compiled join forest of an acyclic query.
+type yanPlan struct {
+	parent []int
+	edges  []yanEdge // GYO removal order = bottom-up reduction order
+	nodes  []yanNode // enumeration preorder
+	// pushedOnly: every residual was pushed into a single atom's base
+	// selection, so the bottom-up pass alone decides the answer.
+	pushedOnly bool
+}
+
+// compileYan runs GYO ear removal over the atoms' variable sets and,
+// if the query is acyclic with at least two atoms, attaches a yanPlan:
+// join forest, semijoin edges, enumeration schedule, and residual
+// pushdown (comparisons local to one atom move into its base
+// selection; the rest are scheduled on the enumeration preorder).
+func (v *vecPlan) compileYan(cross []vecCmp) {
+	m := len(v.atoms)
+	if m < 2 {
+		return
+	}
+	contains := func(atom int, varIdx int) bool {
+		for _, x := range v.atoms[atom].vars {
+			if x == varIdx {
+				return true
+			}
+		}
+		return false
+	}
+	posOf := func(atom int, varIdx int) int {
+		a := &v.atoms[atom]
+		for k, x := range a.vars {
+			if x == varIdx {
+				return a.varPos[k]
+			}
+		}
+		return -1
+	}
+
+	// GYO: repeatedly remove an ear — an edge whose variables shared
+	// with any other live edge all fit inside a single live host. The
+	// removal order doubles as the bottom-up semijoin order.
+	alive := make([]bool, m)
+	for i := range alive {
+		alive[i] = true
+	}
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var order []int
+	aliveCount := m
+	for aliveCount > 1 {
+		removed := false
+		for i := 0; i < m && aliveCount > 1; i++ {
+			if !alive[i] {
+				continue
+			}
+			var shared []int
+			for _, x := range v.atoms[i].vars {
+				for j := 0; j < m; j++ {
+					if j != i && alive[j] && contains(j, x) {
+						shared = append(shared, x)
+						break
+					}
+				}
+			}
+			host := -1
+			for j := 0; j < m && host < 0; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				all := true
+				for _, x := range shared {
+					if !contains(j, x) {
+						all = false
+						break
+					}
+				}
+				if all {
+					host = j
+				}
+			}
+			if host >= 0 {
+				parent[i] = host
+				alive[i] = false
+				aliveCount--
+				order = append(order, i)
+				removed = true
+			}
+		}
+		if !removed {
+			return // cyclic: no ear left, the greedy executor handles it
+		}
+	}
+
+	y := &yanPlan{parent: parent}
+	for _, i := range order {
+		e := yanEdge{child: i, parent: parent[i]}
+		for k, x := range v.atoms[i].vars {
+			if pp := posOf(parent[i], x); pp >= 0 {
+				e.childPos = append(e.childPos, v.atoms[i].varPos[k])
+				e.parentPos = append(e.parentPos, pp)
+			}
+		}
+		y.edges = append(y.edges, e)
+	}
+
+	// Enumeration preorder: root first, then children as discovered.
+	root := -1
+	for i := range alive {
+		if alive[i] {
+			root = i
+		}
+	}
+	children := make([][]int, m)
+	for _, i := range order {
+		children[parent[i]] = append(children[parent[i]], i)
+	}
+	preAtoms := []int{root}
+	for k := 0; k < len(preAtoms); k++ {
+		preAtoms = append(preAtoms, children[preAtoms[k]]...)
+	}
+
+	bound := make([]int, len(v.vars)) // var → preorder node binding it
+	for i := range bound {
+		bound[i] = -1
+	}
+	y.nodes = make([]yanNode, len(preAtoms))
+	for k, ai := range preAtoms {
+		a := &v.atoms[ai]
+		node := yanNode{atom: ai}
+		for vi, x := range a.vars {
+			if bound[x] < 0 {
+				bound[x] = k
+				node.binds = append(node.binds, vecOp{pos: a.varPos[vi], varIdx: x, bind: true})
+			} else if parent[ai] >= 0 && contains(parent[ai], x) {
+				node.keyVars = append(node.keyVars, x)
+				node.keyPos = append(node.keyPos, a.varPos[vi])
+			}
+			// A var bound by an ancestor is, by the running
+			// intersection property, shared with the parent and thus
+			// covered by the key; intra-atom repeats are enforced by
+			// the base selection (intraEq).
+		}
+		y.nodes[k] = node
+	}
+
+	// Residual placement: a comparison whose variables all occur in one
+	// atom filters that atom's base candidates; anything spanning atoms
+	// waits for enumeration, at the first node where all operands are
+	// bound.
+	y.pushedOnly = len(v.complex) == 0
+	for _, c := range cross {
+		home := -1
+		for i := 0; i < m && home < 0; i++ {
+			ok := true
+			for _, o := range []vecOperand{c.l, c.r} {
+				if o.varIdx >= 0 && !contains(i, o.varIdx) {
+					ok = false
+				}
+			}
+			if ok {
+				home = i
+			}
+		}
+		if home >= 0 {
+			pc := vecCmpPos{op: c.op, lPos: -1, rPos: -1, lVal: c.l.val, rVal: c.r.val}
+			if c.l.varIdx >= 0 {
+				pc.lPos = posOf(home, c.l.varIdx)
+			}
+			if c.r.varIdx >= 0 {
+				pc.rPos = posOf(home, c.r.varIdx)
+			}
+			v.atoms[home].pushed = append(v.atoms[home].pushed, pc)
+			continue
+		}
+		at := 0
+		for _, o := range []vecOperand{c.l, c.r} {
+			if o.varIdx >= 0 && bound[o.varIdx] > at {
+				at = bound[o.varIdx]
+			}
+		}
+		y.nodes[at].cmps = append(y.nodes[at].cmps, c)
+		y.pushedOnly = false
+	}
+	v.yan = y
+}
+
+// yanBase fills the atom's candidate mask: every visible ID passing
+// the compile-known equality selections, intra-atom variable repeats,
+// and pushed-down comparisons. Probed through the shortest posting
+// when a known value exists, a column sweep otherwise.
+func (v *vecPlan) yanBase(ai int, mask bitset.Words, exec *PlanExec) int {
+	a := &v.atoms[ai]
+	selIdx := -1
+	var posting []relation.TupleID
+	for k := range a.sel {
+		ids := a.inst.PostingIDs(a.sel[k].pos, a.sel[k].val)
+		if selIdx < 0 || len(ids) < len(posting) {
+			selIdx, posting = k, ids
+		}
+	}
+	cnt := 0
+	admit := func(id relation.TupleID) {
+		if exec != nil {
+			exec.ActRows[ai]++
+			exec.Batch[ai].IDs++
+		}
+		for k := range a.sel {
+			if k == selIdx {
+				continue
+			}
+			if !a.cols[a.sel[k].pos].Equals(id, a.sel[k].val) {
+				return
+			}
+		}
+		for _, eq := range a.intraEq {
+			if !a.cols[eq[0]].EqualsCell(id, a.cols[eq[1]], id) {
+				return
+			}
+		}
+		for _, c := range a.pushed {
+			if !c.holds(a, id) {
+				return
+			}
+		}
+		mask.Add(id)
+		cnt++
+	}
+	if exec != nil {
+		exec.Batch[ai].Batches++
+	}
+	if selIdx >= 0 {
+		for _, id := range posting {
+			if id >= a.n {
+				break
+			}
+			if a.visibleID(id) {
+				admit(id)
+			}
+		}
+	} else {
+		for id := 0; id < a.n; id++ {
+			if a.visibleID(id) {
+				admit(id)
+			}
+		}
+	}
+	if exec != nil {
+		exec.Batch[ai].Base = cnt
+	}
+	return cnt
+}
+
+// semijoinInto filters dst's candidate mask to the IDs whose join key
+// appears among src's candidates. Returns dst's new candidate count.
+// Single-int-column keys — the overwhelmingly common join shape — hash
+// the raw cells into an int64 set; everything else falls back to the
+// encoded byte-key set (whose inserts copy the key).
+func (v *vecPlan) semijoinInto(sc *vecScratch, masks []bitset.Words, counts []int,
+	src int, srcPos []int, dst int, dstPos []int, exec *PlanExec) int {
+	sa, da := &v.atoms[src], &v.atoms[dst]
+	removed := 0
+	if len(srcPos) == 1 && len(dstPos) == 1 &&
+		sa.cols[srcPos[0]].Kind() == relation.KindInt &&
+		da.cols[dstPos[0]].Kind() == relation.KindInt {
+		sCol, dCol := sa.cols[srcPos[0]], da.cols[dstPos[0]]
+		set := make(map[int64]struct{}, counts[src])
+		masks[src].Range(func(id int) bool {
+			set[sCol.Int(id)] = struct{}{}
+			return true
+		})
+		masks[dst].Range(func(id int) bool {
+			if _, ok := set[dCol.Int(id)]; !ok {
+				masks[dst].Remove(id)
+				removed++
+			}
+			return true
+		})
+	} else {
+		set := make(map[string]struct{}, counts[src])
+		masks[src].Range(func(id int) bool {
+			sc.key = sc.key[:0]
+			for _, p := range srcPos {
+				sc.key = sa.cols[p].AppendKey(sc.key, id)
+			}
+			if _, ok := set[string(sc.key)]; !ok {
+				set[string(sc.key)] = struct{}{}
+			}
+			return true
+		})
+		masks[dst].Range(func(id int) bool {
+			sc.key = sc.key[:0]
+			for _, p := range dstPos {
+				sc.key = da.cols[p].AppendKey(sc.key, id)
+			}
+			if _, ok := set[string(sc.key)]; !ok {
+				masks[dst].Remove(id)
+				removed++
+			}
+			return true
+		})
+	}
+	counts[dst] -= removed
+	if exec != nil {
+		exec.Batch[dst].Batches++
+	}
+	return counts[dst]
+}
+
+// runYan executes the Yannakakis plan: base masks, bottom-up semijoin
+// reduction, and — only if residuals demand it — a top-down completion
+// pass and enumeration over the fully reduced candidates.
+func (v *vecPlan) runYan(sc *vecScratch, exec *PlanExec, vals []relation.Value, env map[string]relation.Value) (bool, error) {
+	y := v.yan
+	m := len(v.atoms)
+	sizes := make([]int, m)
+	for i := range sizes {
+		sizes[i] = v.atoms[i].n
+	}
+	masks := sc.masks(sizes)
+	counts := make([]int, m)
+	setOut := func() {
+		if exec != nil {
+			for i := range counts {
+				exec.Batch[i].Out = counts[i]
+			}
+		}
+	}
+	for i := range v.atoms {
+		if err := v.ev.tick(); err != nil {
+			return false, err
+		}
+		counts[i] = v.yanBase(i, masks[i], exec)
+		if counts[i] == 0 {
+			setOut()
+			return false, nil
+		}
+	}
+	for _, e := range y.edges {
+		if err := v.ev.tick(); err != nil {
+			return false, err
+		}
+		if v.semijoinInto(sc, masks, counts, e.child, e.childPos, e.parent, e.parentPos, exec) == 0 {
+			setOut()
+			return false, nil
+		}
+	}
+	if y.pushedOnly {
+		// Bottom-up reduction succeeded everywhere: the root's
+		// surviving candidates each extend to a full match.
+		setOut()
+		return true, nil
+	}
+	for k := len(y.edges) - 1; k >= 0; k-- {
+		e := y.edges[k]
+		if err := v.ev.tick(); err != nil {
+			return false, err
+		}
+		if v.semijoinInto(sc, masks, counts, e.parent, e.parentPos, e.child, e.childPos, exec) == 0 {
+			setOut()
+			return false, nil
+		}
+	}
+	setOut()
+
+	// Group each non-root node's reduced candidates by its join key.
+	groups := make([]map[string][]relation.TupleID, len(y.nodes))
+	for k := 1; k < len(y.nodes); k++ {
+		node := &y.nodes[k]
+		a := &v.atoms[node.atom]
+		g := make(map[string][]relation.TupleID, counts[node.atom])
+		masks[node.atom].Range(func(id int) bool {
+			sc.key = sc.key[:0]
+			for _, p := range node.keyPos {
+				sc.key = a.cols[p].AppendKey(sc.key, id)
+			}
+			g[string(sc.key)] = append(g[string(sc.key)], id)
+			return true
+		})
+		groups[k] = g
+	}
+	return v.yanEnum(0, masks, groups, sc, vals, env)
+}
+
+// yanEnum backtracks over the reduced candidates in preorder. Every
+// lookup hits a non-empty group unless a cross-atom comparison or
+// complex residual rejected the partial binding, so the search space
+// is the reduced relations, not the original ones.
+func (v *vecPlan) yanEnum(k int, masks []bitset.Words, groups []map[string][]relation.TupleID,
+	sc *vecScratch, vals []relation.Value, env map[string]relation.Value) (bool, error) {
+	if k == len(v.yan.nodes) {
+		return v.finish(vals, env)
+	}
+	node := &v.yan.nodes[k]
+	a := &v.atoms[node.atom]
+	try := func(id relation.TupleID) (bool, error) {
+		if err := v.ev.tick(); err != nil {
+			return false, err
+		}
+		for i := range node.binds {
+			vals[node.binds[i].varIdx] = a.cols[node.binds[i].pos].Value(id)
+		}
+		for _, c := range node.cmps {
+			if !c.holds(vals) {
+				return false, nil
+			}
+		}
+		return v.yanEnum(k+1, masks, groups, sc, vals, env)
+	}
+	if k == 0 {
+		found := false
+		var err error
+		masks[node.atom].Range(func(id int) bool {
+			found, err = try(id)
+			return err == nil && !found
+		})
+		return found, err
+	}
+	sc.key = sc.key[:0]
+	for _, vi := range node.keyVars {
+		sc.key = vals[vi].AppendKey(sc.key)
+	}
+	for _, id := range groups[k][string(sc.key)] {
+		found, err := try(id)
+		if err != nil || found {
+			return found, err
+		}
+	}
+	return false, nil
+}

@@ -8,7 +8,7 @@ import "sync"
 // version chain: for every attribute position, a map from value key
 // to the ascending list of tuple IDs carrying that value. The
 // structure exploits the storage model of the chain — tuple IDs are
-// dense, assigned in insertion order, never reused, and the tuple
+// dense, assigned in insertion order, never reused, and the cell
 // data for an ID is immutable — so one shared, append-only index
 // serves every version of the chain:
 //
@@ -22,14 +22,14 @@ import "sync"
 //     sorted); attributes nobody has probed yet cost nothing.
 //   - Fork shares the index pointer with the child. Forking the same
 //     frozen parent twice is NOT supported by the storage chain
-//     itself (sibling forks append into one shared tuple arena and
+//     itself (sibling forks append into one shared column arena and
 //     clobber each other); the index defends itself anyway — a
 //     non-monotone insert ID reveals the sibling and the younger
 //     chain detaches onto a fresh index (see noteInsert) — so it
 //     never compounds the storage hazard with stale postings.
 //
 // Postings for one attribute are built lazily, on the first probe of
-// that attribute, by a single pass over the probing version's tuples;
+// that attribute, by a single pass over the probing version's column;
 // after that the index is maintained incrementally forever. All
 // access goes through idx.mu because the facade mutates the head
 // version while readers probe published snapshots concurrently.
@@ -69,21 +69,22 @@ func newAttrIndex(arity int) *attrIndex {
 // keyOf returns the postings-map key of a value.
 func keyOf(v Value) string { return string(v.appendKey(make([]byte, 0, 24))) }
 
-// extendLocked indexes tuples[ap.upto:n] into attribute attr. Caller
-// holds ix.mu for writing; tuples is the probing instance's slice, so
-// entries below n are immutable.
-func (ix *attrIndex) extendLocked(attr int, tuples []Tuple, n int) {
+// extendLocked indexes column cells [ap.upto, n) into attribute attr.
+// Caller holds ix.mu for writing; col is the probing instance's
+// column, so cells below n are immutable.
+func (ix *attrIndex) extendLocked(attr int, col *column, n int) {
 	ap := &ix.attrs[attr]
 	if ap.m == nil {
 		ap.m = make(map[string]*posting)
 	}
+	var buf [24]byte
 	for id := ap.upto; id < n; id++ {
-		v := tuples[id][attr]
-		k := keyOf(v)
-		p := ap.m[k]
+		v := col.value(id)
+		k := v.appendKey(buf[:0])
+		p := ap.m[string(k)]
 		if p == nil {
 			p = &posting{val: v}
-			ap.m[k] = p
+			ap.m[string(k)] = p
 		}
 		p.ids = append(p.ids, id)
 	}
@@ -91,13 +92,13 @@ func (ix *attrIndex) extendLocked(attr int, tuples []Tuple, n int) {
 	ap.built = true
 }
 
-// noteInsert maintains the built attributes after tuples[id] was
-// appended. diverged=true signals that a sibling fork of the same
-// parent already claimed this (or a later) ID: nothing was recorded
-// and the caller must detach onto a fresh index. The check runs
-// before any attribute is touched, so a divergent insert never
-// poisons the postings the first chain keeps using.
-func (ix *attrIndex) noteInsert(id TupleID, tuples []Tuple) (diverged bool) {
+// noteInsert maintains the built attributes after tuple id was
+// appended to the columns. diverged=true signals that a sibling fork
+// of the same parent already claimed this (or a later) ID: nothing
+// was recorded and the caller must detach onto a fresh index. The
+// check runs before any attribute is touched, so a divergent insert
+// never poisons the postings the first chain keeps using.
+func (ix *attrIndex) noteInsert(id TupleID, cols []column) (diverged bool) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if id <= ix.lastID {
@@ -106,7 +107,7 @@ func (ix *attrIndex) noteInsert(id TupleID, tuples []Tuple) (diverged bool) {
 	ix.lastID = id
 	for attr := range ix.attrs {
 		if ix.attrs[attr].built {
-			ix.extendLocked(attr, tuples, id+1)
+			ix.extendLocked(attr, &cols[attr], id+1)
 		}
 	}
 	return false
@@ -118,7 +119,7 @@ func (ix *attrIndex) noteInsert(id TupleID, tuples []Tuple) (diverged bool) {
 // append past its length (never reallocating entries below it), so
 // reading the returned prefix is race-free. Entries >= n belong to
 // newer versions of the chain and must be skipped by the caller.
-func (ix *attrIndex) ensure(attr int, v Value, tuples []Tuple, n int) []TupleID {
+func (ix *attrIndex) ensure(attr int, v Value, col *column, n int) []TupleID {
 	k := keyOf(v)
 	ix.mu.RLock()
 	ap := &ix.attrs[attr]
@@ -134,7 +135,7 @@ func (ix *attrIndex) ensure(attr int, v Value, tuples []Tuple, n int) []TupleID 
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if !ap.built || ap.upto < n {
-		ix.extendLocked(attr, tuples, n)
+		ix.extendLocked(attr, col, n)
 	}
 	if p := ap.m[k]; p != nil {
 		return p.ids
@@ -143,7 +144,7 @@ func (ix *attrIndex) ensure(attr int, v Value, tuples []Tuple, n int) []TupleID 
 }
 
 // ensureBuilt forces the attribute index to cover IDs [0, n).
-func (ix *attrIndex) ensureBuilt(attr int, tuples []Tuple, n int) {
+func (ix *attrIndex) ensureBuilt(attr int, col *column, n int) {
 	ix.mu.RLock()
 	ap := &ix.attrs[attr]
 	ok := ap.built && ap.upto >= n
@@ -153,7 +154,7 @@ func (ix *attrIndex) ensureBuilt(attr int, tuples []Tuple, n int) {
 	}
 	ix.mu.Lock()
 	if !ap.built || ap.upto < n {
-		ix.extendLocked(attr, tuples, n)
+		ix.extendLocked(attr, col, n)
 	}
 	ix.mu.Unlock()
 }
@@ -171,12 +172,14 @@ func (r *Instance) index() *attrIndex {
 // IndexScan iterates, in ascending ID order, the live tuples of r
 // whose attribute attr equals v, using the chain's secondary index.
 // The index is built for attr on first use (one pass over the
-// instance) and maintained incrementally across Insert, Delete and
+// column) and maintained incrementally across Insert, Delete and
 // Fork afterwards; a probe on a snapshot observes exactly the
-// snapshot's tuples. Stop early by returning false.
+// snapshot's tuples. Each yielded row is materialized from the
+// columns; ID-level consumers should use PostingIDs. Stop early by
+// returning false.
 func (r *Instance) IndexScan(attr int, v Value, yield func(id TupleID, t Tuple) bool) {
-	n := len(r.tuples)
-	ids := r.index().ensure(attr, v, r.tuples, n)
+	n := r.n
+	ids := r.index().ensure(attr, v, &r.cols[attr], n)
 	for _, id := range ids {
 		if id >= n {
 			break // inserted by a newer version of the chain
@@ -184,10 +187,21 @@ func (r *Instance) IndexScan(attr int, v Value, yield func(id TupleID, t Tuple) 
 		if !r.Live(id) {
 			continue
 		}
-		if !yield(id, r.tuples[id]) {
+		if !yield(id, r.Tuple(id)) {
 			return
 		}
 	}
+}
+
+// PostingIDs returns the raw secondary-index posting of (attr, v):
+// the ascending tuple IDs whose attribute attr equals v, built or
+// caught up on first use. The slice is shared with the index and must
+// not be mutated; it may contain IDs of newer chain versions (>=
+// NumIDs()) and tombstoned IDs — the batch executor filters both
+// against its own visibility, which is exactly why it wants the raw
+// posting rather than the filtered iteration of IndexScan.
+func (r *Instance) PostingIDs(attr int, v Value) []TupleID {
+	return r.index().ensure(attr, v, &r.cols[attr], r.n)
 }
 
 // IndexEstimate returns an upper bound on the number of live tuples
@@ -195,8 +209,8 @@ func (r *Instance) IndexScan(attr int, v Value, yield func(id TupleID, t Tuple) 
 // tombstoned and newer-version IDs. It is the planner's selectivity
 // estimate — cheap, monotone, and exact on an unmutated instance.
 func (r *Instance) IndexEstimate(attr int, v Value) int {
-	n := len(r.tuples)
-	ids := r.index().ensure(attr, v, r.tuples, n)
+	n := r.n
+	ids := r.index().ensure(attr, v, &r.cols[attr], n)
 	// Count only the prefix visible to this version; the tail belongs
 	// to newer forks.
 	if k := len(ids); k > 0 && ids[k-1] >= n {
@@ -214,16 +228,29 @@ func (r *Instance) IndexEstimate(attr int, v Value) int {
 	return len(ids)
 }
 
+// DistinctEstimate returns the number of distinct values of attribute
+// attr across the whole version chain — an upper bound on this
+// version's distinct count, used by the planner to estimate the rows
+// of a runtime-bound index probe (card / distinct). Building the
+// attribute index on first use is the same cost the probe itself
+// would pay.
+func (r *Instance) DistinctEstimate(attr int) int {
+	ix := r.index()
+	ix.ensureBuilt(attr, &r.cols[attr], r.n)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.attrs[attr].m)
+}
+
 // DistinctValues appends the distinct values occurring in attribute
 // attr of any tuple of r — live or tombstoned — to dst and returns
-// it. Tombstoned values are a deliberate over-approximation: the
-// caller (active-domain collection) only needs a superset, and
-// filtering would force a liveness sweep per posting. Order is
-// unspecified; callers sort.
+// it. Tombstoned values are a deliberate over-approximation for
+// callers that only need a superset; DistinctValuesLive filters them.
+// Order is unspecified; callers sort.
 func (r *Instance) DistinctValues(attr int, dst []Value) []Value {
-	n := len(r.tuples)
+	n := r.n
 	ix := r.index()
-	ix.ensureBuilt(attr, r.tuples, n)
+	ix.ensureBuilt(attr, &r.cols[attr], n)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	for _, p := range ix.attrs[attr].m {
@@ -234,11 +261,37 @@ func (r *Instance) DistinctValues(attr int, dst []Value) []Value {
 	return dst
 }
 
+// DistinctValuesLive appends the distinct values occurring in
+// attribute attr of a live tuple of r to dst and returns it — exact
+// even when the instance carries tombstones, by skipping posting IDs
+// that are dead or belong to newer chain versions. The cost is
+// O(distinct values + tombstones inspected): each posting is walked
+// only until its first live ID. Order is unspecified; callers sort.
+func (r *Instance) DistinctValuesLive(attr int, dst []Value) []Value {
+	n := r.n
+	ix := r.index()
+	ix.ensureBuilt(attr, &r.cols[attr], n)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, p := range ix.attrs[attr].m {
+		for _, id := range p.ids {
+			if id >= n {
+				break
+			}
+			if r.dead == nil || !r.dead.Has(id) {
+				dst = append(dst, p.val)
+				break
+			}
+		}
+	}
+	return dst
+}
+
 // noteInsert is the Insert hook: keep built attribute indexes in
 // step, detaching onto a private index if a sibling fork already
 // claimed the ID.
 func (r *Instance) noteInsert(id TupleID) {
-	if r.idx.noteInsert(id, r.tuples) {
+	if r.idx.noteInsert(id, r.cols) {
 		fresh := newAttrIndex(r.schema.Arity())
 		r.idx = fresh
 	}

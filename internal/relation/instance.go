@@ -73,9 +73,18 @@ func (t Tuple) String() string {
 // of the engine's snapshot-isolated mutation model: published
 // instance versions are immutable, and a writer advances the database
 // by forking the latest version.
+//
+// Storage is columnar (column.go): one typed, append-only array per
+// attribute, indexed by TupleID and shared along the version chain.
+// Tuple(id) materializes a row on demand; hot paths read cells via
+// Col/ValueAt instead.
 type Instance struct {
 	schema *Schema
-	tuples []Tuple
+	// cols holds one typed column per attribute; n is the size of this
+	// version's ID universe (columns may be longer when a fork has
+	// appended — ids >= n belong to newer versions).
+	cols []column
+	n    int
 	// byKey is the base key index. Once the instance has been forked
 	// it is shared with the fork and must not be written; overKey
 	// holds this version's private additions.
@@ -101,6 +110,7 @@ func NewInstance(schema *Schema) *Instance {
 	}
 	return &Instance{
 		schema: schema,
+		cols:   newColumns(schema),
 		byKey:  make(map[string]TupleID),
 		idx:    newAttrIndex(schema.Arity()),
 	}
@@ -115,7 +125,7 @@ func (r *Instance) Len() int { return r.live }
 // NumIDs returns the size of the TupleID universe [0, NumIDs()):
 // live tuples plus tombstones. Structures indexed by TupleID (bit
 // sets, conflict graphs) must be sized by NumIDs, not Len.
-func (r *Instance) NumIDs() int { return len(r.tuples) }
+func (r *Instance) NumIDs() int { return r.n }
 
 // Version returns the monotone mutation counter: every successful
 // Insert, Delete or Union bumps it. Forks inherit the parent's
@@ -124,7 +134,7 @@ func (r *Instance) Version() uint64 { return r.version }
 
 // Live reports whether id identifies a non-deleted tuple.
 func (r *Instance) Live(id TupleID) bool {
-	if id < 0 || id >= len(r.tuples) {
+	if id < 0 || id >= r.n {
 		return false
 	}
 	return r.dead == nil || !r.dead.Has(id)
@@ -147,8 +157,12 @@ func (r *Instance) DeadIDs() *bitset.Set {
 func (r *Instance) Fork() *Instance {
 	r.frozen = true
 	child := &Instance{
-		schema:  r.schema,
-		tuples:  r.tuples,
+		schema: r.schema,
+		// Column headers are copied so the child's appends never move
+		// the parent's bounds; the backing arrays are shared, and the
+		// parent reads only ids below its own n.
+		cols:    append([]column(nil), r.cols...),
+		n:       r.n,
 		byKey:   r.byKey,
 		live:    r.live,
 		version: r.version,
@@ -238,10 +252,11 @@ func (r *Instance) Insert(t Tuple) (TupleID, bool, error) {
 	if id, ok := r.lookupKey(k); ok && r.Live(id) {
 		return id, false, nil
 	}
-	id := TupleID(len(r.tuples))
-	cp := make(Tuple, len(t))
-	copy(cp, t)
-	r.tuples = append(r.tuples, cp)
+	id := TupleID(r.n)
+	for a := range r.cols {
+		r.cols[a].push(t[a])
+	}
+	r.n++
 	r.setKey(k, id)
 	r.noteInsert(id)
 	r.live++
@@ -258,7 +273,7 @@ func (r *Instance) Delete(id TupleID) bool {
 		return false
 	}
 	if r.dead == nil {
-		r.dead = bitset.New(len(r.tuples))
+		r.dead = bitset.New(r.n)
 	}
 	r.dead.Add(id)
 	r.live--
@@ -300,11 +315,17 @@ func (r *Instance) MustInsert(vals ...any) TupleID {
 	return id
 }
 
-// Tuple returns the tuple with the given ID (including tombstoned
-// ones — deleted tuples keep their data for explanation output). The
-// caller must not mutate the result.
+// Tuple materializes the tuple with the given ID from the columns
+// (including tombstoned IDs — deleted tuples keep their data for
+// explanation output). Each call allocates a fresh row; code touching
+// individual cells in bulk should read the columns via Col or ValueAt
+// instead.
 func (r *Instance) Tuple(id TupleID) Tuple {
-	return r.tuples[id]
+	t := make(Tuple, len(r.cols))
+	for a := range r.cols {
+		t[a] = r.cols[a].value(id)
+	}
+	return t
 }
 
 // Lookup returns the ID of an equal live tuple, if present. It is a
@@ -327,22 +348,29 @@ func (r *Instance) Contains(t Tuple) bool {
 	return ok
 }
 
-// Range iterates live tuples in ID order; stop early by returning
-// false.
+// Range iterates live tuples in ID order, materializing each row from
+// the columns; stop early by returning false. Code that only needs
+// ids or individual cells should use RangeIDs/Col instead and skip
+// the per-row materialization.
 func (r *Instance) Range(yield func(id TupleID, t Tuple) bool) {
-	if r.dead == nil {
-		for id, t := range r.tuples {
-			if !yield(TupleID(id), t) {
-				return
-			}
-		}
-		return
-	}
-	for id, t := range r.tuples {
-		if r.dead.Has(id) {
+	for id := 0; id < r.n; id++ {
+		if r.dead != nil && r.dead.Has(id) {
 			continue
 		}
-		if !yield(TupleID(id), t) {
+		if !yield(id, r.Tuple(id)) {
+			return
+		}
+	}
+}
+
+// RangeIDs iterates live tuple IDs in ascending order without
+// touching the tuple data; stop early by returning false.
+func (r *Instance) RangeIDs(yield func(id TupleID) bool) {
+	for id := 0; id < r.n; id++ {
+		if r.dead != nil && r.dead.Has(id) {
+			continue
+		}
+		if !yield(id) {
 			return
 		}
 	}
@@ -350,7 +378,7 @@ func (r *Instance) Range(yield func(id TupleID, t Tuple) bool) {
 
 // AllIDs returns the set of all live tuple IDs.
 func (r *Instance) AllIDs() *bitset.Set {
-	s := bitset.Full(len(r.tuples))
+	s := bitset.Full(r.n)
 	if r.dead != nil {
 		s.DifferenceWith(r.dead)
 	}
@@ -364,7 +392,7 @@ func (r *Instance) Subset(ids *bitset.Set) *Instance {
 	out := NewInstance(r.schema)
 	ids.Range(func(id int) bool {
 		if r.Live(id) {
-			out.Insert(r.tuples[id]) //nolint:errcheck // re-inserting typed tuples cannot fail
+			out.Insert(r.Tuple(id)) //nolint:errcheck // re-inserting typed tuples cannot fail
 		}
 		return true
 	})
@@ -405,36 +433,29 @@ func (r *Instance) SortedIDs() []TupleID {
 		return true
 	})
 	sort.Slice(ids, func(a, b int) bool {
-		return tupleLess(r.tuples[ids[a]], r.tuples[ids[b]])
+		return r.compareIDs(ids[a], ids[b]) < 0
 	})
 	return ids
-}
-
-func tupleLess(a, b Tuple) bool {
-	for i := range a {
-		if i >= len(b) {
-			return false
-		}
-		if c := a[i].Order(b[i]); c != 0 {
-			return c < 0
-		}
-	}
-	return len(a) < len(b)
 }
 
 // ActiveDomain appends every value occurring in the selected live
 // tuples to dst and returns it. Pass nil ids for the whole instance.
 func (r *Instance) ActiveDomain(ids *bitset.Set, dst []Value) []Value {
+	appendRow := func(id TupleID) {
+		for a := range r.cols {
+			dst = append(dst, r.cols[a].value(id))
+		}
+	}
 	if ids == nil {
-		r.Range(func(_ TupleID, t Tuple) bool {
-			dst = append(dst, t...)
+		r.RangeIDs(func(id TupleID) bool {
+			appendRow(id)
 			return true
 		})
 		return dst
 	}
 	ids.Range(func(id int) bool {
 		if r.Live(id) {
-			dst = append(dst, r.tuples[id]...)
+			appendRow(id)
 		}
 		return true
 	})
@@ -451,7 +472,7 @@ func (r *Instance) String() string {
 			b.WriteByte(',')
 		}
 		b.WriteByte(' ')
-		b.WriteString(r.tuples[id].String())
+		b.WriteString(r.Tuple(id).String())
 	}
 	b.WriteString(" }")
 	return b.String()

@@ -39,3 +39,20 @@ func BenchmarkSelectivePointQueryScan(b *testing.B) {
 func BenchmarkSelectiveJoinQueryIndexed(b *testing.B) {
 	bench.SelectiveWorkload(20_000, true, "join")(b)
 }
+
+func BenchmarkSelectiveLowselQueryIndexed(b *testing.B) {
+	bench.SelectiveWorkload(20_000, true, "lowsel")(b)
+}
+
+// The acyclic-join benchmarks reuse bench.AcyclicWorkload: a
+// three-atom chain with an empty join, answered by the Yannakakis
+// semijoin executor (the cost-based default, asserted inside the
+// workload) vs the vectorized greedy executor.
+
+func BenchmarkAcyclicChainYannakakis(b *testing.B) {
+	bench.AcyclicWorkload(20_000, "yannakakis")(b)
+}
+
+func BenchmarkAcyclicChainGreedy(b *testing.B) {
+	bench.AcyclicWorkload(20_000, "greedy")(b)
+}

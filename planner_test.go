@@ -19,6 +19,11 @@ var plannerQueries = []string{
 	"EXISTS k, v . R(k, v) AND NOT R(v, 0)",
 	"R(1, 0)",
 	"R(2, 1) AND NOT R(2, 0)",
+	// Acyclic self-join chains and stars: the Yannakakis executor
+	// must agree with greedy and scan across every repair family.
+	"EXISTS a, b, c . R(a, b) AND R(b, c)",
+	"EXISTS a, b, c, d . R(a, b) AND R(b, c) AND R(c, d)",
+	"EXISTS h, a, b . R(h, a) AND R(h, b) AND a < b",
 }
 
 // TestFacadeIndexedMatchesScan is the facade-level planner property:
