@@ -212,9 +212,18 @@ type StatsResponse struct {
 
 // DBStats describes one named database.
 type DBStats struct {
-	WriteVersion uint64                   `json:"write_version"`
-	CacheHits    int64                    `json:"cache_hits"`
-	CacheMisses  int64                    `json:"cache_misses"`
+	WriteVersion uint64 `json:"write_version"`
+	CacheHits    int64  `json:"cache_hits"`
+	CacheMisses  int64  `json:"cache_misses"`
+	// Open-query path counters: direct spine enumeration vs
+	// active-domain substitution, and which vectorized executor ran
+	// the direct spines (worst-case-optimal generic join, Yannakakis
+	// reduction, or greedy nested loop).
+	OpenDirect   int64                    `json:"open_direct"`
+	OpenFallback int64                    `json:"open_fallback"`
+	WcojSpines   int64                    `json:"wcoj_spines"`
+	YanSpines    int64                    `json:"yannakakis_spines"`
+	GreedySpines int64                    `json:"greedy_spines"`
 	Relations    map[string]RelationStats `json:"relations"`
 }
 

@@ -15,6 +15,7 @@ import (
 	"prefcqa/internal/conflict"
 	"prefcqa/internal/core"
 	"prefcqa/internal/cqa"
+	"prefcqa/internal/fd"
 	"prefcqa/internal/priority"
 	"prefcqa/internal/query"
 	"prefcqa/internal/relation"
@@ -241,6 +242,51 @@ func JSON(o Options) Report {
 		})
 	}
 
+	// Open-query workload: certain answers of an open query over a
+	// mostly-clean instance, answered by direct spine enumeration
+	// (compile once, enumerate candidate bindings off the columnar
+	// data, verify survivors) vs the active-domain substitution
+	// baseline, which re-evaluates the closed query once per candidate
+	// value of the free variable. Sized below the join workloads: each
+	// surviving candidate costs a full repair-enumerating closed check,
+	// and the substitution baseline pays it for the whole kind-pruned
+	// domain (200 names here), which at 100k tuples would not finish
+	// in benchmark time — that gap is the point of the direct path.
+	openN := pick(2_000, 10_000)
+	directMetric := measure("open_query/direct",
+		map[string]float64{"tuples": float64(openN)}, OpenQueryWorkload(openN, "direct"))
+	substMetric := measure("open_query/subst",
+		map[string]float64{"tuples": float64(openN)}, OpenQueryWorkload(openN, "subst"))
+	rep.add(directMetric)
+	rep.add(substMetric)
+	if directMetric.NsPerOp > 0 {
+		rep.add(Metric{
+			Name:       "open_query/speedup",
+			Iterations: 1,
+			Extra:      map[string]float64{"x": substMetric.NsPerOp / directMetric.NsPerOp},
+		})
+	}
+
+	// Cyclic-join workload: an empty triangle join, answered by the
+	// worst-case-optimal generic join (per-variable posting
+	// intersection) vs the vectorized greedy executor forced via
+	// query.EvalGreedy. The workload asserts the cost-based planner
+	// actually picked the WCOJ executor.
+	cycN := pick(10_000, 100_000)
+	wcojMetric := measure("cyclic_triangle_query/wcoj",
+		map[string]float64{"tuples": float64(cycN)}, CyclicWorkload(cycN, "wcoj"))
+	cgreedyMetric := measure("cyclic_triangle_query/greedy",
+		map[string]float64{"tuples": float64(cycN)}, CyclicWorkload(cycN, "greedy"))
+	rep.add(wcojMetric)
+	rep.add(cgreedyMetric)
+	if wcojMetric.NsPerOp > 0 {
+		rep.add(Metric{
+			Name:       "cyclic_triangle_query/speedup",
+			Iterations: 1,
+			Extra:      map[string]float64{"x": cgreedyMetric.NsPerOp / wcojMetric.NsPerOp},
+		})
+	}
+
 	// Serving-layer workload: sustained concurrent ground queries
 	// against a live prefserve over real loopback sockets, snapshot
 	// per read — first read-only, then with concurrent writers
@@ -396,6 +442,160 @@ func AcyclicWorkload(n int, mode string) func(b *testing.B) {
 			}
 			if len(trace.Execs) == 0 || trace.Execs[0].Executor != query.ExecYannakakis {
 				b.Fatalf("planner did not choose the Yannakakis executor:\n%s",
+					trace.Execs[0].Describe())
+			}
+		} else if res, err := eval(q, m); err != nil || res {
+			b.Fatalf("warmup: %v, %v", res, err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eval(q, m)
+			if err != nil || res {
+				b.Fatalf("%v, %v", res, err)
+			}
+		}
+	}
+}
+
+// OpenQueryWorkload builds an n-tuple relation R(Name, Val) — Name
+// cycling through 100 distinct names, Val unique — plus 100 oriented
+// key conflicts on the FD Val -> Name (twin names), and returns a
+// benchmark whose op is the certain-answer set of the open query
+//
+//	EXISTS v . R(x, v) AND v > n-6
+//
+// under the globally-optimal family. Every candidate the spine does
+// not kill costs one closed certain-answer check, and that check
+// enumerates preferred repairs of the whole instance — so the win of
+// the direct path is proportional to the candidates it prunes. mode
+// selects the executor: "direct" is cqa.FreeAnswers, asserted (via
+// cqa.EvalStats) to take the direct spine-enumeration path — one
+// columnar pass finds the 5 names the residual leaves alive, and only
+// those are verified. "subst" forces the active-domain substitution
+// baseline (cqa.FreeAnswersSubst), which closed-evaluates all 200
+// names of x's kind-pruned domain (kind-aware pruning already keeps
+// the n distinct integers out; without it the baseline would not
+// terminate in benchmark time). Exported so the top-level go-bench
+// suite measures exactly the prefbench workload.
+func OpenQueryWorkload(n int, mode string) func(b *testing.B) {
+	return func(b *testing.B) {
+		schema := relation.MustSchema("R", relation.NameAttr("Name"), relation.IntAttr("Val"))
+		inst := relation.NewInstance(schema)
+		first := make([]relation.TupleID, 100) // the ("u<j>", j) tuple of each conflict pair
+		for i := 0; i < n; i++ {
+			id := inst.MustInsert(fmt.Sprintf("u%d", i%100), i)
+			if i < 100 {
+				first[i] = id
+			}
+		}
+		// 100 conflicting twins (same Val, different Name) — a mostly-
+		// clean instance with real conflicts, oriented to the original.
+		twins := make([]relation.TupleID, 100)
+		for j := 0; j < 100; j++ {
+			twins[j] = inst.MustInsert(fmt.Sprintf("x%d", j), j)
+		}
+		rel, err := cqa.NewRelation(inst, fd.MustParseSet(schema, "Val -> Name"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			rel.Pri.MustAdd(first[j], twins[j])
+		}
+		in, err := cqa.NewInput(rel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats := &cqa.EvalStats{}
+		in = in.WithStats(stats)
+		q := query.MustParse(fmt.Sprintf("EXISTS v . R(x, v) AND v > %d", n-6))
+		answers := func() []cqa.Binding {
+			var ans []cqa.Binding
+			var err error
+			switch mode {
+			case "direct":
+				ans, err = cqa.FreeAnswers(core.Global, in, q)
+			case "subst":
+				ans, err = cqa.FreeAnswersSubst(core.Global, in, q)
+			default:
+				b.Fatalf("unknown open workload mode %q", mode)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			return ans
+		}
+		// Warm the lazily built indexes; the 5 matching tuples are
+		// conflict-free, so the answer count is family-independent. In
+		// direct mode also pin that the direct path actually fired.
+		if got := len(answers()); got != 5 {
+			b.Fatalf("warmup: %d answers, want 5", got)
+		}
+		if snap := stats.Snapshot(); mode == "direct" && (snap.OpenDirect == 0 || snap.OpenFallback != 0) {
+			b.Fatalf("direct open enumeration did not fire: %+v", snap)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := len(answers()); got != 5 {
+				b.Fatalf("%d answers, want 5", got)
+			}
+		}
+	}
+}
+
+// CyclicWorkload builds a triangle R(A,B) ⋈ S(B,C) ⋈ T(C,A) with n
+// tuples per relation over 1000 distinct join values, T's A column
+// offset so the join is empty, and returns a benchmark whose op is
+// the closed triangle query
+//
+//	EXISTS a, b, c . R(a, b) AND S(b, c) AND T(c, a)
+//
+// The spine is cyclic (GYO ear removal fails), so the cost-based
+// planner hands it to the worst-case-optimal generic join, which
+// discovers the emptiness at the first variable level: every
+// candidate a value has an empty T posting, so no (a, b) pair is ever
+// enumerated. The greedy baseline (mode "greedy", query.EvalGreedy)
+// instead walks all n R tuples and probes S and T per tuple. mode
+// "wcoj" is the cost-based query.Eval, asserted to actually pick the
+// WCOJ executor. Exported so the top-level go-bench suite measures
+// exactly the prefbench workload.
+func CyclicWorkload(n int, mode string) func(b *testing.B) {
+	return func(b *testing.B) {
+		const v = 1000 // distinct values per join column
+		db := relation.NewDatabase()
+		r := relation.NewInstance(relation.MustSchema("R",
+			relation.IntAttr("A"), relation.IntAttr("B")))
+		s := relation.NewInstance(relation.MustSchema("S",
+			relation.IntAttr("B"), relation.IntAttr("C")))
+		tr := relation.NewInstance(relation.MustSchema("T",
+			relation.IntAttr("C"), relation.IntAttr("A")))
+		for i := 0; i < n; i++ {
+			lo, fan := i%v, (i%v+i/v)%v // n distinct pairs, n/v fan-out per value
+			r.MustInsert(lo, fan)
+			s.MustInsert(lo, fan)
+			tr.MustInsert(lo, v+fan) // T.A and R.A are disjoint
+		}
+		for _, inst := range []*relation.Instance{r, s, tr} {
+			if err := db.AddInstance(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m := query.DBModel{DB: db}
+		eval := query.Eval
+		if mode == "greedy" {
+			eval = query.EvalGreedy
+		} else if mode != "wcoj" {
+			b.Fatalf("unknown cyclic workload mode %q", mode)
+		}
+		q := query.MustParse("EXISTS a, b, c . R(a, b) AND S(b, c) AND T(c, a)")
+		// Warm the lazily built indexes; in WCOJ mode also pin that the
+		// cost-based planner actually chose the generic join.
+		if mode == "wcoj" {
+			res, trace, err := query.EvalTrace(q, m)
+			if err != nil || res {
+				b.Fatalf("warmup: %v, %v", res, err)
+			}
+			if len(trace.Execs) == 0 || trace.Execs[0].Executor != query.ExecWCOJ {
+				b.Fatalf("planner did not choose the WCOJ executor:\n%s",
 					trace.Execs[0].Describe())
 			}
 		} else if res, err := eval(q, m); err != nil || res {

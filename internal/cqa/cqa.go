@@ -67,6 +67,9 @@ type Input struct {
 	// enumerated combination, so a server deadline aborts a long
 	// evaluation with ctx.Err() instead of running to completion.
 	Ctx context.Context
+	// Stats, when non-nil, receives open-query path and spine-executor
+	// counters (see EvalStats). Shared across inputs by the facade.
+	Stats *EvalStats
 }
 
 // WithEngine returns a copy of the input evaluating on the given
@@ -88,6 +91,13 @@ func (in Input) WithScanOnly(on bool) Input {
 // in the serving layer.
 func (in Input) WithContext(ctx context.Context) Input {
 	in.Ctx = ctx
+	return in
+}
+
+// WithStats returns a copy of the input recording open-query path
+// counters into s.
+func (in Input) WithStats(s *EvalStats) Input {
+	in.Stats = s
 	return in
 }
 

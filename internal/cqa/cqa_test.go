@@ -1,6 +1,7 @@
 package cqa
 
 import (
+	"errors"
 	"testing"
 
 	"prefcqa/internal/core"
@@ -279,8 +280,28 @@ func TestFreeAnswersGuards(t *testing.T) {
 	if _, err := FreeAnswers(core.Rep, in, query.MustParse("Mgr('Mary','IT',20,1)")); err == nil {
 		t.Fatal("closed query should be rejected by FreeAnswers")
 	}
-	if _, err := FreeAnswers(core.Rep, in, query.MustParse("Mgr(a, b, c, d) AND Mgr(e, f, g, h)")); err == nil {
-		t.Fatal("too many free variables should be rejected")
+	// Eight free variables exceed the substitution bound, but the
+	// positive conjunctive spine gives the direct-enumeration path,
+	// which is not subject to MaxOpenVariables.
+	wide := query.MustParse("Mgr(a, b, c, d) AND Mgr(e, f, g, h)")
+	if _, err := FreeAnswers(core.Rep, in, wide); err != nil {
+		t.Fatalf("wide query should take the direct path, got %v", err)
+	}
+	// Scan-only inputs have no columnar backing: the direct path bows
+	// out and the substitution fallback enforces the bound with a
+	// structured error naming the limit and the fallback reason.
+	_, err := FreeAnswers(core.Rep, in.WithScanOnly(true), wide)
+	var limitErr *OpenLimitError
+	if !errors.As(err, &limitErr) {
+		t.Fatalf("scan-only wide query: got %v, want *OpenLimitError", err)
+	}
+	if limitErr.Variables != 8 || limitErr.Limit != MaxOpenVariables || limitErr.Reason == "" {
+		t.Fatalf("OpenLimitError = %+v", limitErr)
+	}
+	// A free variable occurring only under negation has no positive
+	// spine: direct enumeration bows out even on indexed inputs.
+	if _, err := FreeAnswers(core.Rep, in, query.MustParse("NOT Mgr(a, b, c, d) AND NOT Mgr(e, f, g, h)")); err == nil {
+		t.Fatal("spineless wide query should be rejected")
 	}
 }
 

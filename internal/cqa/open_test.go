@@ -1,0 +1,152 @@
+package cqa
+
+import (
+	"fmt"
+	"testing"
+
+	"prefcqa/internal/core"
+	"prefcqa/internal/fd"
+	"prefcqa/internal/query"
+	"prefcqa/internal/relation"
+)
+
+// openDiffInput builds a two-relation conflicted scenario for the
+// open-query differential tests: Emp(Name, Sal) with key conflicts on
+// Name, Dept(DName, Bud) with key conflicts on DName, and priorities
+// orienting some (not all) conflicts so the five families genuinely
+// differ.
+func openDiffInput(t testing.TB) Input {
+	t.Helper()
+	se := relation.MustSchema("Emp", relation.NameAttr("Name"), relation.IntAttr("Sal"))
+	e := relation.NewInstance(se)
+	mary40 := e.MustInsert("Mary", 40)
+	e.MustInsert("Mary", 50)
+	john30 := e.MustInsert("John", 30)
+	john35 := e.MustInsert("John", 35)
+	e.MustInsert("Ann", 45) // no conflict
+	rel1, err := NewRelation(e, fd.MustParseSet(se, "Name -> Sal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1.Pri.MustAdd(john35, john30) // prefer John's 35; Mary unoriented
+	_ = mary40
+
+	sd := relation.MustSchema("Dept", relation.NameAttr("DName"), relation.IntAttr("Bud"))
+	d := relation.NewInstance(sd)
+	rd100 := d.MustInsert("R&D", 100)
+	rd90 := d.MustInsert("R&D", 90)
+	d.MustInsert("IT", 35)
+	rel2, err := NewRelation(d, fd.MustParseSet(sd, "DName -> Bud"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2.Pri.MustAdd(rd100, rd90)
+
+	in, err := NewInput(rel1, rel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// openDiffCorpus is the open-query mix the differential test pins:
+// single and multi free variables, joins across relations, residual
+// comparisons, negation residuals (dropped during candidate
+// generation, restored by verification), spineless shapes that force
+// the substitution fallback, and kind-constrained variables.
+var openDiffCorpus = []string{
+	"EXISTS s . Emp(n, s)",
+	"Emp(n, s)",
+	"EXISTS s . Emp(n, s) AND s >= 35",
+	"Emp(n, s) AND s > 30",
+	"EXISTS b . Emp(n, s) AND Dept(d, b) AND s < b",
+	"Emp(n, s) AND Dept(d, b) AND s < b",
+	"EXISTS s . Emp(n, s) AND NOT Dept(n, 35)",
+	"EXISTS s, b . Emp(n, s) AND Dept(d, b) AND NOT Emp('Ann', b)",
+	// t occurs only in a comparison: no positive spine, fallback.
+	"EXISTS s . Emp(n, s) AND s = t",
+	// x constrained to both kinds at once: domain pruning must still
+	// agree with the unpruned fallback semantics.
+	"EXISTS s . Emp(x, s) AND Dept(x, 35)",
+	"Emp(n, 35)",
+}
+
+// TestFreeAnswersDirectMatchesSubstitution pins the direct
+// open-enumeration path bit-for-bit against the substitution baseline
+// across all five repair families, on indexed and scan-only inputs.
+func TestFreeAnswersDirectMatchesSubstitution(t *testing.T) {
+	in := openDiffInput(t)
+	stats := &EvalStats{}
+	in = in.WithStats(stats)
+	for _, f := range core.Families {
+		for _, src := range openDiffCorpus {
+			q := query.MustParse(src)
+			tag := fmt.Sprintf("%v %q", f, src)
+			direct, err := FreeAnswers(f, in, q)
+			if err != nil {
+				t.Fatalf("%s: FreeAnswers: %v", tag, err)
+			}
+			subst, err := FreeAnswersSubst(f, in, q)
+			if err != nil {
+				t.Fatalf("%s: FreeAnswersSubst: %v", tag, err)
+			}
+			if len(direct) != len(subst) {
+				t.Fatalf("%s: direct %v vs subst %v", tag, direct, subst)
+			}
+			for i := range direct {
+				if direct[i].String() != subst[i].String() {
+					t.Fatalf("%s: answer %d: direct %v vs subst %v", tag, i, direct[i], subst[i])
+				}
+			}
+			// Scan-only inputs always fall back; answers must not move.
+			scan, err := FreeAnswers(f, in.WithScanOnly(true), q)
+			if err != nil {
+				t.Fatalf("%s: scan-only FreeAnswers: %v", tag, err)
+			}
+			if len(scan) != len(direct) {
+				t.Fatalf("%s: scan-only %v vs direct %v", tag, scan, direct)
+			}
+			for i := range scan {
+				if scan[i].String() != direct[i].String() {
+					t.Fatalf("%s: answer %d: scan-only %v vs direct %v", tag, i, scan[i], direct[i])
+				}
+			}
+		}
+	}
+	snap := stats.Snapshot()
+	if snap.OpenDirect == 0 {
+		t.Fatal("direct open enumeration never fired on the corpus")
+	}
+	if snap.OpenFallback == 0 {
+		t.Fatal("substitution fallback never fired on the corpus")
+	}
+}
+
+// TestFreeAnswersKindPruning pins the kind-aware substitution domains:
+// a variable the query binds only at int positions must not try
+// names, and the pruned domains must not change the answer set.
+func TestFreeAnswersKindPruning(t *testing.T) {
+	in := openDiffInput(t)
+	q := query.MustParse("Emp(n, s) AND s > 30")
+	doms := in.varDomains(q, query.FreeVars(q)) // vars sorted: n, s
+	for _, v := range doms[0] {
+		if v.Kind() != relation.KindName {
+			t.Fatalf("n should only try names, domain has %v", v)
+		}
+	}
+	for _, v := range doms[1] {
+		if v.Kind() != relation.KindInt {
+			t.Fatalf("s should only try ints, domain has %v", v)
+		}
+	}
+	// A variable whose kind the query leaves open keeps both pools.
+	qOpen := query.MustParse("EXISTS s . Emp(n, s) AND NOT Dept(n, 35) AND x = x")
+	domsOpen := in.varDomains(qOpen, []string{"x"})
+	kinds := map[relation.Kind]bool{}
+	for _, v := range domsOpen[0] {
+		kinds[v.Kind()] = true
+	}
+	if !kinds[relation.KindInt] || !kinds[relation.KindName] {
+		t.Fatalf("x should try both kinds, domain %v", domsOpen[0])
+	}
+}

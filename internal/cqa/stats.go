@@ -1,0 +1,69 @@
+package cqa
+
+import (
+	"sync/atomic"
+
+	"prefcqa/internal/query"
+)
+
+// EvalStats is an optional, concurrency-safe counter block the facade
+// attaches to its inputs (Input.Stats): it records which open-query
+// path answered each FreeAnswers call and which vectorized executor
+// ran the candidate spine, so the serving layer can expose the
+// planner's choices (/v1/stats) without tracing individual queries.
+// A nil *EvalStats disables collection everywhere.
+type EvalStats struct {
+	openDirect   atomic.Int64
+	openFallback atomic.Int64
+	spineWcoj    atomic.Int64
+	spineYan     atomic.Int64
+	spineGreedy  atomic.Int64
+}
+
+// EvalStatsSnapshot is a point-in-time copy of the counters.
+type EvalStatsSnapshot struct {
+	// OpenDirect / OpenFallback count FreeAnswers calls answered by
+	// direct spine enumeration vs active-domain substitution.
+	OpenDirect   int64
+	OpenFallback int64
+	// Spine executor choices observed by direct open enumerations.
+	SpineWcoj       int64
+	SpineYannakakis int64
+	SpineGreedy     int64
+}
+
+// Snapshot copies the counters; safe on a nil receiver (all zero).
+func (s *EvalStats) Snapshot() EvalStatsSnapshot {
+	if s == nil {
+		return EvalStatsSnapshot{}
+	}
+	return EvalStatsSnapshot{
+		OpenDirect:      s.openDirect.Load(),
+		OpenFallback:    s.openFallback.Load(),
+		SpineWcoj:       s.spineWcoj.Load(),
+		SpineYannakakis: s.spineYan.Load(),
+		SpineGreedy:     s.spineGreedy.Load(),
+	}
+}
+
+// noteOpen records one FreeAnswers call: direct says which path
+// answered it, executor (meaningful only when direct) is the
+// vectorized executor that ran the spine.
+func (s *EvalStats) noteOpen(executor string, direct bool) {
+	if s == nil {
+		return
+	}
+	if !direct {
+		s.openFallback.Add(1)
+		return
+	}
+	s.openDirect.Add(1)
+	switch executor {
+	case query.ExecWCOJ:
+		s.spineWcoj.Add(1)
+	case query.ExecYannakakis:
+		s.spineYan.Add(1)
+	case query.ExecGreedyVec:
+		s.spineGreedy.Add(1)
+	}
+}

@@ -104,8 +104,14 @@ func FuzzPlanEquivalence(f *testing.F) {
 		"EXISTS a, b, c, d . R(a, b) AND T(b, c) AND S(c, d)",           // three-atom chain
 		"EXISTS h, a, b . R(h, a) AND T(h, b) AND R(h, h)",              // star on hub h
 		"EXISTS a, b, c, d . R(a, b) AND T(b, c) AND T(b, d) AND d > 0", // tree + residual
-		"EXISTS a, b . R(a, b) AND T(b, a)",                             // cyclic: greedy only
+		"EXISTS a, b . R(a, b) AND T(b, a)",                             // cyclic pair: generic join
 		"EXISTS a, b . R(a, b) AND T(a, b) AND a < b",                   // shared pair
+		// Cyclic shapes: the generic-join (WCOJ) executor must agree too.
+		"EXISTS a, b, c . R(a, b) AND T(b, c) AND R(c, a)",                                           // triangle
+		"EXISTS a, b, c . R(a, b) AND T(b, c) AND R(c, a) AND a > b",                                 // triangle + residual
+		"EXISTS a, b, c . R(a, b) AND S(b, c) AND T(c, a)",                                           // kind-mismatched triangle
+		"EXISTS a, b, c, d . R(a, b) AND R(a, c) AND R(a, d) AND T(b, c) AND T(b, d) AND R(c, d)",    // 4-clique
+		"EXISTS a, b, c, d, e . R(a, b) AND T(b, c) AND R(c, a) AND T(a, d) AND R(d, e) AND T(e, a)", // bowtie
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,136 @@
+package query
+
+import (
+	"context"
+	"sort"
+
+	"prefcqa/internal/relation"
+)
+
+// Direct open-query enumeration.
+//
+// An open query (free variables x̄) asks for the bindings that make it
+// true. The substitution strategy — try every active-domain
+// combination, evaluate the closed instance — pays |domain|^k closed
+// evaluations. EnumerateOpen instead compiles the query ONCE, as the
+// existential closure ∃x̄.φ, and enumerates the satisfying bindings of
+// the positive conjunctive spine straight off the columnar data: the
+// vectorized executors (Yannakakis reduction, generic join, greedy
+// nested loop) run with an emit hook attached, so every spine match
+// surfaces its free-variable values instead of short-circuiting the
+// EXISTS.
+//
+// The enumeration is a SUPERSET of the query's satisfying bindings:
+// residual conjuncts the vectorized runtime cannot express
+// (negations, disjunctions, nested quantifiers) are dropped during
+// candidate generation, because they are not monotone in the visible
+// instance and the caller typically re-checks candidates under
+// different sub-instances anyway (the CQA layer verifies each
+// candidate with a full certain-answer check). Comparison residuals
+// ARE checked — they depend only on the binding, never on the data.
+// Callers that need exact satisfaction must verify each yielded
+// binding.
+
+// OpenUnsupportedError reports why a query has no direct
+// open-enumeration path and the caller must fall back to
+// active-domain substitution.
+type OpenUnsupportedError struct {
+	Reason string
+}
+
+func (e *OpenUnsupportedError) Error() string {
+	return "query: direct open enumeration unavailable: " + e.Reason
+}
+
+// OpenSpine describes a completed enumeration: the free variables in
+// yield order, the executor that ran the spine, and how many spine
+// matches were emitted (before any caller-side dedup).
+type OpenSpine struct {
+	Vars     []string
+	Executor string
+	Matches  int
+}
+
+// EnumerateOpen enumerates candidate free-variable bindings of the
+// open query q over m. yield receives the values aligned with
+// OpenSpine.Vars (sorted free-variable order); the slice is reused
+// across calls and must be copied to retain. Returning false stops
+// the enumeration. Duplicate bindings may be yielded (one per spine
+// match); callers dedupe.
+//
+// The error is *OpenUnsupportedError when the query's shape has no
+// direct path — free variables not covered by positive atoms, a
+// non-conjunctive top level, or a model without a columnar backing —
+// in which case nothing was yielded.
+func EnumerateOpen(ctx context.Context, m Model, q Expr, yield func(vals []relation.Value) bool) (*OpenSpine, error) {
+	free := FreeVars(q)
+	if len(free) == 0 {
+		return nil, &OpenUnsupportedError{Reason: "query is closed (no free variables)"}
+	}
+	sort.Strings(free)
+
+	// Peel top-level existential prefixes into the closure, so
+	// EXISTS b . R(x, b) compiles as one spine over {x, b} rather than
+	// a nested quantifier residual.
+	body := q
+	vars := append([]string{}, free...)
+	have := make(map[string]bool, len(free))
+	for _, v := range free {
+		have[v] = true
+	}
+	for {
+		qq, ok := body.(Quant)
+		if !ok || qq.All {
+			break
+		}
+		for _, v := range qq.Vars {
+			if !have[v] {
+				have[v] = true
+				vars = append(vars, v)
+			}
+		}
+		body = qq.Body
+	}
+	closure := Quant{Vars: vars, Body: body}
+
+	ev := &evaluator{m: m, root: closure, join: true, ctx: ctx}
+	env := map[string]relation.Value{}
+	p, ok, err := ev.compileExists(closure, env)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, &OpenUnsupportedError{Reason: "spine is not a positive conjunctive cover of the free variables"}
+	}
+	spine := &OpenSpine{Vars: free}
+	if p.Unsat {
+		// A compile-known kind mismatch: the spine is empty for every
+		// binding, so the enumeration succeeds with zero candidates.
+		spine.Executor = "unsat"
+		return spine, nil
+	}
+	cm, columnar := m.(ColumnarModel)
+	if !columnar {
+		return nil, &OpenUnsupportedError{Reason: "model does not expose a columnar backing"}
+	}
+	vp := ev.compileVec(cm, p, env)
+	if vp == nil {
+		return nil, &OpenUnsupportedError{Reason: "spine could not be lowered onto the columnar backing"}
+	}
+	// Drop the residuals the vector runtime cannot express: they are
+	// not monotone, so checking them here would make the candidate set
+	// unsound rather than merely loose (see the package comment above).
+	vp.complex = nil
+	vp.emit = func(vals []relation.Value) (bool, error) {
+		spine.Matches++
+		// Stopping the search is signaled as "found": runVec's boolean
+		// result is meaningless in enumeration mode either way.
+		return !yield(vals[:len(free)]), nil
+	}
+	exec := &PlanExec{Plan: p, ActRows: make([]int, len(p.Steps))}
+	if _, err := ev.runVec(vp, exec, env); err != nil {
+		return nil, err
+	}
+	spine.Executor = exec.Executor
+	return spine, nil
+}

@@ -102,6 +102,11 @@ const (
 	// ExecYannakakis is the semijoin-reduction executor for acyclic
 	// multi-atom queries.
 	ExecYannakakis = "yannakakis"
+	// ExecWCOJ is the worst-case-optimal (generic) join for cyclic
+	// multi-atom spines: one variable at a time, each candidate value
+	// confirmed by intersecting sorted per-attribute postings across
+	// every atom containing the variable.
+	ExecWCOJ = "wcoj"
 )
 
 // BatchStat is the operator-level accounting of one plan step under a
@@ -117,6 +122,22 @@ type BatchStat struct {
 	IDs     int
 	Base    int
 	Out     int
+}
+
+// WcojVarStat is the per-variable accounting of one generic-join
+// execution, in variable resolution order: Atoms is how many atoms
+// constrain the variable, Values how many candidate values the seed
+// atom proposed, Probes how many posting lookups the multiway
+// intersection issued, and Matches how many values survived every
+// intersection. Values >> Matches means the intersection is doing the
+// pruning a binary join plan would have paid for with intermediate
+// results.
+type WcojVarStat struct {
+	Var     string
+	Atoms   int
+	Values  int
+	Probes  int
+	Matches int
 }
 
 // PlanExec pairs a plan with its runtime row counts: ActRows[i] is
@@ -135,6 +156,11 @@ type PlanExec struct {
 	Batch      []BatchStat
 	YanCost    int
 	GreedyCost int
+	// WcojCost is the generic join's cost estimate (base candidates,
+	// like YanCost) and Wcoj its per-variable intersection stats — both
+	// populated only when Executor is ExecWCOJ.
+	WcojCost int
+	Wcoj     []WcojVarStat
 }
 
 // Trace collects the executed plans of one evaluation, in the order
@@ -164,8 +190,11 @@ func (p *Plan) describeExec(act []int, exec *PlanExec) string {
 	}
 	if exec != nil && exec.Executor != "" {
 		fmt.Fprintf(&b, " [exec %s", exec.Executor)
-		if exec.Executor == ExecGreedyVec || exec.Executor == ExecYannakakis {
+		switch exec.Executor {
+		case ExecGreedyVec, ExecYannakakis:
 			fmt.Fprintf(&b, "; cost yannakakis %d vs greedy %d", exec.YanCost, exec.GreedyCost)
+		case ExecWCOJ:
+			fmt.Fprintf(&b, "; cost wcoj %d vs greedy %d", exec.WcojCost, exec.GreedyCost)
 		}
 		b.WriteString("]")
 	}
@@ -186,18 +215,27 @@ func (p *Plan) describeExec(act []int, exec *PlanExec) string {
 		if exec != nil && exec.Batch != nil && i < len(exec.Batch) {
 			bs := exec.Batch[i]
 			fmt.Fprintf(&b, "  [batches %d ids %d", bs.Batches, bs.IDs)
-			if exec.Executor == ExecYannakakis {
+			switch exec.Executor {
+			case ExecYannakakis:
 				fmt.Fprintf(&b, " base %d semijoin→%d", bs.Base, bs.Out)
 				if bs.Base > 0 {
 					fmt.Fprintf(&b, " (%.0f%%)", 100*float64(bs.Out)/float64(bs.Base))
 				}
-			} else {
+			case ExecWCOJ:
+				fmt.Fprintf(&b, " base %d", bs.Base)
+			default:
 				fmt.Fprintf(&b, " out %d", bs.Out)
 			}
 			b.WriteString("]")
 		}
 		if len(s.Binds) > 0 {
 			fmt.Fprintf(&b, "  binds %s", strings.Join(s.Binds, ", "))
+		}
+	}
+	if exec != nil {
+		for _, ws := range exec.Wcoj {
+			fmt.Fprintf(&b, "\n  wcoj %s: atoms %d values %d probes %d matches %d",
+				ws.Var, ws.Atoms, ws.Values, ws.Probes, ws.Matches)
 		}
 	}
 	for _, r := range p.Residual {

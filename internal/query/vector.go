@@ -203,6 +203,18 @@ type vecPlan struct {
 	useYan     bool
 	yanCost    int
 	greedyCost int
+
+	// Generic-join data (nil unless the spine is cyclic: compileWcoj
+	// only runs when compileYan declined).
+	wcoj     *wcojPlan
+	useWcoj  bool
+	wcojCost int
+
+	// emit, when set, turns the boolean EXISTS run into an enumeration:
+	// finish calls it with every satisfying flat binding instead of
+	// returning true on the first. Returning true stops the search
+	// (propagated as the run's result); false asks for more bindings.
+	emit func(vals []relation.Value) (bool, error)
 }
 
 // vecScratch is the pooled per-evaluation scratch: the flat binding
@@ -377,6 +389,7 @@ func (ev *evaluator) compileVec(cm ColumnarModel, p *Plan, env map[string]relati
 	}
 
 	v.compileYan(cross)
+	v.compileWcoj(cross)
 	v.chooseExecutor()
 	return v
 }
@@ -413,6 +426,12 @@ func (v *vecPlan) chooseExecutor() {
 	}
 	v.greedyCost, v.yanCost = gCost, yCost
 	v.useYan = v.yan != nil && !v.ev.greedyOnly && yCost <= gCost
+	// The generic join's work is likewise dominated by the per-atom base
+	// candidates (each level's intersections only shrink them), so it
+	// shares the linear cost estimate. compileWcoj only attaches a plan
+	// when compileYan declined, so the two never compete.
+	v.wcojCost = yCost
+	v.useWcoj = v.wcoj != nil && !v.ev.greedyOnly && yCost <= gCost
 }
 
 // runVec executes the vectorized plan, mirroring runPlan's shadowing
@@ -436,6 +455,13 @@ func (ev *evaluator) runVec(v *vecPlan, exec *PlanExec, env map[string]relation.
 			exec.Batch = make([]BatchStat, len(v.atoms))
 		}
 		res, err = v.runYan(sc, exec, vals, env)
+	} else if v.useWcoj {
+		if exec != nil {
+			exec.Executor = ExecWCOJ
+			exec.WcojCost, exec.GreedyCost = v.wcojCost, v.greedyCost
+			exec.Batch = make([]BatchStat, len(v.atoms))
+		}
+		res, err = v.runWcoj(sc, exec, vals, env)
 	} else {
 		if exec != nil {
 			exec.Executor = ExecGreedyVec
@@ -548,28 +574,35 @@ func (v *vecPlan) stepGreedy(si int, sc *vecScratch, exec *PlanExec, vals []rela
 
 // finish runs the residuals the vector runtime cannot express, under
 // a real environment built from the flat bindings — only for rows
-// that survived every vectorized check.
+// that survived every vectorized check. With an emit hook attached,
+// a surviving binding is handed to the hook instead of ending the
+// search: the hook's result decides whether to stop.
 func (v *vecPlan) finish(vals []relation.Value, env map[string]relation.Value) (bool, error) {
-	if len(v.complex) == 0 {
-		return true, nil
-	}
-	for i, name := range v.vars {
-		env[name] = vals[i]
-	}
-	res := true
-	var err error
-	for _, c := range v.complex {
-		var ok bool
-		ok, err = v.ev.eval(c, env)
-		if err != nil || !ok {
-			res = false
-			break
+	if len(v.complex) > 0 {
+		for i, name := range v.vars {
+			env[name] = vals[i]
+		}
+		res := true
+		var err error
+		for _, c := range v.complex {
+			var ok bool
+			ok, err = v.ev.eval(c, env)
+			if err != nil || !ok {
+				res = false
+				break
+			}
+		}
+		for _, name := range v.vars {
+			delete(env, name)
+		}
+		if err != nil || !res {
+			return false, err
 		}
 	}
-	for _, name := range v.vars {
-		delete(env, name)
+	if v.emit != nil {
+		return v.emit(vals)
 	}
-	return res, err
+	return true, nil
 }
 
 // shadowVars hides the quantifier's variables from the environment

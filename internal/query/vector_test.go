@@ -12,9 +12,10 @@ import (
 )
 
 // acyclicCorpus is the query mix the vectorized differential tests
-// pin: chains, stars, trees (Yannakakis-eligible), a cycle and a
-// shared-pair query (greedy-only), plus residual comparisons and
-// negation that force env materialization.
+// pin: chains, stars, trees (Yannakakis-eligible), cyclic spines —
+// shared pair, triangle, 4-clique, bowtie (generic-join-eligible) —
+// plus residual comparisons and negation that force env
+// materialization.
 var acyclicCorpus = []string{
 	"EXISTS a, b . R(a, b)",
 	"EXISTS a, b, c . R(a, b) AND T(b, c)",
@@ -28,6 +29,15 @@ var acyclicCorpus = []string{
 	"EXISTS a, b, c . R(0, a) AND T(a, b) AND S(b, c)",
 	"FORALL a, b . NOT R(a, b) OR (EXISTS c . T(b, c))",
 	"EXISTS a . R(a, a) AND T(a, a)",
+	// Cyclic spines: triangle, triangle with a residual and with a
+	// selective constant, kind-mismatched triangle through the name
+	// column, 4-clique, bowtie (two triangles sharing vertex a).
+	"EXISTS a, b, c . R(a, b) AND T(b, c) AND R(c, a)",
+	"EXISTS a, b, c . R(a, b) AND T(b, c) AND R(c, a) AND a < c",
+	"EXISTS a, b, c . R(a, b) AND T(b, c) AND R(c, a) AND R(1, a)",
+	"EXISTS a, b, c . R(a, b) AND S(b, c) AND T(c, a)",
+	"EXISTS a, b, c, d . R(a, b) AND R(a, c) AND R(a, d) AND T(b, c) AND T(b, d) AND R(c, d)",
+	"EXISTS a, b, c, d, e . R(a, b) AND T(b, c) AND R(c, a) AND T(a, d) AND R(d, e) AND T(e, a)",
 }
 
 // mutableTriple is a three-relation database the differential tests
@@ -312,11 +322,30 @@ func TestYannakakisFiresOnAcyclicChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, tr, err = EvalTrace(q, m)
+	got, tr, err = EvalTrace(q, m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if exec := tr.Execs[0]; exec.Executor != ExecGreedyVec {
-		t.Fatalf("triangle executor = %q, want %q\n%s", exec.Executor, ExecGreedyVec, exec.Describe())
+	if got {
+		t.Fatalf("triangle %q should be empty (U's first column is disjoint from R's)", triangle)
+	}
+	exec = tr.Execs[0]
+	if exec.Executor != ExecWCOJ {
+		t.Fatalf("triangle executor = %q, want %q\n%s", exec.Executor, ExecWCOJ, exec.Describe())
+	}
+	desc = exec.Describe()
+	for _, want := range []string{ExecWCOJ, "cost wcoj", "wcoj a:", "values", "probes", "matches"} {
+		if !strings.Contains(desc, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+
+	// The greedy baseline must stay reachable for the cyclic shape.
+	forced, err := EvalGreedy(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced != got {
+		t.Fatalf("EvalGreedy disagrees with WCOJ on %q: %v vs %v", triangle, forced, got)
 	}
 }

@@ -1,0 +1,430 @@
+package query
+
+import (
+	"sort"
+
+	"prefcqa/internal/relation"
+)
+
+// Worst-case-optimal (generic) join execution for cyclic spines.
+//
+// When GYO ear removal finds no join tree (triangles, cliques,
+// bowties), any plan built from binary joins can materialize
+// intermediate results polynomially larger than the final output —
+// the AGM bound is attainable only by joining all atoms at once, one
+// variable at a time. This file adds that operator on the batch
+// currency of vector.go:
+//
+//   - Per-atom candidate sets are ascending tuple-ID slices, seeded by
+//     the same base selections the Yannakakis executor uses
+//     (visibility, compile-known equality probes, intra-atom repeats,
+//     pushed-down comparisons).
+//   - Variables are resolved one at a time, most-constrained first.
+//     The candidate values of a variable come from the smallest
+//     containing atom — the relation's cached sorted distinct-value
+//     iterator when that atom's base is the unfiltered relation, a
+//     sort-dedup pass over its candidates otherwise — and each value
+//     is confirmed by intersecting every containing atom's candidates
+//     with the posting of that value. Intersections are sorted-list
+//     merges with binary-search galloping, cheapest posting first, so
+//     a value absent from any atom dies in one lookup without
+//     touching the rest.
+//   - Cross-atom residual comparisons run the moment their last
+//     variable binds; complex residuals (negation, disjunction,
+//     nested quantifiers) run under the completed binding via finish.
+//
+// The planner considers the operator only for cyclic multi-atom
+// spines (compileYan declined) and takes it when its base-candidates
+// cost beats the greedy nested-loop estimate; EvalGreedy forces the
+// greedy baseline, which the differential tests pin bit-for-bit
+// against this path.
+
+// wcojLevel is one variable of the generic join, in resolution order.
+type wcojLevel struct {
+	varIdx int      // index into vecPlan.vars / the flat binding array
+	atoms  []int    // atoms containing the variable
+	pos    []int    // the variable's first-occurrence position per atom
+	cmps   []vecCmp // residual comparisons checkable once this binds
+}
+
+// wcojPlan is the compiled generic join of a cyclic spine.
+type wcojPlan struct {
+	levels []wcojLevel
+}
+
+// compileWcoj attaches a generic-join plan when the spine is cyclic
+// (compileYan declined) with at least two atoms. Variable order is
+// most-constrained first (occurrence count descending, first
+// occurrence breaking ties). Residual comparisons local to a single
+// atom are pushed into that atom's base selection, exactly like the
+// Yannakakis pushdown; the rest are scheduled at the level binding
+// their last operand.
+func (v *vecPlan) compileWcoj(cross []vecCmp) {
+	if v.yan != nil || len(v.atoms) < 2 || len(v.vars) == 0 {
+		return
+	}
+	m := len(v.atoms)
+	contains := func(atom, varIdx int) bool {
+		for _, x := range v.atoms[atom].vars {
+			if x == varIdx {
+				return true
+			}
+		}
+		return false
+	}
+	posOf := func(atom, varIdx int) int {
+		a := &v.atoms[atom]
+		for k, x := range a.vars {
+			if x == varIdx {
+				return a.varPos[k]
+			}
+		}
+		return -1
+	}
+
+	occ := make([]int, len(v.vars))
+	for i := range v.atoms {
+		for _, x := range v.atoms[i].vars {
+			occ[x]++
+		}
+	}
+	order := make([]int, len(v.vars))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return occ[order[a]] > occ[order[b]] })
+
+	w := &wcojPlan{levels: make([]wcojLevel, len(order))}
+	levelOf := make([]int, len(v.vars))
+	for k, x := range order {
+		lv := wcojLevel{varIdx: x}
+		for ai := 0; ai < m; ai++ {
+			if p := posOf(ai, x); p >= 0 {
+				lv.atoms = append(lv.atoms, ai)
+				lv.pos = append(lv.pos, p)
+			}
+		}
+		levelOf[x] = k
+		w.levels[k] = lv
+	}
+
+	// Residual placement: a comparison whose variables all occur in one
+	// atom filters that atom's base candidates; anything spanning atoms
+	// waits for the level binding its last operand.
+	for _, c := range cross {
+		home := -1
+		for i := 0; i < m && home < 0; i++ {
+			ok := true
+			for _, o := range []vecOperand{c.l, c.r} {
+				if o.varIdx >= 0 && !contains(i, o.varIdx) {
+					ok = false
+				}
+			}
+			if ok {
+				home = i
+			}
+		}
+		if home >= 0 {
+			pc := vecCmpPos{op: c.op, lPos: -1, rPos: -1, lVal: c.l.val, rVal: c.r.val}
+			if c.l.varIdx >= 0 {
+				pc.lPos = posOf(home, c.l.varIdx)
+			}
+			if c.r.varIdx >= 0 {
+				pc.rPos = posOf(home, c.r.varIdx)
+			}
+			v.atoms[home].pushed = append(v.atoms[home].pushed, pc)
+			continue
+		}
+		at := 0
+		for _, o := range []vecOperand{c.l, c.r} {
+			if o.varIdx >= 0 && levelOf[o.varIdx] > at {
+				at = levelOf[o.varIdx]
+			}
+		}
+		w.levels[at].cmps = append(w.levels[at].cmps, c)
+	}
+	v.wcoj = w
+}
+
+// scanBase iterates the atom's base candidates in ascending ID order:
+// every visible ID passing the compile-known equality selections,
+// intra-atom variable repeats, and pushed-down comparisons — probed
+// through the shortest posting when a known value exists, a column
+// sweep otherwise. Shared by the Yannakakis and generic-join base
+// builds.
+func (v *vecPlan) scanBase(ai int, exec *PlanExec, admit func(id relation.TupleID)) {
+	a := &v.atoms[ai]
+	selIdx := -1
+	var posting []relation.TupleID
+	for k := range a.sel {
+		ids := a.inst.PostingIDs(a.sel[k].pos, a.sel[k].val)
+		if selIdx < 0 || len(ids) < len(posting) {
+			selIdx, posting = k, ids
+		}
+	}
+	check := func(id relation.TupleID) {
+		if exec != nil {
+			exec.ActRows[ai]++
+			exec.Batch[ai].IDs++
+		}
+		for k := range a.sel {
+			if k == selIdx {
+				continue
+			}
+			if !a.cols[a.sel[k].pos].Equals(id, a.sel[k].val) {
+				return
+			}
+		}
+		for _, eq := range a.intraEq {
+			if !a.cols[eq[0]].EqualsCell(id, a.cols[eq[1]], id) {
+				return
+			}
+		}
+		for _, c := range a.pushed {
+			if !c.holds(a, id) {
+				return
+			}
+		}
+		admit(id)
+	}
+	if exec != nil {
+		exec.Batch[ai].Batches++
+	}
+	if selIdx >= 0 {
+		for _, id := range posting {
+			if id >= a.n {
+				break
+			}
+			if a.visibleID(id) {
+				check(id)
+			}
+		}
+		return
+	}
+	for id := 0; id < a.n; id++ {
+		if a.visibleID(id) {
+			check(id)
+		}
+	}
+}
+
+// intersectSorted writes the intersection of two ascending TupleID
+// slices into dst (overwritten from the start) and returns it. When
+// the lengths are lopsided it gallops: walk the shorter side, binary
+// search the longer, and drop the consumed prefix — O(small · log big)
+// instead of O(small + big).
+func intersectSorted(dst, a, b []relation.TupleID) []relation.TupleID {
+	dst = dst[:0]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= 8*len(a) {
+		for _, id := range a {
+			lo, hi := 0, len(b)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if b[mid] < id {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo == len(b) {
+				break
+			}
+			if b[lo] == id {
+				dst = append(dst, id)
+				lo++
+			}
+			b = b[lo:]
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// runWcoj executes the generic join: per-atom base candidate lists,
+// then one variable per level, each candidate value confirmed by a
+// multiway posting intersection across the atoms containing the
+// variable. exec may be nil (no stats collection).
+func (v *vecPlan) runWcoj(sc *vecScratch, exec *PlanExec, vals []relation.Value, env map[string]relation.Value) (bool, error) {
+	w := v.wcoj
+	m := len(v.atoms)
+	cands := make([][]relation.TupleID, m)
+	baseLen := make([]int, m)
+	for i := 0; i < m; i++ {
+		if err := v.ev.tick(); err != nil {
+			return false, err
+		}
+		var base []relation.TupleID
+		v.scanBase(i, exec, func(id relation.TupleID) { base = append(base, id) })
+		if exec != nil {
+			exec.Batch[i].Base = len(base)
+		}
+		if len(base) == 0 {
+			return false, nil
+		}
+		cands[i] = base
+		baseLen[i] = len(base)
+	}
+
+	var stats []WcojVarStat
+	if exec != nil {
+		stats = make([]WcojVarStat, len(w.levels))
+		for k := range w.levels {
+			stats[k] = WcojVarStat{Var: v.vars[w.levels[k].varIdx], Atoms: len(w.levels[k].atoms)}
+		}
+		exec.Wcoj = stats
+	}
+
+	// Per-level scratch, reused across sibling values of the level:
+	// posting holders, the intersection order, narrowed-candidate
+	// output buffers, saved candidate lists, and the seed value buffer.
+	type levelScratch struct {
+		post   [][]relation.TupleID
+		ord    []int
+		narrow [][]relation.TupleID
+		saved  [][]relation.TupleID
+		vbuf   []relation.Value
+	}
+	lsc := make([]levelScratch, len(w.levels))
+	for k := range lsc {
+		na := len(w.levels[k].atoms)
+		lsc[k] = levelScratch{
+			post:   make([][]relation.TupleID, na),
+			ord:    make([]int, na),
+			narrow: make([][]relation.TupleID, na),
+			saved:  make([][]relation.TupleID, na),
+		}
+	}
+
+	var step func(k int) (bool, error)
+	step = func(k int) (bool, error) {
+		if k == len(w.levels) {
+			return v.finish(vals, env)
+		}
+		lv := &w.levels[k]
+		ls := &lsc[k]
+
+		// Seed: the containing atom with the fewest candidates.
+		seed := 0
+		for i := 1; i < len(lv.atoms); i++ {
+			if len(cands[lv.atoms[i]]) < len(cands[lv.atoms[seed]]) {
+				seed = i
+			}
+		}
+		sa := &v.atoms[lv.atoms[seed]]
+
+		// Candidate values in ascending Value.Order: the relation's
+		// cached sorted distinct values when the seed atom's candidates
+		// are still its unfiltered base (a chain-wide superset — a stale
+		// value simply dies in its first posting intersection), a
+		// sort-dedup pass over the candidate cells once upper levels
+		// have narrowed it.
+		var values []relation.Value
+		if len(sa.sel) == 0 && len(sa.pushed) == 0 && len(sa.intraEq) == 0 && sa.visible == nil &&
+			len(cands[lv.atoms[seed]]) == baseLen[lv.atoms[seed]] {
+			values = sa.inst.SortedDistinctValues(lv.pos[seed])
+		} else {
+			buf := ls.vbuf[:0]
+			col := sa.cols[lv.pos[seed]]
+			for _, id := range cands[lv.atoms[seed]] {
+				buf = append(buf, col.Value(id))
+			}
+			sort.Slice(buf, func(i, j int) bool { return buf[i].Order(buf[j]) < 0 })
+			uniq := buf[:0]
+			for i, val := range buf {
+				if i == 0 || !val.Equal(uniq[len(uniq)-1]) {
+					uniq = append(uniq, val)
+				}
+			}
+			ls.vbuf = buf
+			values = uniq
+		}
+
+		for _, val := range values {
+			if err := v.ev.tick(); err != nil {
+				return false, err
+			}
+			if stats != nil {
+				stats[k].Values++
+			}
+			// Gather the postings; an empty one kills the value before
+			// any intersection work.
+			ok := true
+			for i := range lv.atoms {
+				if stats != nil {
+					stats[k].Probes++
+				}
+				ls.post[i] = v.atoms[lv.atoms[i]].inst.PostingIDs(lv.pos[i], val)
+				if len(ls.post[i]) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Intersect cheapest posting first: the narrowed set only
+			// shrinks, so a miss surfaces as early as possible.
+			for i := range lv.atoms {
+				ls.ord[i] = i
+			}
+			sort.Slice(ls.ord, func(x, y int) bool { return len(ls.post[ls.ord[x]]) < len(ls.post[ls.ord[y]]) })
+			for _, i := range ls.ord {
+				nw := intersectSorted(ls.narrow[i], cands[lv.atoms[i]], ls.post[i])
+				ls.narrow[i] = nw
+				if len(nw) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if stats != nil {
+				stats[k].Matches++
+			}
+			vals[lv.varIdx] = val
+			ok = true
+			for _, c := range lv.cmps {
+				if !c.holds(vals) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for i, ai := range lv.atoms {
+				ls.saved[i] = cands[ai]
+				cands[ai] = ls.narrow[i]
+			}
+			found, err := step(k + 1)
+			for i, ai := range lv.atoms {
+				cands[ai] = ls.saved[i]
+			}
+			if err != nil || found {
+				return found, err
+			}
+		}
+		return false, nil
+	}
+	return step(0)
+}

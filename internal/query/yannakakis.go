@@ -138,7 +138,7 @@ func (v *vecPlan) compileYan(cross []vecCmp) {
 			}
 		}
 		if !removed {
-			return // cyclic: no ear left, the greedy executor handles it
+			return // cyclic: no ear left — wcoj.go's generic join takes over
 		}
 	}
 
@@ -235,66 +235,16 @@ func (v *vecPlan) compileYan(cross []vecCmp) {
 	v.yan = y
 }
 
-// yanBase fills the atom's candidate mask: every visible ID passing
-// the compile-known equality selections, intra-atom variable repeats,
-// and pushed-down comparisons. Probed through the shortest posting
-// when a known value exists, a column sweep otherwise.
+// yanBase fills the atom's candidate mask from the shared base scan
+// (wcoj.go's scanBase): every visible ID passing the compile-known
+// equality selections, intra-atom variable repeats, and pushed-down
+// comparisons.
 func (v *vecPlan) yanBase(ai int, mask bitset.Words, exec *PlanExec) int {
-	a := &v.atoms[ai]
-	selIdx := -1
-	var posting []relation.TupleID
-	for k := range a.sel {
-		ids := a.inst.PostingIDs(a.sel[k].pos, a.sel[k].val)
-		if selIdx < 0 || len(ids) < len(posting) {
-			selIdx, posting = k, ids
-		}
-	}
 	cnt := 0
-	admit := func(id relation.TupleID) {
-		if exec != nil {
-			exec.ActRows[ai]++
-			exec.Batch[ai].IDs++
-		}
-		for k := range a.sel {
-			if k == selIdx {
-				continue
-			}
-			if !a.cols[a.sel[k].pos].Equals(id, a.sel[k].val) {
-				return
-			}
-		}
-		for _, eq := range a.intraEq {
-			if !a.cols[eq[0]].EqualsCell(id, a.cols[eq[1]], id) {
-				return
-			}
-		}
-		for _, c := range a.pushed {
-			if !c.holds(a, id) {
-				return
-			}
-		}
+	v.scanBase(ai, exec, func(id relation.TupleID) {
 		mask.Add(id)
 		cnt++
-	}
-	if exec != nil {
-		exec.Batch[ai].Batches++
-	}
-	if selIdx >= 0 {
-		for _, id := range posting {
-			if id >= a.n {
-				break
-			}
-			if a.visibleID(id) {
-				admit(id)
-			}
-		}
-	} else {
-		for id := 0; id < a.n; id++ {
-			if a.visibleID(id) {
-				admit(id)
-			}
-		}
-	}
+	})
 	if exec != nil {
 		exec.Batch[ai].Base = cnt
 	}
@@ -395,9 +345,11 @@ func (v *vecPlan) runYan(sc *vecScratch, exec *PlanExec, vals []relation.Value, 
 			return false, nil
 		}
 	}
-	if y.pushedOnly {
+	if y.pushedOnly && v.emit == nil {
 		// Bottom-up reduction succeeded everywhere: the root's
-		// surviving candidates each extend to a full match.
+		// surviving candidates each extend to a full match. (With an
+		// emit hook attached the caller wants the bindings themselves,
+		// so fall through to the completion pass and enumerate.)
 		setOut()
 		return true, nil
 	}

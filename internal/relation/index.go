@@ -1,6 +1,9 @@
 package relation
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Secondary indexes.
 //
@@ -49,6 +52,11 @@ type attrPostings struct {
 	built bool
 	upto  int
 	m     map[string]*posting
+	// sorted caches the distinct values of the attribute in ascending
+	// Value.Order, rebuilt lazily whenever new distinct values appear
+	// (sortedLen is len(m) at build time). See SortedDistinctValues.
+	sorted    []Value
+	sortedLen int
 }
 
 // attrIndex is the shared secondary index of a version chain.
@@ -285,6 +293,39 @@ func (r *Instance) DistinctValuesLive(attr int, dst []Value) []Value {
 		}
 	}
 	return dst
+}
+
+// SortedDistinctValues returns the distinct values of attribute attr
+// across the whole version chain — live or tombstoned, this version or
+// newer — in ascending Value.Order. It is the sorted per-attribute
+// value iterator of the worst-case-optimal join: a cheap superset of
+// any version's distinct values, where each candidate value is
+// confirmed or discarded by a single posting intersection. The slice
+// is cached on the shared index (rebuilt only when new distinct values
+// appear) and must not be mutated; once returned it is immutable —
+// concurrent rebuilds allocate a fresh slice.
+func (r *Instance) SortedDistinctValues(attr int) []Value {
+	ix := r.index()
+	ix.ensureBuilt(attr, &r.cols[attr], r.n)
+	ix.mu.RLock()
+	ap := &ix.attrs[attr]
+	if ap.sortedLen == len(ap.m) {
+		s := ap.sorted
+		ix.mu.RUnlock()
+		return s
+	}
+	ix.mu.RUnlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ap.sortedLen != len(ap.m) {
+		s := make([]Value, 0, len(ap.m))
+		for _, p := range ap.m {
+			s = append(s, p.val)
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i].Order(s[j]) < 0 })
+		ap.sorted, ap.sortedLen = s, len(s)
+	}
+	return ap.sorted
 }
 
 // noteInsert is the Insert hook: keep built attribute indexes in

@@ -381,10 +381,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	resp := client.StatsResponse{DBs: make(map[string]client.DBStats, len(tenants)), Server: s.Stats()}
 	for _, t := range tenants {
 		hits, misses := t.db.EngineStats()
+		qs := t.db.QueryStats()
 		ds := client.DBStats{
 			WriteVersion: t.version(),
 			CacheHits:    hits,
 			CacheMisses:  misses,
+			OpenDirect:   qs.OpenDirect,
+			OpenFallback: qs.OpenFallback,
+			WcojSpines:   qs.SpineWcoj,
+			YanSpines:    qs.SpineYannakakis,
+			GreedySpines: qs.SpineGreedy,
 			Relations:    map[string]client.RelationStats{},
 		}
 		// Relation detail comes from the already-cached snapshot only:

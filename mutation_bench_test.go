@@ -56,3 +56,28 @@ func BenchmarkAcyclicChainYannakakis(b *testing.B) {
 func BenchmarkAcyclicChainGreedy(b *testing.B) {
 	bench.AcyclicWorkload(20_000, "greedy")(b)
 }
+
+// The open-query benchmarks reuse bench.OpenQueryWorkload: certain
+// answers of an open query by direct spine enumeration (asserted
+// inside the workload) vs the active-domain substitution baseline.
+
+func BenchmarkOpenQueryDirect(b *testing.B) {
+	bench.OpenQueryWorkload(2_000, "direct")(b)
+}
+
+func BenchmarkOpenQuerySubst(b *testing.B) {
+	bench.OpenQueryWorkload(2_000, "subst")(b)
+}
+
+// The cyclic-join benchmarks reuse bench.CyclicWorkload: an empty
+// triangle join, answered by the worst-case-optimal generic join (the
+// cost-based default, asserted inside the workload) vs the vectorized
+// greedy executor.
+
+func BenchmarkCyclicTriangleWcoj(b *testing.B) {
+	bench.CyclicWorkload(20_000, "wcoj")(b)
+}
+
+func BenchmarkCyclicTriangleGreedy(b *testing.B) {
+	bench.CyclicWorkload(20_000, "greedy")(b)
+}

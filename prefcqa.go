@@ -203,6 +203,10 @@ type DB struct {
 	cache       bool
 	incremental bool
 	indexes     bool
+
+	// stats aggregates open-query path and spine-executor counters
+	// across direct queries and snapshots; see QueryStats.
+	stats *cqa.EvalStats
 }
 
 // Option configures a DB at construction time.
@@ -250,7 +254,7 @@ func WithIncremental(on bool) Option {
 // engine uses a GOMAXPROCS-sized worker pool with memoization on, and
 // mutations are maintained incrementally.
 func New(opts ...Option) *DB {
-	db := &DB{rels: make(map[string]*Relation), parallelism: 0, cache: true, incremental: true, indexes: true}
+	db := &DB{rels: make(map[string]*Relation), parallelism: 0, cache: true, incremental: true, indexes: true, stats: &cqa.EvalStats{}}
 	for _, opt := range opts {
 		opt(db)
 	}
@@ -924,6 +928,15 @@ func (db *DB) EngineStats() (hits, misses int64) {
 	return db.engine.CacheStats()
 }
 
+// QueryStats returns the cumulative open-query path counters: how
+// many open queries were answered by direct spine enumeration vs
+// active-domain substitution, and which vectorized executor (generic
+// join, Yannakakis, greedy) ran the direct spines. Snapshots taken
+// from this DB feed the same counters.
+func (db *DB) QueryStats() cqa.EvalStatsSnapshot {
+	return db.stats.Snapshot()
+}
+
 // input assembles the cqa.Input across all relations.
 func (db *DB) input() (cqa.Input, error) {
 	rels := make([]*cqa.Relation, 0, len(db.order))
@@ -938,7 +951,7 @@ func (db *DB) input() (cqa.Input, error) {
 	if err != nil {
 		return cqa.Input{}, err
 	}
-	return in.WithEngine(db.engine).WithScanOnly(!db.indexes), nil
+	return in.WithEngine(db.engine).WithScanOnly(!db.indexes).WithStats(db.stats), nil
 }
 
 // Query evaluates a closed first-order query under the family's

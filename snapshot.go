@@ -32,6 +32,7 @@ type Snapshot struct {
 	order    []string
 	rels     map[string]snapRel
 	scanOnly bool
+	stats    *cqa.EvalStats // shared with the owning DB; see DB.QueryStats
 }
 
 type snapRel struct {
@@ -55,6 +56,7 @@ func (db *DB) Snapshot() (*Snapshot, error) {
 		order:    append([]string(nil), db.order...),
 		rels:     make(map[string]snapRel, len(db.order)),
 		scanOnly: !db.indexes,
+		stats:    db.stats,
 	}
 	db.snapMu.Lock()
 	defer db.snapMu.Unlock()
@@ -103,7 +105,7 @@ func (s *Snapshot) input(ctx context.Context) (cqa.Input, error) {
 	if err != nil {
 		return cqa.Input{}, err
 	}
-	in = in.WithEngine(s.engine).WithScanOnly(s.scanOnly)
+	in = in.WithEngine(s.engine).WithScanOnly(s.scanOnly).WithStats(s.stats)
 	if ctx != nil {
 		in = in.WithContext(ctx)
 	}
