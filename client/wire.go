@@ -219,11 +219,16 @@ type DBStats struct {
 	// active-domain substitution, and which vectorized executor ran
 	// the direct spines (worst-case-optimal generic join, Yannakakis
 	// reduction, or greedy nested loop).
-	OpenDirect   int64                    `json:"open_direct"`
-	OpenFallback int64                    `json:"open_fallback"`
-	WcojSpines   int64                    `json:"wcoj_spines"`
-	YanSpines    int64                    `json:"yannakakis_spines"`
-	GreedySpines int64                    `json:"greedy_spines"`
+	OpenDirect   int64 `json:"open_direct"`
+	OpenFallback int64 `json:"open_fallback"`
+	WcojSpines   int64 `json:"wcoj_spines"`
+	YanSpines    int64 `json:"yannakakis_spines"`
+	GreedySpines int64 `json:"greedy_spines"`
+	// Closed-query verification path counters: component-pruned
+	// repair walks (ground or quantified with a sound support
+	// analysis) vs full whole-database repair enumerations.
+	ClosedPruned int64                    `json:"closed_pruned"`
+	ClosedFull   int64                    `json:"closed_full"`
 	Relations    map[string]RelationStats `json:"relations"`
 }
 

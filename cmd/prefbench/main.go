@@ -12,6 +12,10 @@
 //	                     # B/op, allocs/op, repairs/sec) on stdout —
 //	                     # the source of the checked-in BENCH_*.json
 //	                     # trajectory snapshots
+//	prefbench -json -workloads verify_query
+//	                     # substring filter: run only matching
+//	                     # workloads (comma-separated substrings),
+//	                     # for profiling one workload in isolation
 //
 // -cpuprofile and -memprofile write pprof profiles covering whatever
 // ran (experiments or the JSON suite), for chasing hotspots in the
@@ -52,6 +56,7 @@ func run() error {
 		exp        = flag.String("exp", "all", "experiment to run (or 'all')")
 		quick      = flag.Bool("quick", false, "small input sizes")
 		jsonMode   = flag.Bool("json", false, "emit machine-readable benchmark results as JSON")
+		workloads  = flag.String("workloads", "", "with -json: only run workloads whose names contain one of these comma-separated substrings (e.g. verify_query,open_query)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -81,7 +86,7 @@ func run() error {
 			}
 		}()
 	}
-	opts := bench.Options{Quick: *quick}
+	opts := bench.Options{Quick: *quick, Workloads: *workloads}
 	if *jsonMode {
 		return bench.JSON(opts).WriteJSON(os.Stdout)
 	}

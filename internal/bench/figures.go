@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"prefcqa/internal/axioms"
@@ -23,6 +24,24 @@ import (
 // the full runs are used by cmd/prefbench and EXPERIMENTS.md.
 type Options struct {
 	Quick bool
+	// Workloads, when non-empty, filters the JSON suite: only
+	// workloads whose metric names contain one of the comma-separated
+	// substrings run (`prefbench -workloads verify_query`), so a
+	// single workload can be profiled without paying for the suite.
+	Workloads string
+}
+
+// want reports whether a metric name passes the Workloads filter.
+func (o Options) want(name string) bool {
+	if o.Workloads == "" {
+		return true
+	}
+	for _, part := range strings.Split(o.Workloads, ",") {
+		if part = strings.TrimSpace(part); part != "" && strings.Contains(name, part) {
+			return true
+		}
+	}
+	return false
 }
 
 func (o Options) pick(quick, full []int) []int {

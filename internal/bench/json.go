@@ -93,45 +93,66 @@ func JSON(o Options) Report {
 
 	// Conflict-graph construction (CSR streaming build).
 	pairsN := pick(1024, 4096)
-	pairs := workload.Pairs(pairsN)
-	rep.add(measure("conflict_build/pairs", map[string]float64{"tuples": float64(2 * pairsN)}, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			conflict.MustBuild(pairs.Inst, pairs.FDs)
-		}
-	}))
+	if o.want("conflict_build/pairs") {
+		pairs := workload.Pairs(pairsN)
+		rep.add(measure("conflict_build/pairs", map[string]float64{"tuples": float64(2 * pairsN)}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conflict.MustBuild(pairs.Inst, pairs.FDs)
+			}
+		}))
+	}
 	clustersM := pick(10_000, 50_000)
-	big := workload.Clusters(clustersM, 2)
-	rep.add(measure("conflict_build/clusters", map[string]float64{"tuples": float64(2 * clustersM)}, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			conflict.MustBuild(big.Inst, big.FDs)
+	// The large sparse clusters instance is shared by three workloads;
+	// build it lazily so a -workloads filter skipping all of them
+	// skips the construction too.
+	var bigMemo *workload.Scenario
+	big := func() *workload.Scenario {
+		if bigMemo == nil {
+			bigMemo = workload.Clusters(clustersM, 2)
 		}
-	}))
+		return bigMemo
+	}
+	if o.want("conflict_build/clusters") {
+		rep.add(measure("conflict_build/clusters", map[string]float64{"tuples": float64(2 * clustersM)}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conflict.MustBuild(big().Inst, big().FDs)
+			}
+		}))
+	}
 
 	// Priority generation over every conflict edge.
-	bigG := big.Graph()
-	rep.add(measure("priority_from_ranks/clusters", map[string]float64{"edges": float64(clustersM)}, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			priority.FromRanks(bigG, func(id relation.TupleID) int { return id % 2 })
-		}
-	}))
+	if o.want("priority_from_ranks") {
+		bigG := big().Graph()
+		rep.add(measure("priority_from_ranks/clusters", map[string]float64{"edges": float64(clustersM)}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				priority.FromRanks(bigG, func(id relation.TupleID) int { return id % 2 })
+			}
+		}))
+	}
 
 	// Per-component enumeration: allocation-free local Bron–Kerbosch.
-	chain := workload.Chain(pick(16, 24))
-	chainComp := chain.Graph().Components()[0]
-	sets := float64(repair.CountComponent(chain.Graph(), chainComp))
-	rep.add(measure("component_enumeration/chain", map[string]float64{"repairs": sets}, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			repair.CountComponent(chain.Graph(), chainComp)
-		}
-	}))
+	if o.want("component_enumeration") {
+		chain := workload.Chain(pick(16, 24))
+		chainComp := chain.Graph().Components()[0]
+		sets := float64(repair.CountComponent(chain.Graph(), chainComp))
+		rep.add(measure("component_enumeration/chain", map[string]float64{"repairs": sets}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				repair.CountComponent(chain.Graph(), chainComp)
+			}
+		}))
+	}
 
 	// Componentwise counting on the large sparse instance, per family,
 	// on the production engine (workers + memo).
-	bigP := priority.FromRanks(bigG, func(id relation.TupleID) int { return id % 2 })
-	eng := core.NewEngine()
 	for _, f := range []core.Family{core.Local, core.Global, core.Common} {
 		f := f
-		rep.add(measure("engine_count/"+f.String()+"/clusters",
+		name := "engine_count/" + f.String() + "/clusters"
+		if !o.want(name) {
+			continue
+		}
+		bigP := priority.FromRanks(big().Graph(), func(id relation.TupleID) int { return id % 2 })
+		eng := core.NewEngine()
+		rep.add(measure(name,
 			map[string]float64{"components": float64(clustersM)}, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := eng.Count(f, bigP); err != nil {
@@ -142,38 +163,44 @@ func JSON(o Options) Report {
 	}
 
 	// Full enumeration throughput in repairs/sec.
-	enumSc := workload.Clusters(pick(8, 10), 3)
-	enumCount := 0
-	core.Enumerate(core.Rep, enumSc.Pri, func(*bitset.Set) bool { enumCount++; return true }) //nolint:errcheck
-	rep.add(measure("enumerate/rep/clusters", map[string]float64{"repairs": float64(enumCount)}, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			core.Enumerate(core.Rep, enumSc.Pri, func(*bitset.Set) bool { return true }) //nolint:errcheck
-		}
-	}))
+	if o.want("enumerate/rep") {
+		enumSc := workload.Clusters(pick(8, 10), 3)
+		enumCount := 0
+		core.Enumerate(core.Rep, enumSc.Pri, func(*bitset.Set) bool { enumCount++; return true }) //nolint:errcheck
+		rep.add(measure("enumerate/rep/clusters", map[string]float64{"repairs": float64(enumCount)}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Enumerate(core.Rep, enumSc.Pri, func(*bitset.Set) bool { return true }) //nolint:errcheck
+			}
+		}))
+	}
 
 	// Algorithm 1 cleaning.
-	cleanSc := workload.Clusters(pick(400, 1600), 3)
-	cleanP := cleanSc.Pri.TotalExtension(nil)
-	rep.add(measure("clean_deterministic/clusters",
-		map[string]float64{"tuples": float64(cleanSc.Inst.Len())}, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				clean.Deterministic(cleanP)
-			}
-		}))
+	if o.want("clean_deterministic") {
+		cleanSc := workload.Clusters(pick(400, 1600), 3)
+		cleanP := cleanSc.Pri.TotalExtension(nil)
+		rep.add(measure("clean_deterministic/clusters",
+			map[string]float64{"tuples": float64(cleanSc.Inst.Len())}, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					clean.Deterministic(cleanP)
+				}
+			}))
+	}
 
 	// Ground quantifier-free CQA (the PTIME witness-cover path).
-	cqaN := pick(16, 32)
-	cqaSc := workload.Pairs(cqaN)
-	in, err := cqa.NewInput(&cqa.Relation{Inst: cqaSc.Inst, FDs: cqaSc.FDs, Pri: cqaSc.Pri})
-	if err == nil {
-		q := groundOrQuery(cqaN)
-		rep.add(measure("ground_cqa/pairs", nil, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := cqa.GroundQFEvaluate(in, q); err != nil {
-					b.Fatal(err)
+	if o.want("ground_cqa") {
+		cqaN := pick(16, 32)
+		cqaSc := workload.Pairs(cqaN)
+		in, err := cqa.NewInput(&cqa.Relation{Inst: cqaSc.Inst, FDs: cqaSc.FDs, Pri: cqaSc.Pri})
+		if err == nil {
+			q := groundOrQuery(cqaN)
+			rep.add(measure("ground_cqa/pairs", nil, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := cqa.GroundQFEvaluate(in, q); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		}))
+			}))
+		}
 	}
 
 	// Mutation workload: a hot serving scenario over a large instance —
@@ -185,6 +212,9 @@ func JSON(o Options) Report {
 	mutM := pick(10_000, 50_000)
 	for _, kind := range []string{"query", "count"} {
 		kind := kind
+		if !o.want("mutation_update_" + kind) {
+			continue
+		}
 		incMetric := measure("mutation_update_"+kind+"/incremental", nil, MutationWorkload(mutM, true, kind))
 		rebMetric := measure("mutation_update_"+kind+"/rebuild", nil, MutationWorkload(mutM, false, kind))
 		rep.add(incMetric)
@@ -206,6 +236,9 @@ func JSON(o Options) Report {
 	selN := pick(10_000, 100_000)
 	for _, kind := range []string{"point", "join", "lowsel"} {
 		kind := kind
+		if !o.want("selective_" + kind) {
+			continue
+		}
 		idxMetric := measure("selective_"+kind+"_query/indexed",
 			map[string]float64{"tuples": float64(selN)}, SelectiveWorkload(selN, true, kind))
 		scanMetric := measure("selective_"+kind+"_query/scan",
@@ -227,19 +260,21 @@ func JSON(o Options) Report {
 	// query.EvalGreedy. No scan baseline: without index access paths
 	// the chain is quadratic and does not terminate in benchmark time
 	// at this scale.
-	acyN := pick(10_000, 100_000)
-	yanMetric := measure("acyclic_chain_query/yannakakis",
-		map[string]float64{"tuples": float64(acyN)}, AcyclicWorkload(acyN, "yannakakis"))
-	greedyMetric := measure("acyclic_chain_query/greedy",
-		map[string]float64{"tuples": float64(acyN)}, AcyclicWorkload(acyN, "greedy"))
-	rep.add(yanMetric)
-	rep.add(greedyMetric)
-	if yanMetric.NsPerOp > 0 {
-		rep.add(Metric{
-			Name:       "acyclic_chain_query/speedup",
-			Iterations: 1,
-			Extra:      map[string]float64{"x": greedyMetric.NsPerOp / yanMetric.NsPerOp},
-		})
+	if o.want("acyclic_chain_query") {
+		acyN := pick(10_000, 100_000)
+		yanMetric := measure("acyclic_chain_query/yannakakis",
+			map[string]float64{"tuples": float64(acyN)}, AcyclicWorkload(acyN, "yannakakis"))
+		greedyMetric := measure("acyclic_chain_query/greedy",
+			map[string]float64{"tuples": float64(acyN)}, AcyclicWorkload(acyN, "greedy"))
+		rep.add(yanMetric)
+		rep.add(greedyMetric)
+		if yanMetric.NsPerOp > 0 {
+			rep.add(Metric{
+				Name:       "acyclic_chain_query/speedup",
+				Iterations: 1,
+				Extra:      map[string]float64{"x": greedyMetric.NsPerOp / yanMetric.NsPerOp},
+			})
+		}
 	}
 
 	// Open-query workload: certain answers of an open query over a
@@ -252,19 +287,21 @@ func JSON(o Options) Report {
 	// and the substitution baseline pays it for the whole kind-pruned
 	// domain (200 names here), which at 100k tuples would not finish
 	// in benchmark time — that gap is the point of the direct path.
-	openN := pick(2_000, 10_000)
-	directMetric := measure("open_query/direct",
-		map[string]float64{"tuples": float64(openN)}, OpenQueryWorkload(openN, "direct"))
-	substMetric := measure("open_query/subst",
-		map[string]float64{"tuples": float64(openN)}, OpenQueryWorkload(openN, "subst"))
-	rep.add(directMetric)
-	rep.add(substMetric)
-	if directMetric.NsPerOp > 0 {
-		rep.add(Metric{
-			Name:       "open_query/speedup",
-			Iterations: 1,
-			Extra:      map[string]float64{"x": substMetric.NsPerOp / directMetric.NsPerOp},
-		})
+	if o.want("open_query") {
+		openN := pick(2_000, 10_000)
+		directMetric := measure("open_query/direct",
+			map[string]float64{"tuples": float64(openN)}, OpenQueryWorkload(openN, "direct"))
+		substMetric := measure("open_query/subst",
+			map[string]float64{"tuples": float64(openN)}, OpenQueryWorkload(openN, "subst"))
+		rep.add(directMetric)
+		rep.add(substMetric)
+		if directMetric.NsPerOp > 0 {
+			rep.add(Metric{
+				Name:       "open_query/speedup",
+				Iterations: 1,
+				Extra:      map[string]float64{"x": substMetric.NsPerOp / directMetric.NsPerOp},
+			})
+		}
 	}
 
 	// Cyclic-join workload: an empty triangle join, answered by the
@@ -272,19 +309,44 @@ func JSON(o Options) Report {
 	// intersection) vs the vectorized greedy executor forced via
 	// query.EvalGreedy. The workload asserts the cost-based planner
 	// actually picked the WCOJ executor.
-	cycN := pick(10_000, 100_000)
-	wcojMetric := measure("cyclic_triangle_query/wcoj",
-		map[string]float64{"tuples": float64(cycN)}, CyclicWorkload(cycN, "wcoj"))
-	cgreedyMetric := measure("cyclic_triangle_query/greedy",
-		map[string]float64{"tuples": float64(cycN)}, CyclicWorkload(cycN, "greedy"))
-	rep.add(wcojMetric)
-	rep.add(cgreedyMetric)
-	if wcojMetric.NsPerOp > 0 {
-		rep.add(Metric{
-			Name:       "cyclic_triangle_query/speedup",
-			Iterations: 1,
-			Extra:      map[string]float64{"x": cgreedyMetric.NsPerOp / wcojMetric.NsPerOp},
-		})
+	if o.want("cyclic_triangle_query") {
+		cycN := pick(10_000, 100_000)
+		wcojMetric := measure("cyclic_triangle_query/wcoj",
+			map[string]float64{"tuples": float64(cycN)}, CyclicWorkload(cycN, "wcoj"))
+		cgreedyMetric := measure("cyclic_triangle_query/greedy",
+			map[string]float64{"tuples": float64(cycN)}, CyclicWorkload(cycN, "greedy"))
+		rep.add(wcojMetric)
+		rep.add(cgreedyMetric)
+		if wcojMetric.NsPerOp > 0 {
+			rep.add(Metric{
+				Name:       "cyclic_triangle_query/speedup",
+				Iterations: 1,
+				Extra:      map[string]float64{"x": cgreedyMetric.NsPerOp / wcojMetric.NsPerOp},
+			})
+		}
+	}
+
+	// Verification workload: one quantified closed query over a large
+	// multi-component instance, answered by the component-pruned
+	// vectorized repair walk (cqa.Evaluate) vs the pinned full
+	// whole-database repair enumeration (cqa.EvaluateFull). The
+	// workload asserts both paths agree and that the pruned path
+	// actually fired (EvalStats.ClosedPruned).
+	verifyN := pick(10_000, 100_000)
+	if o.want("verify_query") {
+		prunedMetric := measure("verify_query/pruned",
+			map[string]float64{"tuples": float64(verifyN)}, VerifyWorkload(verifyN, "pruned"))
+		fullMetric := measure("verify_query/full",
+			map[string]float64{"tuples": float64(verifyN)}, VerifyWorkload(verifyN, "full"))
+		rep.add(prunedMetric)
+		rep.add(fullMetric)
+		if prunedMetric.NsPerOp > 0 {
+			rep.add(Metric{
+				Name:       "verify_query/speedup",
+				Iterations: 1,
+				Extra:      map[string]float64{"x": fullMetric.NsPerOp / prunedMetric.NsPerOp},
+			})
+		}
 	}
 
 	// Serving-layer workload: sustained concurrent ground queries
@@ -295,6 +357,9 @@ func JSON(o Options) Report {
 	srvM := pick(1_000, 10_000)
 	srvReqs := pick(800, 4_000)
 	for _, writers := range []int{0, 2} {
+		if !o.want("server_query") {
+			break
+		}
 		m, err := ServerWorkload(srvM, 8, writers, srvReqs)
 		if err != nil {
 			m = Metric{Name: fmt.Sprintf("server_query/%s", map[bool]string{false: "readonly", true: "mixed"}[writers > 0]),
@@ -312,6 +377,9 @@ func JSON(o Options) Report {
 	// fsyncs across concurrent committers).
 	durWrites := pick(400, 2_000)
 	for _, policy := range []prefcqa.SyncPolicy{prefcqa.SyncNever, prefcqa.SyncGroup, prefcqa.SyncAlways} {
+		if !o.want("server_write") {
+			break
+		}
 		m, err := ServerWriteWorkload(policy, 8, durWrites)
 		if err != nil {
 			label := policy.String()

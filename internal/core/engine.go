@@ -105,6 +105,15 @@ func (e *Engine) ComponentChoices(f Family, p *priority.Priority) [][]*bitset.Se
 	return e.ChoicesFor(f, p, p.Graph().Components())
 }
 
+// ComponentChoicesCtx is ComponentChoices with cancellation: the
+// choice sets of every component of p's graph, lifted to global
+// tuple IDs, aborted with ctx.Err() once ctx is cancelled. It backs
+// the CQA quantified-query pruning when a relation's support spans
+// the whole relation (a constant-free atom touches every component).
+func (e *Engine) ComponentChoicesCtx(ctx context.Context, f Family, p *priority.Priority) ([][]*bitset.Set, error) {
+	return e.ChoicesForCtx(ctx, f, p, p.Graph().Components())
+}
+
 // ChoicesFor computes the choice sets of the given components only —
 // the building block of the CQA component pruning, which restricts
 // evaluation to the components a ground query touches.

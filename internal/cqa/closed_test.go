@@ -1,0 +1,371 @@
+package cqa
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"prefcqa/internal/core"
+	"prefcqa/internal/fd"
+	"prefcqa/internal/priority"
+	"prefcqa/internal/query"
+	"prefcqa/internal/relation"
+)
+
+// quantDiffInput builds the two-relation multi-component fixture the
+// quantified differential tests run on:
+//
+//   - R(K, V) under K → V: six clusters (k, 0)/(k, 1) for k = 0..5,
+//     clusters 0–2 oriented toward the 0-tuple, 3–4 unoriented,
+//     cluster 5 a key triangle with a partial orientation, plus a
+//     tombstoned tuple (inserted and deleted before the conflict
+//     graph is built) and a conflict-free singleton (9, 9).
+//   - S(K, W) under K → W: one oriented cluster at K = 0, one
+//     unoriented at K = 1, singletons elsewhere.
+//
+// Distinct families disagree on the partially-oriented triangle, so
+// the corpus exercises family-specific choice sets, not just Rep.
+func quantDiffInput(t testing.TB) Input {
+	t.Helper()
+	sr := relation.MustSchema("R", relation.IntAttr("K"), relation.IntAttr("V"))
+	r := relation.NewInstance(sr)
+	var ids [6][2]relation.TupleID
+	for k := 0; k < 6; k++ {
+		ids[k][0] = r.MustInsert(k, 0)
+		ids[k][1] = r.MustInsert(k, 1)
+	}
+	tomb := r.MustInsert(0, 7) // conflicts cluster 0, then dies
+	r.Delete(tomb)
+	tri := r.MustInsert(5, 2) // cluster 5 becomes a key triangle
+	r.MustInsert(9, 9)        // conflict-free singleton
+	relR, err := NewRelation(r, fd.MustParseSet(sr, "K -> V"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		relR.Pri.MustAdd(ids[k][0], ids[k][1])
+	}
+	relR.Pri.MustAdd(ids[5][0], tri) // partial orientation on the triangle
+
+	ss := relation.MustSchema("S", relation.IntAttr("K"), relation.IntAttr("W"))
+	s := relation.NewInstance(ss)
+	s00 := s.MustInsert(0, 0)
+	s05 := s.MustInsert(0, 5)
+	s.MustInsert(1, 1)
+	s.MustInsert(1, 6)
+	s.MustInsert(2, 2)
+	relS, err := NewRelation(s, fd.MustParseSet(ss, "K -> W"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relS.Pri.MustAdd(s00, s05)
+
+	in, err := NewInput(relR, relS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// closedDiffCorpus is the quantified closed-query mix the
+// differential test pins: oriented, unoriented and triangle
+// components, whole-relation supports, empty supports, negated-atom
+// residuals, cross-relation joins, boolean combinations of
+// quantifiers, mixed ground/quantified skeletons, and uncoverable
+// shapes that must take the full-enumeration path.
+var closedDiffCorpus = []string{
+	"EXISTS v . R(0, v) AND v < 2",                                // single oriented component
+	"EXISTS v . R(3, v) AND v = 0",                                // unoriented: undetermined
+	"FORALL v . NOT R(3, v) OR v <= 1",                            // universal over one component
+	"EXISTS v . R(5, v) AND v = 2",                                // the triangle: families disagree
+	"EXISTS k, v . R(k, v) AND v = 7",                             // whole-relation support, false
+	"FORALL k, v . NOT R(k, v) OR v >= 0",                         // whole-relation universal, true
+	"EXISTS v . R(0, v) AND NOT R(3, v)",                          // negated atom residual
+	"EXISTS v, w . R(0, v) AND S(0, w) AND v <= w",                // join across relations
+	"(EXISTS v . R(4, v) AND v = 1) AND NOT (EXISTS w . S(9, w))", // empty S support
+	"EXISTS v . R(7, v)",                                          // empty R support: false everywhere
+	"R(9, 9) AND EXISTS v . R(4, v) AND v = 1",                    // mixed ground + quantified
+	"(EXISTS v . R(1, v) AND v = 1) OR (EXISTS w . S(1, w) AND w = 6)",
+	"NOT (EXISTS v . R(2, v) AND v = 1)", // negated quantifier
+	// Uncoverable shapes: the inner quantifier has no positive atom,
+	// so support analysis declines and the full enumeration answers.
+	"EXISTS v . R(0, v) AND (EXISTS u . u = v)",
+	"FORALL v . NOT R(3, v) OR (EXISTS u . u = v AND u < 2)",
+}
+
+// TestClosedQuantPrunedMatchesFull pins the component-pruned
+// vectorized verification bit-for-bit against the full
+// whole-database repair enumeration and against the scan-only
+// interpreter, across all five families, and asserts via the stats
+// counters that both the pruned and the full path fired on the
+// corpus.
+func TestClosedQuantPrunedMatchesFull(t *testing.T) {
+	in := quantDiffInput(t)
+	stats := &EvalStats{}
+	in = in.WithEngine(core.NewEngine()).WithStats(stats)
+	for _, f := range core.Families {
+		for _, src := range closedDiffCorpus {
+			q := query.MustParse(src)
+			tag := fmt.Sprintf("%v %q", f, src)
+			pruned, err := Evaluate(f, in, q)
+			if err != nil {
+				t.Fatalf("%s: Evaluate: %v", tag, err)
+			}
+			full, err := EvaluateFull(f, in, q)
+			if err != nil {
+				t.Fatalf("%s: EvaluateFull: %v", tag, err)
+			}
+			if pruned != full {
+				t.Fatalf("%s: pruned=%v full=%v", tag, pruned, full)
+			}
+			// Scan-only keeps the pruned walk but interprets each
+			// combination tuple-at-a-time; answers must not move.
+			scan, err := Evaluate(f, in.WithScanOnly(true), q)
+			if err != nil {
+				t.Fatalf("%s: scan-only Evaluate: %v", tag, err)
+			}
+			if scan != pruned {
+				t.Fatalf("%s: scan-only=%v pruned=%v", tag, scan, pruned)
+			}
+		}
+	}
+	snap := stats.Snapshot()
+	if snap.ClosedPruned == 0 {
+		t.Fatal("the pruned verification path never fired on the corpus")
+	}
+	if snap.ClosedFull == 0 {
+		t.Fatal("the full enumeration path never fired on the corpus")
+	}
+}
+
+// randomQuantQuery draws a closed quantified query over R(A,B,C) from
+// a shape pool mixing coverable spines (single-atom, join, universal,
+// negated residual) with uncoverable ones (atomless inner
+// quantifiers) so random rounds exercise both evaluation paths.
+func randomQuantQuery(rng *rand.Rand) query.Expr {
+	c := func() int { return rng.Intn(3) }
+	shapes := []func() string{
+		func() string { return fmt.Sprintf("EXISTS x . R(%d, x, %d)", c(), c()) },
+		func() string { return fmt.Sprintf("EXISTS x, y . R(%d, x, y) AND x <= y", c()) },
+		func() string { return fmt.Sprintf("FORALL x . NOT R(%d, %d, x) OR x >= %d", c(), c(), c()) },
+		func() string { return fmt.Sprintf("EXISTS x . R(x, %d, %d) AND NOT R(%d, x, x)", c(), c(), c()) },
+		func() string { return fmt.Sprintf("EXISTS x, y, z . R(x, y, z) AND x = %d", c()) },
+		func() string {
+			return fmt.Sprintf("(EXISTS x . R(%d, %d, x)) AND NOT (EXISTS y . R(y, %d, %d))", c(), c(), c(), c())
+		},
+		func() string { return fmt.Sprintf("R(%d, %d, %d) OR (EXISTS v . R(%d, v, v))", c(), c(), c(), c()) },
+		// Uncoverable: the inner quantifier falls back to
+		// active-domain iteration, forcing the full path.
+		func() string { return fmt.Sprintf("EXISTS x . R(%d, x, x) AND (EXISTS u . u = x)", c()) },
+	}
+	return query.MustParse(shapes[rng.Intn(len(shapes))]())
+}
+
+// TestClosedQuantRandomMutations cross-validates pruned, full and
+// scan-only evaluation on randomly grown instances: each round
+// applies a mutation batch (inserts plus a tombstoning delete) to a
+// persistent instance, rebuilds the conflict context, randomizes the
+// priority, and requires all three answers to agree for every family
+// on a fresh random quantified query.
+func TestClosedQuantRandomMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	s := relation.MustSchema("R", relation.IntAttr("A"), relation.IntAttr("B"), relation.IntAttr("C"))
+	inst := relation.NewInstance(s)
+	fds := fd.MustParseSet(s, "A -> B", "B -> C")
+	for round := 0; round < 40; round++ {
+		// Mutation batch: a few inserts, then delete one live tuple so
+		// postings keep crossing tombstones.
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			inst.MustInsert(rng.Intn(3), rng.Intn(3), rng.Intn(3))
+		}
+		if ids := inst.AllIDs(); ids.Len() > 6 {
+			alive := ids.Slice()
+			inst.Delete(alive[rng.Intn(len(alive))])
+		}
+		rel, err := NewRelation(inst, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel.Pri = priority.Random(rel.Pri.Graph(), 0.5, rng)
+		in, err := NewInput(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := randomQuantQuery(rng)
+		for _, f := range core.Families {
+			full, err := evaluateFull(f, in, q)
+			if err != nil {
+				t.Fatalf("round %d %v: full: %v on %s", round, f, err, q)
+			}
+			pruned, err := Evaluate(f, in, q)
+			if err != nil {
+				t.Fatalf("round %d %v: pruned: %v on %s", round, f, err, q)
+			}
+			scan, err := Evaluate(f, in.WithScanOnly(true), q)
+			if err != nil {
+				t.Fatalf("round %d %v: scan: %v on %s", round, f, err, q)
+			}
+			if full != pruned || full != scan {
+				t.Fatalf("round %d %v: full=%v pruned=%v scan=%v for %s\n%s",
+					round, f, full, pruned, scan, q, rel.Pri.Graph().ASCII())
+			}
+		}
+	}
+}
+
+// TestClosedQuantForkedVersions pins snapshot isolation across the
+// pruned path: answers computed against a frozen parent version must
+// not move after the child fork is mutated, and the child's own
+// answers must agree with its full enumeration.
+func TestClosedQuantForkedVersions(t *testing.T) {
+	s := relation.MustSchema("R", relation.IntAttr("K"), relation.IntAttr("V"))
+	parent := relation.NewInstance(s)
+	a := parent.MustInsert(0, 0)
+	b := parent.MustInsert(0, 1)
+	parent.MustInsert(1, 1)
+	fds := fd.MustParseSet(s, "K -> V")
+	q := query.MustParse("EXISTS v . R(0, v) AND v < 1")
+
+	mkInput := func(inst *relation.Instance, orient bool) Input {
+		rel, err := NewRelation(inst, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orient {
+			rel.Pri.MustAdd(a, b)
+		}
+		in, err := NewInput(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	parentIn := mkInput(parent, true)
+	before, err := Evaluate(core.Global, parentIn, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != CertainlyTrue {
+		t.Fatalf("parent answer = %v, want true", before)
+	}
+
+	// Mutate the fork: kill the preferred tuple and add a new cluster.
+	child := parent.Fork()
+	child.Delete(a)
+	child.MustInsert(2, 0)
+	child.MustInsert(2, 1)
+
+	after, err := Evaluate(core.Global, parentIn, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("parent answer moved %v → %v after child mutation", before, after)
+	}
+	// The child (unoriented: the orienting edge died with a) must
+	// answer false — R(0,1) survives alone — and agree with full.
+	childIn := mkInput(child, false)
+	got, err := Evaluate(core.Global, childIn, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := EvaluateFull(core.Global, childIn, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != CertainlyFalse || got != full {
+		t.Fatalf("child: pruned=%v full=%v, want false", got, full)
+	}
+}
+
+// TestClosedQuantConcurrent is the -race exercise for the pruned
+// path: reader goroutines share one input, one memoizing engine and
+// one stats sink, repeatedly evaluating the corpus (pruned, full and
+// scan-only) against precomputed expected answers while the engine's
+// choice-set cache and the stats atomics are hammered concurrently.
+func TestClosedQuantConcurrent(t *testing.T) {
+	in := quantDiffInput(t)
+	stats := &EvalStats{}
+	in = in.WithEngine(core.NewEngine()).WithStats(stats)
+
+	want := make(map[string]Answer, len(closedDiffCorpus))
+	for _, src := range closedDiffCorpus {
+		ans, err := Evaluate(core.Global, in, query.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[src] = ans
+	}
+
+	const readers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				src := closedDiffCorpus[(w+i)%len(closedDiffCorpus)]
+				q := query.MustParse(src)
+				ans, err := Evaluate(core.Global, in, q)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %v", w, err)
+					return
+				}
+				if ans != want[src] {
+					errs <- fmt.Errorf("reader %d: %q = %v, want %v", w, src, ans, want[src])
+					return
+				}
+				if i%3 == 0 {
+					full, err := EvaluateFull(core.Global, in, q)
+					if err != nil || full != want[src] {
+						errs <- fmt.Errorf("reader %d: full %q = %v, %v", w, src, full, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// FuzzClosedEquivalence parses arbitrary query text and, for every
+// accepted closed formula over the fixture's schemas, requires the
+// dispatching evaluator (ground-pruned, quantified-pruned or full,
+// whichever fires), the pinned full enumeration and the scan-only
+// interpreter to agree for every family. Run with
+// `go test -fuzz=FuzzClosedEquivalence ./internal/cqa` to explore.
+func FuzzClosedEquivalence(f *testing.F) {
+	for _, s := range closedDiffCorpus {
+		f.Add(s)
+	}
+	f.Add("R(0, 0)")
+	f.Add("EXISTS k, v . R(k, v) AND S(k, v)")
+	f.Add("FORALL k, v . NOT S(k, v) OR k < v OR k = 0")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := query.Parse(src)
+		if err != nil {
+			return
+		}
+		in := quantDiffInput(t)
+		if query.Validate(q, in.schemas()) != nil || !query.IsClosed(q) {
+			return
+		}
+		for _, fam := range core.Families {
+			pruned, errP := Evaluate(fam, in, q)
+			full, errF := EvaluateFull(fam, in, q)
+			scan, errS := Evaluate(fam, in.WithScanOnly(true), q)
+			if (errP == nil) != (errF == nil) || (errS == nil) != (errF == nil) {
+				t.Fatalf("%v: error mismatch pruned=%v full=%v scan=%v for %s", fam, errP, errF, errS, q)
+			}
+			if errF == nil && (pruned != full || scan != full) {
+				t.Fatalf("%v: pruned=%v full=%v scan=%v for %s", fam, pruned, full, scan, q)
+			}
+		}
+	})
+}

@@ -271,7 +271,10 @@ func EvaluateFull(f core.Family, in Input, q query.Expr) (Answer, error) {
 // evaluateClosed dispatches evaluation of an already-validated closed
 // query. Kind-mismatched constants inside atoms (which arise when
 // open queries are instantiated over the mixed active domain) simply
-// make the atom false.
+// make the atom false. Ground queries take the ground pruned walk;
+// quantified queries take the quantified pruned walk when the support
+// analysis proves it sound (no quantifier falls back to active-domain
+// iteration); everything else enumerates the full repair product.
 func evaluateClosed(f core.Family, in Input, q query.Expr) (Answer, error) {
 	if err := in.ctx().Err(); err != nil {
 		return 0, err
@@ -279,10 +282,14 @@ func evaluateClosed(f core.Family, in Input, q query.Expr) (Answer, error) {
 	if query.IsGround(q) {
 		return evaluateGroundPruned(f, in, q)
 	}
+	if ans, handled, err := evaluateQuantPruned(f, in, q); handled {
+		return ans, err
+	}
 	return evaluateFull(f, in, q)
 }
 
 func evaluateFull(f core.Family, in Input, q query.Expr) (Answer, error) {
+	in.Stats.noteClosed(false)
 	seenTrue, seenFalse := false, false
 	var evalErr error
 	walkErr := in.forEachPreferredRepair(f, func(subsets map[string]*bitset.Set) bool {
@@ -328,6 +335,7 @@ func verdict(seenTrue, seenFalse bool) (Answer, error) {
 // non-empty). The enumeration is then exponential only in the
 // touched components.
 func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error) {
+	in.Stats.noteClosed(true)
 	// Identify the touched tuple IDs per relation. The query mentions
 	// O(|Q|) tuples, so the touched sets are small slices, not
 	// instance-sized bitsets.
@@ -466,4 +474,146 @@ func evaluateGroundPruned(f core.Family, in Input, q query.Expr) (Answer, error)
 		return CertainlyFalse, nil
 	}
 	return verdict(seenTrue, seenFalse)
+}
+
+// evaluateQuantPruned extends the ground pruning to quantified closed
+// queries. The support analysis (query.AnalyzeSupport) computes,
+// per relation, every live tuple ID any atom of the query could bind
+// — the posting intersection of each atom's constant positions, or
+// the whole relation for constant-free atoms — and proves the verdict
+// a function of the visible touched tuples alone (no quantifier falls
+// back to active-domain iteration). Only the conflict components
+// containing touched tuples can then vary the answer: the walk
+// enumerates their choice product (single-choice components are fixed
+// into a per-relation base once, multi-choice ones are swapped in
+// place), leaving untouched components invisible — observationally
+// identical to fixing them to an arbitrary preferred choice. The
+// query itself is compiled once (query.PrepareClosed) and re-run per
+// combination by swapping visibility subsets; ScanOnly inputs keep
+// the pruned walk but evaluate tuple-at-a-time per combination.
+//
+// handled=false means the support analysis declined (the verdict may
+// depend on tuples outside the atoms' reach) and the caller must fall
+// back to the full enumeration.
+func evaluateQuantPruned(f core.Family, in Input, q query.Expr) (ans Answer, handled bool, err error) {
+	sup, ok := query.AnalyzeSupport(q, query.DBModel{DB: in.DB})
+	if !ok {
+		return 0, false, nil
+	}
+	in.Stats.noteClosed(true)
+	eng := in.engine()
+	ctx := in.ctx()
+	// Per touched relation: resolve the touched components' choice
+	// sets, fix single-choice components into the relation's base
+	// subset, and queue multi-choice components for the walk.
+	type multiComp struct {
+		set     *bitset.Set // the relation's visible subset, mutated in place
+		choices []*bitset.Set
+	}
+	subsets := make(map[string]*bitset.Set)
+	var multi []multiComp
+	for _, r := range in.Rels {
+		name := r.Inst.Schema().Name()
+		ids, all := sup.TouchedIDs(name)
+		if !all && (ids == nil || ids.Empty()) {
+			// Untouched relation: left fully visible, like the ground
+			// path — no atom can bind any of its tuples anyway.
+			continue
+		}
+		g := r.Pri.Graph()
+		var lists [][]*bitset.Set
+		if all {
+			lists, err = eng.ComponentChoicesCtx(ctx, f, r.Pri)
+		} else {
+			compIDs := make([]int, 0, ids.Len())
+			ids.Range(func(id int) bool {
+				compIDs = append(compIDs, g.ComponentOf(id))
+				return true
+			})
+			sort.Ints(compIDs)
+			var comps [][]int
+			for i, cid := range compIDs {
+				if i > 0 && cid == compIDs[i-1] {
+					continue
+				}
+				comps = append(comps, g.Component(cid))
+			}
+			lists, err = eng.ChoicesForCtx(ctx, f, r.Pri, comps)
+		}
+		if err != nil {
+			return 0, true, err
+		}
+		set := bitset.New(g.Len())
+		for _, cs := range lists {
+			switch {
+			case len(cs) == 0:
+				return 0, true, fmt.Errorf("cqa: component with no preferred choice (P1 violated?)")
+			case len(cs) == 1:
+				set.UnionWith(cs[0])
+			default:
+				multi = append(multi, multiComp{set: set, choices: cs})
+			}
+		}
+		subsets[name] = set
+	}
+	// Compile once, swap visibility per combination. ScanOnly keeps
+	// the ablation honest: the pruned walk still applies (it is a
+	// repair-enumeration optimization, not an access path), but each
+	// combination evaluates through the tuple-at-a-time interpreter.
+	model := in.model(subsets)
+	var prep *query.Prepared
+	if !in.ScanOnly {
+		if cm, columnar := model.(query.ColumnarModel); columnar {
+			prep, _ = query.PrepareClosed(cm, q)
+		}
+	}
+	evalOnce := func() (bool, error) {
+		if prep != nil {
+			return prep.Eval(ctx)
+		}
+		return query.EvalCtx(in.Ctx, q, model)
+	}
+	seenTrue, seenFalse := false, false
+	var evalErr error
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(multi) {
+			if err := ctx.Err(); err != nil {
+				evalErr = err
+				return false
+			}
+			holds, err := evalOnce()
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if holds {
+				seenTrue = true
+			} else {
+				seenFalse = true
+			}
+			return !(seenTrue && seenFalse)
+		}
+		mc := multi[i]
+		for _, c := range mc.choices {
+			// Components are disjoint, so the in-place union/difference
+			// swap is exact (the same walk EnumerateCtx performs).
+			mc.set.UnionWith(c)
+			cont := rec(i + 1)
+			mc.set.DifferenceWith(c)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	if evalErr != nil {
+		return 0, true, evalErr
+	}
+	// len(multi) == 0 evaluates exactly once: every touched component
+	// is single-choice (or nothing is touched at all), so all
+	// preferred repairs agree and the single verdict is certain.
+	ans, err = verdict(seenTrue, seenFalse)
+	return ans, true, err
 }

@@ -69,6 +69,10 @@ var openDiffCorpus = []string{
 	// agree with the unpruned fallback semantics.
 	"EXISTS s . Emp(x, s) AND Dept(x, 35)",
 	"Emp(n, 35)",
+	// The inner quantifier has no positive atom, so the closed checks
+	// behind candidate verification cannot be support-pruned: this
+	// entry keeps the full-enumeration path alive in the corpus.
+	"Emp(n, s) AND (EXISTS u . u = s)",
 }
 
 // TestFreeAnswersDirectMatchesSubstitution pins the direct
@@ -119,6 +123,15 @@ func TestFreeAnswersDirectMatchesSubstitution(t *testing.T) {
 	}
 	if snap.OpenFallback == 0 {
 		t.Fatal("substitution fallback never fired on the corpus")
+	}
+	// Candidate verification runs closed checks underneath: both the
+	// pruned (ground / support-covered quantified) path and the full
+	// enumeration (uncoverable quantifiers) must have fired.
+	if snap.ClosedPruned == 0 {
+		t.Fatal("pruned closed verification never fired on the corpus")
+	}
+	if snap.ClosedFull == 0 {
+		t.Fatal("full closed verification never fired on the corpus")
 	}
 }
 

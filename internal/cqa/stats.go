@@ -18,6 +18,8 @@ type EvalStats struct {
 	spineWcoj    atomic.Int64
 	spineYan     atomic.Int64
 	spineGreedy  atomic.Int64
+	closedPruned atomic.Int64
+	closedFull   atomic.Int64
 }
 
 // EvalStatsSnapshot is a point-in-time copy of the counters.
@@ -30,6 +32,13 @@ type EvalStatsSnapshot struct {
 	SpineWcoj       int64
 	SpineYannakakis int64
 	SpineGreedy     int64
+	// ClosedPruned / ClosedFull count closed-query evaluations (both
+	// direct Evaluate calls and per-candidate open-query verifies)
+	// answered by the component-pruned repair walk (ground or
+	// quantified with a sound support analysis) vs the full
+	// whole-database repair enumeration.
+	ClosedPruned int64
+	ClosedFull   int64
 }
 
 // Snapshot copies the counters; safe on a nil receiver (all zero).
@@ -43,6 +52,22 @@ func (s *EvalStats) Snapshot() EvalStatsSnapshot {
 		SpineWcoj:       s.spineWcoj.Load(),
 		SpineYannakakis: s.spineYan.Load(),
 		SpineGreedy:     s.spineGreedy.Load(),
+		ClosedPruned:    s.closedPruned.Load(),
+		ClosedFull:      s.closedFull.Load(),
+	}
+}
+
+// noteClosed records one closed-query evaluation: pruned says whether
+// the component-pruned walk answered it (vs the full whole-database
+// repair enumeration).
+func (s *EvalStats) noteClosed(pruned bool) {
+	if s == nil {
+		return
+	}
+	if pruned {
+		s.closedPruned.Add(1)
+	} else {
+		s.closedFull.Add(1)
 	}
 }
 

@@ -112,6 +112,14 @@ func FuzzPlanEquivalence(f *testing.F) {
 		"EXISTS a, b, c . R(a, b) AND S(b, c) AND T(c, a)",                                           // kind-mismatched triangle
 		"EXISTS a, b, c, d . R(a, b) AND R(a, c) AND R(a, d) AND T(b, c) AND T(b, d) AND R(c, d)",    // 4-clique
 		"EXISTS a, b, c, d, e . R(a, b) AND T(b, c) AND R(c, a) AND T(a, d) AND R(d, e) AND T(e, a)", // bowtie
+		// Quantified closed skeletons: boolean combinations of
+		// quantifiers and ground leaves — the shapes the CQA layer
+		// compiles once via PrepareClosed and re-runs per repair.
+		"(EXISTS x . R(0, x)) AND NOT (EXISTS y . S(y, 'n1'))",
+		"(FORALL a, b . NOT R(a, b) OR a <= 1) OR (EXISTS x . T(x, 0))",
+		"R(0, 0) AND (EXISTS v . T(1, v) AND v > 0)",
+		"NOT ((EXISTS x . R(x, x)) AND (FORALL y . NOT T(y, 2) OR y = 1))",
+		"EXISTS x . R(x, 0) AND NOT (EXISTS y . S(y, 'n0') AND y = x)", // nested quantifier residual
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,218 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"prefcqa/internal/bitset"
+	"prefcqa/internal/relation"
+)
+
+// supportModel is fuzzPlanModel exposed as a DBModel whose Subsets
+// map the tests own: R(A,B) with a tombstone at id 1, S(C,D) with a
+// name column, T(E,F) with a tombstone at id 2.
+func supportModel() DBModel {
+	return fuzzPlanModel().(DBModel)
+}
+
+// TestAnalyzeSupportCoverage pins the domain-freedom gate: a query is
+// prunable iff every quantifier (after the ∀ ⇒ ¬∃¬ rewrite) is
+// spine-covered, recursively through residual conjuncts.
+func TestAnalyzeSupportCoverage(t *testing.T) {
+	m := supportModel()
+	cases := []struct {
+		src string
+		ok  bool
+	}{
+		{"TRUE", true},
+		{"R(0, 0)", true},
+		{"EXISTS x . R(0, x)", true},
+		{"EXISTS x, y . R(x, y)", true},
+		{"EXISTS x . x = 1 AND R(1, x)", true},
+		{"FORALL a, b . NOT R(a, b) OR a <= 2", true}, // rewrite: ∃a,b. R(a,b) ∧ a > 2
+		{"EXISTS x . R(x, 0) AND NOT (EXISTS y . S(y, 'n1') AND y = x)", true},
+		{"(EXISTS x . R(0, x)) AND NOT (EXISTS y . T(y, y))", true},
+		// The canonical counterexample: x occurs in no positive atom,
+		// so evaluation falls back to active-domain iteration and the
+		// verdict can depend on tuples no atom mentions.
+		{"EXISTS x . x = 1 AND NOT S(x, 'n0')", false},
+		{"EXISTS x . x = 1", false},                          // no atom at all
+		{"FORALL x . R(x, 0)", false},                        // rewrite: ∃x. ¬R(x,0) — negative only
+		{"EXISTS x . NOT R(x, x)", false},                    // negative atom only
+		{"EXISTS x, y . R(x, 0) AND y = x", false},           // y uncovered
+		{"EXISTS x . R(x, 0) AND (EXISTS u . u = x)", false}, // uncovered residual quantifier
+		{"EXISTS x . Nope(x)", false},                        // no backing
+	}
+	for _, c := range cases {
+		sup, ok := AnalyzeSupport(MustParse(c.src), m)
+		if ok != c.ok {
+			t.Errorf("AnalyzeSupport(%q) ok = %v, want %v", c.src, ok, c.ok)
+		}
+		if ok && sup == nil {
+			t.Errorf("AnalyzeSupport(%q): ok with nil support", c.src)
+		}
+	}
+}
+
+// TestAnalyzeSupportTouchedIDs pins the per-relation touched sets:
+// posting intersections over constant positions, tombstone filtering,
+// the whole-relation escalation for const-free atoms, and untouched
+// relations staying absent.
+func TestAnalyzeSupportTouchedIDs(t *testing.T) {
+	m := supportModel()
+	// R's tuples are (0,0) (1,2)† (2,1), † = tombstoned (id 1). The
+	// A = 2 posting is the single live id 2.
+	sup, ok := AnalyzeSupport(MustParse("EXISTS x . R(2, x)"), m)
+	if !ok {
+		t.Fatal("support declined")
+	}
+	ids, all := sup.TouchedIDs("R")
+	if all || ids == nil || ids.Len() != 1 || !ids.Has(2) {
+		t.Fatalf("R touched = (%v, all=%v), want {2}", ids, all)
+	}
+	if got := sup.Relations(); len(got) != 1 || got[0] != "R" {
+		t.Fatalf("Relations() = %v, want [R]", got)
+	}
+	if ids, all := sup.TouchedIDs("S"); all || ids != nil {
+		t.Fatalf("untouched S reported (%v, all=%v)", ids, all)
+	}
+
+	// Tombstone filtering: the A = 1 posting holds only the dead id 1,
+	// so the touched set is empty — the verdict cannot depend on R.
+	sup, _ = AnalyzeSupport(MustParse("EXISTS x . R(1, x)"), m)
+	ids, all = sup.TouchedIDs("R")
+	if all || ids == nil || !ids.Empty() {
+		t.Fatalf("dead posting should touch nothing, got (%v, all=%v)", ids, all)
+	}
+
+	// Two constant positions intersect: R(0, 1) matches nothing (the
+	// A = 0 tuple has B = 0), R(0, 0) matches exactly id 0.
+	sup, _ = AnalyzeSupport(MustParse("R(0, 1) OR R(0, 0)"), m)
+	ids, all = sup.TouchedIDs("R")
+	if all || ids.Len() != 1 || !ids.Has(0) {
+		t.Fatalf("R touched = (%v, all=%v), want {0}", ids, all)
+	}
+
+	// A const-free atom anywhere escalates the relation to All, even
+	// when another atom is constant-constrained.
+	sup, _ = AnalyzeSupport(MustParse("EXISTS x, y . R(x, y) AND R(0, y)"), m)
+	if ids, all := sup.TouchedIDs("R"); !all || ids != nil {
+		t.Fatalf("const-free atom should touch all of R, got (%v, all=%v)", ids, all)
+	}
+
+	// Atoms under negation and inside quantifier bodies count too.
+	sup, _ = AnalyzeSupport(MustParse("EXISTS x . R(0, x) AND NOT T(1, x)"), m)
+	ids, all = sup.TouchedIDs("T")
+	if all || ids == nil || ids.Empty() {
+		t.Fatalf("negated T atom not touched: (%v, all=%v)", ids, all)
+	}
+}
+
+// preparedCorpus is the closed-query mix the Prepared differential
+// pins: ground leaves, single and multi-atom spines, negation,
+// universals, disjunctive skeletons, unsatisfiable plans (kind
+// mismatch) and nested quantifiers in residuals.
+var preparedCorpus = []string{
+	"TRUE",
+	"R(0, 0) AND NOT R(2, 2)",
+	"EXISTS x . R(0, x)",
+	"EXISTS x, y . R(x, y) AND S(y, 'n0')",
+	"EXISTS x . R(x, x) AND NOT S(x, 'n1')",
+	"FORALL a, b . NOT R(a, b) OR a <= 2",
+	"(EXISTS x . R(0, x)) OR (EXISTS y . T(y, 3))",
+	"(EXISTS x . R(2, x)) AND NOT (EXISTS y, z . T(y, z) AND y > z)",
+	"EXISTS x . R('name', x)", // kind mismatch: unsatisfiable plan
+	"EXISTS a, b, c . R(a, b) AND T(b, c)",
+	"EXISTS a, b, c . R(a, b) AND T(b, c) AND R(c, a)", // triangle: WCOJ executor
+	"EXISTS x . R(x, 0) AND NOT (EXISTS y . S(y, 'n1') AND y = x)",
+}
+
+// TestPreparedEvalMatchesEvalCtx compiles each corpus query once and
+// re-evaluates it under many random visibility subsets, requiring
+// bit-for-bit agreement with the one-shot production path and the
+// naive active-domain baseline — the exact contract the CQA repair
+// sweep relies on when it swaps subsets between Eval calls.
+func TestPreparedEvalMatchesEvalCtx(t *testing.T) {
+	m := supportModel()
+	subsets := make(map[string]*bitset.Set)
+	m.Subsets = subsets
+	rng := rand.New(rand.NewSource(61))
+	ctx := context.Background()
+	for _, src := range preparedCorpus {
+		q := MustParse(src)
+		prep, ok := PrepareClosed(m, q)
+		if !ok {
+			t.Fatalf("PrepareClosed declined %q", src)
+		}
+		for round := 0; round < 40; round++ {
+			// Random visibility per relation; occasionally drop the
+			// entry entirely (full visibility), as the CQA walk does
+			// for untouched relations.
+			for _, rel := range m.Relations() {
+				if rng.Intn(5) == 0 {
+					delete(subsets, rel)
+					continue
+				}
+				inst, _ := m.DB.Relation(rel)
+				sub := bitset.New(inst.NumIDs())
+				inst.RangeIDs(func(id relation.TupleID) bool {
+					if rng.Intn(2) == 0 {
+						sub.Add(id)
+					}
+					return true
+				})
+				subsets[rel] = sub
+			}
+			got, err := prep.Eval(ctx)
+			if err != nil {
+				t.Fatalf("%q round %d: Prepared.Eval: %v", src, round, err)
+			}
+			want, err := EvalCtx(ctx, q, m)
+			if err != nil {
+				t.Fatalf("%q round %d: EvalCtx: %v", src, round, err)
+			}
+			naive, err := EvalNaive(q, m)
+			if err != nil {
+				t.Fatalf("%q round %d: EvalNaive: %v", src, round, err)
+			}
+			if got != want || got != naive {
+				t.Fatalf("%q round %d: prepared=%v planned=%v naive=%v (subsets %v)",
+					src, round, got, want, naive, subsets)
+			}
+		}
+	}
+}
+
+// TestPrepareClosedDeclines pins that uncoverable quantifiers decline
+// preparation (the caller falls back to EvalCtx) instead of compiling
+// something unsound.
+func TestPrepareClosedDeclines(t *testing.T) {
+	m := supportModel()
+	for _, src := range []string{
+		"EXISTS x . x = 1 AND NOT S(x, 'n0')",
+		"FORALL x . R(x, 0)",
+		"EXISTS x . NOT R(x, x)",
+	} {
+		if prep, ok := PrepareClosed(m, MustParse(src)); ok || prep != nil {
+			t.Errorf("PrepareClosed(%q) = (%v, %v), want decline", src, prep, ok)
+		}
+	}
+}
+
+// TestAnalyzeSupportImpliesPrepares pins the layering contract
+// documented on PrepareClosed: every query the support analysis
+// accepts must also prepare, so the CQA walk never computes a pruned
+// component product it then cannot evaluate vectorized.
+func TestAnalyzeSupportImpliesPrepares(t *testing.T) {
+	m := supportModel()
+	for _, src := range preparedCorpus {
+		q := MustParse(src)
+		if _, ok := AnalyzeSupport(q, m); !ok {
+			continue
+		}
+		if _, ok := PrepareClosed(m, q); !ok {
+			t.Errorf("%q: accepted by AnalyzeSupport but declined by PrepareClosed", src)
+		}
+	}
+}

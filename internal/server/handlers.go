@@ -391,6 +391,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			WcojSpines:   qs.SpineWcoj,
 			YanSpines:    qs.SpineYannakakis,
 			GreedySpines: qs.SpineGreedy,
+			ClosedPruned: qs.ClosedPruned,
+			ClosedFull:   qs.ClosedFull,
 			Relations:    map[string]client.RelationStats{},
 		}
 		// Relation detail comes from the already-cached snapshot only:

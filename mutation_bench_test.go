@@ -69,6 +69,20 @@ func BenchmarkOpenQuerySubst(b *testing.B) {
 	bench.OpenQueryWorkload(2_000, "subst")(b)
 }
 
+// The verification benchmarks reuse bench.VerifyWorkload: one
+// quantified closed certain-answer check over a multi-component
+// instance, answered by the component-pruned vectorized repair walk
+// (asserted inside the workload) vs the pinned full whole-database
+// enumeration.
+
+func BenchmarkVerifyQueryPruned(b *testing.B) {
+	bench.VerifyWorkload(2_000, "pruned")(b)
+}
+
+func BenchmarkVerifyQueryFull(b *testing.B) {
+	bench.VerifyWorkload(2_000, "full")(b)
+}
+
 // The cyclic-join benchmarks reuse bench.CyclicWorkload: an empty
 // triangle join, answered by the worst-case-optimal generic join (the
 // cost-based default, asserted inside the workload) vs the vectorized

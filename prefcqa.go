@@ -928,11 +928,13 @@ func (db *DB) EngineStats() (hits, misses int64) {
 	return db.engine.CacheStats()
 }
 
-// QueryStats returns the cumulative open-query path counters: how
-// many open queries were answered by direct spine enumeration vs
-// active-domain substitution, and which vectorized executor (generic
-// join, Yannakakis, greedy) ran the direct spines. Snapshots taken
-// from this DB feed the same counters.
+// QueryStats returns the cumulative query path counters: how many
+// open queries were answered by direct spine enumeration vs
+// active-domain substitution, which vectorized executor (generic
+// join, Yannakakis, greedy) ran the direct spines, and how many
+// closed verifications took the component-pruned repair walk vs the
+// full whole-database enumeration. Snapshots taken from this DB feed
+// the same counters.
 func (db *DB) QueryStats() cqa.EvalStatsSnapshot {
 	return db.stats.Snapshot()
 }

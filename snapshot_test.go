@@ -152,6 +152,12 @@ func TestConcurrentQueriesAndMutations(t *testing.T) {
 						errs <- err
 						return
 					}
+					// Quantified: the component-pruned vectorized
+					// verification must be race-free on snapshots too.
+					if _, err := snap.Query(Global, "EXISTS v . R(0, v) AND v >= 0"); err != nil {
+						errs <- err
+						return
+					}
 					c2, err := snap.CountRepairs(Local, "R")
 					if err != nil {
 						errs <- err
