@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -17,8 +19,10 @@ import (
 // Client drives a prefserve server. It is safe for concurrent use;
 // all methods honor the passed context.
 type Client struct {
-	base string
-	http *http.Client
+	base      string
+	http      *http.Client
+	retries   int
+	retryBase time.Duration
 }
 
 // Option configures a Client.
@@ -28,6 +32,20 @@ type Option func(*Client)
 // transports, timeouts, or test doubles).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.http = hc }
+}
+
+// WithRetry makes idempotent read requests (Query, QueryOpen,
+// CountRepairs, Repairs, Explain, Stats, Health) retry up to max
+// times when the server sheds them with HTTP 503 (admission control),
+// sleeping an exponentially growing, jittered backoff between
+// attempts (base, 2·base, 4·base, ... ±50%; base <= 0 selects 10ms).
+// Off by default; writes are never retried — a shed write's fate is
+// the caller's decision.
+func WithRetry(max int, base time.Duration) Option {
+	return func(c *Client) {
+		c.retries = max
+		c.retryBase = base
+	}
 }
 
 // New returns a client for the server at base, e.g.
@@ -101,6 +119,68 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 	return nil
 }
 
+// doRead is do with the WithRetry policy applied: a 503 admission
+// shed is retried after a jittered backoff, up to the configured cap.
+// Only used for idempotent reads — re-sending one is always safe.
+func (c *Client) doRead(ctx context.Context, path string, in, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.do(ctx, path, in, out)
+		if !c.shouldRetry(err, attempt) {
+			return err
+		}
+		if err := c.backoff(ctx, attempt); err != nil {
+			return err
+		}
+	}
+}
+
+// sendRead is send + status check with the WithRetry policy applied;
+// it returns an open response the caller must close. Used by the
+// streaming and GET reads.
+func (c *Client) sendRead(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.send(ctx, method, path, in)
+		if err == nil {
+			if err = responseError(resp); err == nil {
+				return resp, nil
+			}
+			resp.Body.Close()
+		}
+		if !c.shouldRetry(err, attempt) {
+			return nil, err
+		}
+		if err := c.backoff(ctx, attempt); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (c *Client) shouldRetry(err error, attempt int) bool {
+	if c.retries <= 0 || attempt >= c.retries {
+		return false
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable
+}
+
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	base := c.retryBase
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	d := base << attempt
+	// Jitter to ±50% so shed clients do not re-arrive in lockstep.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
 	var body io.Reader
 	if in != nil {
@@ -135,13 +215,16 @@ func responseError(resp *http.Response) error {
 	if json.Unmarshal(blob, &e) != nil || e.Error == "" {
 		e.Error = strings.TrimSpace(string(blob))
 	}
-	return &APIError{Status: resp.StatusCode, Message: e.Error}
+	return &APIError{Status: resp.StatusCode, Message: e.Error, Primary: e.Primary}
 }
 
 // APIError is a non-2xx server response.
 type APIError struct {
 	Status  int
 	Message string
+	// Primary is set on HTTP 421 (write sent to a replication
+	// follower): the primary's URL to retry against.
+	Primary string
 }
 
 func (e *APIError) Error() string {
@@ -212,7 +295,7 @@ func (c *Client) Prefer(ctx context.Context, db, rel string, pairs ...[2]int) (u
 func (c *Client) Query(ctx context.Context, db string, f prefcqa.Family, query string, opts ...ReadOption) (prefcqa.Answer, error) {
 	var out QueryResponse
 	req := QueryRequest{DB: db, Family: f.String(), Query: query, ReadOptions: readOptions(opts)}
-	if err := c.do(ctx, PathQuery, req, &out); err != nil {
+	if err := c.doRead(ctx, PathQuery, req, &out); err != nil {
 		return 0, err
 	}
 	return parseAnswer(out.Answer)
@@ -237,7 +320,7 @@ func parseAnswer(s string) (prefcqa.Answer, error) {
 func (c *Client) QueryOpen(ctx context.Context, db string, f prefcqa.Family, query string, opts ...ReadOption) ([]map[string]string, error) {
 	var out QueryOpenResponse
 	req := QueryRequest{DB: db, Family: f.String(), Query: query, ReadOptions: readOptions(opts)}
-	if err := c.do(ctx, PathQueryOpen, req, &out); err != nil {
+	if err := c.doRead(ctx, PathQueryOpen, req, &out); err != nil {
 		return nil, err
 	}
 	return out.Bindings, nil
@@ -248,7 +331,7 @@ func (c *Client) QueryOpen(ctx context.Context, db string, f prefcqa.Family, que
 func (c *Client) CountRepairs(ctx context.Context, db string, f prefcqa.Family, rel string, opts ...ReadOption) (int64, error) {
 	var out CountResponse
 	req := CountRequest{DB: db, Family: f.String(), Relation: rel, ReadOptions: readOptions(opts)}
-	if err := c.do(ctx, PathCount, req, &out); err != nil {
+	if err := c.doRead(ctx, PathCount, req, &out); err != nil {
 		return 0, err
 	}
 	return out.Count, nil
@@ -260,14 +343,11 @@ func (c *Client) CountRepairs(ctx context.Context, db string, f prefcqa.Family, 
 // truncated the enumeration at the cap.
 func (c *Client) Repairs(ctx context.Context, db string, f prefcqa.Family, rel string, max int, yield func(*prefcqa.Instance) bool, opts ...ReadOption) (truncated bool, err error) {
 	req := RepairsRequest{DB: db, Family: f.String(), Relation: rel, Max: max, ReadOptions: readOptions(opts)}
-	resp, err := c.send(ctx, http.MethodPost, PathRepairs, req)
+	resp, err := c.sendRead(ctx, http.MethodPost, PathRepairs, req)
 	if err != nil {
 		return false, err
 	}
 	defer resp.Body.Close()
-	if err := responseError(resp); err != nil {
-		return false, err
-	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
 	for sc.Scan() {
@@ -301,20 +381,17 @@ func (c *Client) Repairs(ctx context.Context, db string, f prefcqa.Family, rel s
 func (c *Client) Explain(ctx context.Context, db, query string, opts ...ReadOption) (ExplainResponse, error) {
 	var out ExplainResponse
 	req := ExplainRequest{DB: db, Query: query, ReadOptions: readOptions(opts)}
-	err := c.do(ctx, PathExplain, req, &out)
+	err := c.doRead(ctx, PathExplain, req, &out)
 	return out, err
 }
 
 // Stats samples the server's observability counters.
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
-	resp, err := c.send(ctx, http.MethodGet, PathStats, nil)
+	resp, err := c.sendRead(ctx, http.MethodGet, PathStats, nil)
 	if err != nil {
 		return StatsResponse{}, err
 	}
 	defer resp.Body.Close()
-	if err := responseError(resp); err != nil {
-		return StatsResponse{}, err
-	}
 	var out StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return StatsResponse{}, fmt.Errorf("client: decoding stats: %w", err)
@@ -324,10 +401,19 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 
 // Health probes the server's liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
-	resp, err := c.send(ctx, http.MethodGet, PathHealth, nil)
+	resp, err := c.sendRead(ctx, http.MethodGet, PathHealth, nil)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	return responseError(resp)
+	return resp.Body.Close()
+}
+
+// Promote asks a follower server to start accepting writes at the
+// exact sequence where its primary stopped, bumping the fencing epoch
+// (see PathPromote). It fails with HTTP 409 on a server that is not a
+// follower.
+func (c *Client) Promote(ctx context.Context) (PromoteResponse, error) {
+	var out PromoteResponse
+	err := c.do(ctx, PathPromote, nil, &out)
+	return out, err
 }

@@ -1,0 +1,208 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prefcqa"
+)
+
+// flakyHandler sheds the first fail requests to path with 503, then
+// answers normally via next.
+type flakyHandler struct {
+	fail  int32
+	calls atomic.Int32
+	next  http.Handler
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.calls.Add(1)
+	if n <= atomic.LoadInt32(&f.fail) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "shedding load"}) //nolint:errcheck // test stub
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+func TestRetryOnOverload(t *testing.T) {
+	fh := &flakyHandler{fail: 2, next: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(QueryResponse{Answer: "true", Version: 7}) //nolint:errcheck // test stub
+	})}
+	srv := httptest.NewServer(fh)
+	defer srv.Close()
+
+	// Without WithRetry, 503 surfaces immediately: the default client
+	// never hides overload.
+	c := New(srv.URL)
+	_, err := c.Query(context.Background(), "db", prefcqa.Global, "R(1)")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("without retry: err = %v, want 503 APIError", err)
+	}
+	if got := fh.calls.Load(); got != 1 {
+		t.Fatalf("without retry the client called %d times, want 1", got)
+	}
+
+	// With retry, the two sheds are absorbed and the third attempt
+	// answers.
+	fh.calls.Store(0)
+	rc := New(srv.URL, WithRetry(3, time.Millisecond))
+	ans, err := rc.Query(context.Background(), "db", prefcqa.Global, "R(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans != prefcqa.True {
+		t.Fatalf("answer = %v, want true", ans)
+	}
+	if got := fh.calls.Load(); got != 3 {
+		t.Fatalf("with retry the client called %d times, want 3", got)
+	}
+}
+
+func TestRetryGivesUpAndSkipsNonRetryable(t *testing.T) {
+	fh := &flakyHandler{fail: 100, next: http.NotFoundHandler()}
+	srv := httptest.NewServer(fh)
+	defer srv.Close()
+	c := New(srv.URL, WithRetry(2, time.Millisecond))
+
+	// Budget exhausted: 1 attempt + 2 retries, then the 503 surfaces.
+	_, err := c.Query(context.Background(), "db", prefcqa.Global, "R(1)")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if got := fh.calls.Load(); got != 3 {
+		t.Fatalf("client called %d times, want 3 (1 + 2 retries)", got)
+	}
+
+	// A definitive status is never retried.
+	atomic.StoreInt32(&fh.fail, 0)
+	fh.calls.Store(0)
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "bad query"}) //nolint:errcheck // test stub
+	}))
+	defer srv2.Close()
+	var calls atomic.Int32
+	counted := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "bad query"}) //nolint:errcheck // test stub
+	}))
+	defer counted.Close()
+	c400 := New(counted.URL, WithRetry(3, time.Millisecond))
+	if _, err := c400.Query(context.Background(), "db", prefcqa.Global, "R(1)"); err == nil {
+		t.Fatal("400 did not surface")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("400 was retried: %d calls, want 1", got)
+	}
+}
+
+// TestWritesAreNeverRetried: a mutation observed by the server may
+// have applied even when the response was lost or shed — blind
+// re-sending would double-apply. Only idempotent reads retry.
+func TestWritesAreNeverRetried(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "shedding load"}) //nolint:errcheck // test stub
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetry(5, time.Millisecond))
+	tup, _ := prefcqa.MakeTuple(1, 2)
+	if _, _, err := c.Insert(context.Background(), "db", "R", tup); err == nil {
+		t.Fatal("insert against a 503 server did not fail")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("write was sent %d times, want exactly 1", got)
+	}
+}
+
+func TestReplicaSetWriteRedirectAndReadRotation(t *testing.T) {
+	// A fake primary that accepts writes and counts reads.
+	var primaryWrites, primaryReads atomic.Int32
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case PathInsert:
+			primaryWrites.Add(1)
+			json.NewEncoder(w).Encode(InsertResponse{IDs: []int{0}, Version: 5}) //nolint:errcheck // test stub
+		case PathQuery:
+			primaryReads.Add(1)
+			json.NewEncoder(w).Encode(QueryResponse{Answer: "true", Version: 5}) //nolint:errcheck // test stub
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer primary.Close()
+
+	// A follower that refuses writes with 421 naming the primary and
+	// answers reads, verifying the ReplicaSet injected the write
+	// watermark as min_version.
+	var replicaReads atomic.Int32
+	var sawMinVersion atomic.Int32
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case PathInsert:
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			json.NewEncoder(w).Encode(ErrorResponse{Error: "read-only replica", Primary: primary.URL}) //nolint:errcheck // test stub
+		case PathQuery:
+			var req QueryRequest
+			json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck // test stub
+			if req.MinVersion == 5 {
+				sawMinVersion.Add(1)
+			}
+			replicaReads.Add(1)
+			json.NewEncoder(w).Encode(QueryResponse{Answer: "true", Version: 5}) //nolint:errcheck // test stub
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer replica.Close()
+
+	// Point the set's "primary" at the replica: the first write is
+	// refused with 421 and transparently re-routed.
+	rs := NewReplicaSet(replica.URL, []string{replica.URL})
+	tup, _ := prefcqa.MakeTuple(1, 2)
+	_, v, err := rs.Insert(context.Background(), "db", "R", tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("write version = %d, want 5", v)
+	}
+	if got := primaryWrites.Load(); got != 1 {
+		t.Fatalf("primary received %d writes, want 1 (redirected)", got)
+	}
+	if got := rs.Primary().BaseURL(); got != primary.URL {
+		t.Fatalf("set primary after redirect = %q, want %q", got, primary.URL)
+	}
+	if got := rs.Watermark("db"); got != 5 {
+		t.Fatalf("watermark = %d, want 5", got)
+	}
+
+	// Reads go to the replica and carry the watermark.
+	for i := 0; i < 4; i++ {
+		if _, err := rs.Query(context.Background(), "db", prefcqa.Global, "R(1)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := replicaReads.Load(); got != 4 {
+		t.Fatalf("replica served %d reads, want 4", got)
+	}
+	if got := sawMinVersion.Load(); got != 4 {
+		t.Fatalf("%d of 4 reads carried min_version 5", got)
+	}
+	if got := primaryReads.Load(); got != 0 {
+		t.Fatalf("primary served %d reads, want 0 (replica healthy)", got)
+	}
+}

@@ -11,7 +11,11 @@
 // (repair and clean results) cross as prefcqa.WireInstance.
 package client
 
-import "prefcqa"
+import (
+	"encoding/json"
+
+	"prefcqa"
+)
 
 // The endpoint paths of the v1 protocol. All bodies are JSON; every
 // endpoint is POST except PathStats and PathHealth (GET). PathRepairs
@@ -32,9 +36,24 @@ const (
 	PathHealth    = "/healthz"
 )
 
+// The replication endpoints. A primary serves its checkpoint image
+// (PathReplSnapshot, GET ?db=NAME), its database list (PathReplDBs,
+// GET) and a long-polled NDJSON tail of WAL records (PathReplStream,
+// GET ?db=NAME&from_seq=N&epoch=E). A follower accepts PathPromote
+// (POST, no body) to start taking writes where the primary stopped.
+const (
+	PathReplSnapshot = "/v1/repl/snapshot"
+	PathReplStream   = "/v1/repl/stream"
+	PathReplDBs      = "/v1/repl/dbs"
+	PathPromote      = "/v1/promote"
+)
+
 // ErrorResponse is the JSON body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Primary carries the primary's URL on a write rejected by a
+	// follower (HTTP 421): the client should retry there.
+	Primary string `json:"primary,omitempty"`
 }
 
 // ReadOptions are the common knobs of every read endpoint.
@@ -230,6 +249,92 @@ type DBStats struct {
 	ClosedPruned int64                    `json:"closed_pruned"`
 	ClosedFull   int64                    `json:"closed_full"`
 	Relations    map[string]RelationStats `json:"relations"`
+	// WAL describes the durability layer; absent on in-memory
+	// databases. Replication describes this database's role in a
+	// primary/follower topology; absent when the server neither follows
+	// nor persists.
+	WAL         *WALStats         `json:"wal,omitempty"`
+	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// WALStats is the write-ahead log's observability surface: enough to
+// monitor durability and replication lag from the outside.
+type WALStats struct {
+	// Seq is the last logged sequence (== the write-version),
+	// CheckpointSeq the coverage of the newest durable checkpoint.
+	Seq           uint64 `json:"seq"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Epoch is the replication epoch; it advances on promotion.
+	Epoch uint64 `json:"epoch"`
+	// Segments and SegmentBytes describe the live log files on disk.
+	Segments     int   `json:"segments"`
+	SegmentBytes int64 `json:"segment_bytes"`
+	// Fsync is the configured durability barrier: "always", "group" or
+	// "never".
+	Fsync string `json:"fsync"`
+}
+
+// ReplicationStats describes one database's replication state.
+type ReplicationStats struct {
+	// Role is "primary" (accepts writes, serves the stream) or
+	// "follower" (applies the stream, refuses writes). A promoted
+	// follower reports "primary" with Status "promoted".
+	Role string `json:"role"`
+	// Primary is the upstream URL a follower replicates from.
+	Primary string `json:"primary,omitempty"`
+	// AppliedSeq is the follower's replicated watermark: every record
+	// up to it is applied and readable. On a primary it equals the
+	// write-version.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// Epoch is the database's replication epoch.
+	Epoch uint64 `json:"epoch"`
+	// Status is the follower's lifecycle: "bootstrapping", "streaming",
+	// "disconnected", "promoted" or "failed: <reason>".
+	Status string `json:"status,omitempty"`
+	// LastContactMS is the time since the follower last heard from the
+	// primary (a record or a heartbeat); -1 before first contact.
+	LastContactMS int64 `json:"last_contact_ms,omitempty"`
+}
+
+// ReplSnapshotResponse is a primary's bootstrap image of one database:
+// the checkpoint covering records 1..Seq, captured consistently at
+// request time. Checkpoint is the wal.Checkpoint JSON; followers feed
+// it to the same strict loader crash recovery uses.
+type ReplSnapshotResponse struct {
+	DB         string          `json:"db"`
+	Seq        uint64          `json:"seq"`
+	Epoch      uint64          `json:"epoch"`
+	Checkpoint json.RawMessage `json:"checkpoint"`
+}
+
+// ReplFrame is one line of the NDJSON replication stream. Exactly one
+// of Record, Heartbeat or Error is set. Record frames carry one
+// wal.Record JSON payload, in strictly increasing seq order.
+// Heartbeat frames report the primary's position while the tail is
+// idle — the follower's liveness signal. An Error frame closes the
+// stream; Error "compacted" means the requested position has been
+// checkpointed away and the follower must re-bootstrap.
+type ReplFrame struct {
+	Record    json.RawMessage `json:"record,omitempty"`
+	Heartbeat bool            `json:"heartbeat,omitempty"`
+	// Seq/Epoch/CheckpointSeq describe the primary's log position on a
+	// heartbeat or error frame.
+	Seq           uint64 `json:"seq,omitempty"`
+	Epoch         uint64 `json:"epoch,omitempty"`
+	CheckpointSeq uint64 `json:"checkpoint_seq,omitempty"`
+	Error         string `json:"error,omitempty"`
+}
+
+// ReplDBsResponse lists the databases a primary replicates.
+type ReplDBsResponse struct {
+	DBs []string `json:"dbs"`
+}
+
+// PromoteResponse reports a follower's promotion: the databases now
+// accepting writes and the new (fencing) epoch.
+type PromoteResponse struct {
+	Promoted []string `json:"promoted"`
+	Epoch    uint64   `json:"epoch"`
 }
 
 // RelationStats describes one relation at the latest snapshot.

@@ -27,6 +27,14 @@
 // syncing to the OS (data still survives a process crash, not a power
 // failure).
 //
+// With -follow the server runs as a replication follower of another
+// durable prefserve: it bootstraps every database from the primary's
+// checkpoint image, tails its write-ahead log over HTTP and serves
+// reads snapshot-isolated at the replicated watermark; writes are
+// refused with 421 naming the primary. POST /v1/promote (or
+// -auto-promote after silence from the primary) turns the follower
+// into a primary at the exact sequence where the old one stopped.
+//
 //	curl -s localhost:7171/v1/query -d '{"db":"mydb","family":"global",
 //	      "query":"EXISTS d,s,r . Mgr('\''Mary'\'', d, s, r)"}'
 //
@@ -71,9 +79,18 @@ func run() error {
 		maxRepairs  = flag.Int("max-repairs", 1024, "default cap on streamed repair enumerations")
 		dataDir     = flag.String("data-dir", "", "root directory for durable databases (empty: in-memory only)")
 		fsync       = flag.String("fsync", "always", "WAL sync policy with -data-dir: always, group, or never")
+		follow      = flag.String("follow", "", "run as a replication follower of the primary at this base URL")
+		autoPromote = flag.Duration("auto-promote", 0, "with -follow: promote after this long without primary contact (0: manual only)")
 		data        = cliutil.RegisterDataFlags()
 	)
 	flag.Parse()
+
+	if *follow == "" && *autoPromote > 0 {
+		return fmt.Errorf("-auto-promote requires -follow")
+	}
+	if *follow != "" && data.Data != "" {
+		return fmt.Errorf("-data cannot preload a follower; load through the primary instead")
+	}
 
 	policy, err := prefcqa.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -86,6 +103,8 @@ func run() error {
 		MaxRepairs:     *maxRepairs,
 		DataDir:        *dataDir,
 		DBOptions:      []prefcqa.Option{prefcqa.WithSyncPolicy(policy)},
+		FollowURL:      *follow,
+		AutoPromote:    *autoPromote,
 	})
 	recovered, err := srv.RecoverDBs()
 	if err != nil {
@@ -94,6 +113,12 @@ func run() error {
 	for _, name := range recovered {
 		fmt.Fprintf(os.Stderr, "prefserve: recovered database %q from %s\n",
 			name, *dataDir)
+	}
+	if err := srv.StartReplication(); err != nil {
+		return err
+	}
+	if *follow != "" {
+		fmt.Fprintf(os.Stderr, "prefserve: following primary at %s (read-only until promoted)\n", *follow)
 	}
 	if data.Data != "" {
 		// A recovered database already holds its data — preloading

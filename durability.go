@@ -126,14 +126,7 @@ func (db *DB) Checkpoint() error {
 	}
 	db.snapMu.Lock()
 	defer db.snapMu.Unlock()
-	c := &wal.Checkpoint{Seq: db.log.Seq()}
-	for _, name := range db.order {
-		r := db.rels[name]
-		r.mu.Lock()
-		c.Relations = append(c.Relations, checkpointRelation(name, r))
-		r.mu.Unlock()
-	}
-	return db.log.WriteCheckpoint(c)
+	return db.log.WriteCheckpoint(db.captureCheckpointLocked())
 }
 
 // checkpointRelation captures one relation's writer-side state.
@@ -167,6 +160,9 @@ func checkpointRelation(name string, r *Relation) wal.CheckpointRelation {
 // gate), so log order matches apply order. Call commit with the
 // returned sequence after releasing the locks.
 func (db *DB) logAppend(mk func() wal.Record) (uint64, error) {
+	if db.readOnly.Load() {
+		return 0, ErrReadOnly
+	}
 	if db.log == nil {
 		return db.ver.Add(1), nil
 	}
@@ -337,9 +333,15 @@ func (r *Relation) replayFD(spec string) error {
 	return nil
 }
 
+// replayInserts and replayDeletes serve two callers: crash recovery
+// (no published version exists yet, so beginMutate and the pending
+// delta are no-ops) and live replication on a follower, where readers
+// hold published versions that must stay immutable — hence the same
+// fork-and-track discipline as the public mutation paths.
 func (r *Relation) replayInserts(rows [][]string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.beginMutate()
 	for i, cells := range rows {
 		tup, err := decodeRow(r.inst.Schema(), cells)
 		if err != nil {
@@ -352,6 +354,9 @@ func (r *Relation) replayInserts(rows [][]string) error {
 		if !fresh {
 			return fmt.Errorf("row %d replayed as a duplicate of tuple %d", i, id)
 		}
+		if r.cur.Load() != nil {
+			r.pend.inserts = append(r.pend.inserts, id)
+		}
 	}
 	r.dirty.Store(true)
 	return nil
@@ -360,11 +365,15 @@ func (r *Relation) replayInserts(rows [][]string) error {
 func (r *Relation) replayDeletes(ids []int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.beginMutate()
 	for _, id := range ids {
 		if !r.inst.Live(id) {
 			return fmt.Errorf("delete of non-live tuple %d", id)
 		}
 		r.inst.Delete(id)
+		if r.cur.Load() != nil {
+			r.pend.deletes = append(r.pend.deletes, id)
+		}
 	}
 	r.dirty.Store(true)
 	return nil

@@ -391,6 +391,25 @@ func JSON(o Options) Report {
 		}
 		rep.add(m)
 	}
+
+	// Replication read scale-out: the same ground-query read workload,
+	// served through 1..N WAL-shipping followers behind a
+	// follower-aware ReplicaSet, every read pinned at the preload's
+	// write-version. qps across rows is the scale-out curve; lag_p99
+	// is the acked-write → follower-readable catch-up tail.
+	replM := pick(500, 5_000)
+	replReqs := pick(600, 3_000)
+	for _, followers := range []int{1, 2, 3} {
+		if !o.want("repl_read_scaleout") {
+			break
+		}
+		m, err := ReplicationWorkload(replM, followers, 8, replReqs)
+		if err != nil {
+			m = Metric{Name: fmt.Sprintf("repl_read_scaleout/f%d", followers), Extra: map[string]float64{"failed": 1}}
+			fmt.Fprintln(os.Stderr, "replication workload failed:", err)
+		}
+		rep.add(m)
+	}
 	return rep
 }
 

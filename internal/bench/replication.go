@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"prefcqa"
+	"prefcqa/client"
+	"prefcqa/internal/server"
+)
+
+// replCluster is one primary plus n followers, each a real prefserve
+// on its own loopback socket and data directory.
+type replCluster struct {
+	dir        string
+	primary    *server.Server
+	primaryURL string
+	followers  []*server.Server
+	urls       []string // follower base URLs
+	shutdown   []func()
+}
+
+func (rc *replCluster) Close() {
+	for i := len(rc.shutdown) - 1; i >= 0; i-- {
+		rc.shutdown[i]()
+	}
+	os.RemoveAll(rc.dir)
+}
+
+// startReplServer boots one server on a loopback socket and returns
+// its base URL plus a teardown.
+func startReplServer(srv *server.Server) (string, func(), error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	done := make(chan struct{})
+	go func() { srv.Serve(l); close(done) }() //nolint:errcheck // ErrServerClosed on shutdown
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best effort teardown
+		<-done
+	}
+	return "http://" + l.Addr().String(), stop, nil
+}
+
+// newReplCluster boots a durable primary and n followers replicating
+// from it, with tight discovery/heartbeat intervals so the fleet
+// converges in milliseconds instead of the production defaults.
+func newReplCluster(n int) (*replCluster, error) {
+	dir, err := os.MkdirTemp("", "prefbench-repl-*")
+	if err != nil {
+		return nil, err
+	}
+	rc := &replCluster{dir: dir}
+	opts := func(sub string) server.Options {
+		return server.Options{
+			MaxInflight:       256,
+			DataDir:           filepath.Join(dir, sub),
+			DBOptions:         []prefcqa.Option{prefcqa.WithSyncPolicy(prefcqa.SyncGroup)},
+			DiscoverInterval:  50 * time.Millisecond,
+			HeartbeatInterval: 100 * time.Millisecond,
+		}
+	}
+	rc.primary = server.New(opts("primary"))
+	url, stop, err := startReplServer(rc.primary)
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	rc.primaryURL = url
+	rc.shutdown = append(rc.shutdown, stop)
+	for i := 0; i < n; i++ {
+		o := opts(fmt.Sprintf("follower%d", i))
+		o.FollowURL = url
+		f := server.New(o)
+		furl, fstop, err := startReplServer(f)
+		if err != nil {
+			rc.Close()
+			return nil, err
+		}
+		if err := f.StartReplication(); err != nil {
+			fstop()
+			rc.Close()
+			return nil, err
+		}
+		rc.followers = append(rc.followers, f)
+		rc.urls = append(rc.urls, furl)
+		rc.shutdown = append(rc.shutdown, fstop)
+	}
+	return rc, nil
+}
+
+// ReplicationWorkload measures read scale-out across WAL-shipping
+// followers: a durable primary preloaded with m two-tuple conflict
+// clusters, `followers` follower servers tailing its log, and
+// `clients` concurrent readers issuing `reqs` ground G-Rep queries
+// through a follower-aware ReplicaSet — every read carries the
+// preload's write-version as min_version, so a follower answers only
+// at (or past) that watermark.
+//
+// The metric is named repl_read_scaleout/f<followers>; Extra reports
+// sustained qps, p50/p99 read latency, and lag_p99_us: the p99 time a
+// fresh primary write takes to become readable through a follower
+// (acked write → min_version read returning), measured by probe
+// writes interleaved at the end.
+func ReplicationWorkload(m, followers, clients, reqs int) (Metric, error) {
+	name := fmt.Sprintf("repl_read_scaleout/f%d", followers)
+	rc, err := newReplCluster(followers)
+	if err != nil {
+		return Metric{}, err
+	}
+	defer rc.Close()
+
+	db, err := rc.primary.CreateDB("bench")
+	if err != nil {
+		return Metric{}, err
+	}
+	rel, err := db.CreateRelation("R", prefcqa.IntAttr("K"), prefcqa.IntAttr("V"))
+	if err != nil {
+		return Metric{}, err
+	}
+	if err := rel.AddFD("K -> V"); err != nil {
+		return Metric{}, err
+	}
+	for i := 0; i < m; i++ {
+		anchor := rel.MustInsert(i, 0)
+		loser := rel.MustInsert(i, 1)
+		if err := rel.Prefer(anchor, loser); err != nil {
+			return Metric{}, err
+		}
+	}
+	loaded := db.WriteVersion()
+
+	rs := client.NewReplicaSet(rc.primaryURL, rc.urls)
+	ctx := context.Background()
+	// Converge the fleet: one min_version read per follower parks until
+	// its watermark covers the preload (also warming each follower's
+	// snapshot cache).
+	for _, u := range rc.urls {
+		fc := client.New(u)
+		waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		_, err := fc.CountRepairs(waitCtx, "bench", prefcqa.Global, "R", client.MinVersion(loaded))
+		cancel()
+		if err != nil {
+			return Metric{}, fmt.Errorf("follower %s never converged: %w", u, err)
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     = make([]time.Duration, 0, reqs)
+		firstErr error
+	)
+	perClient := reqs / clients
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7 + cl)))
+			local := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				k := rng.Intn(m)
+				t0 := time.Now()
+				a, err := rs.Query(ctx, "bench", prefcqa.Global, fmt.Sprintf("R(%d, 0)", k), client.MinVersion(loaded))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if a != prefcqa.True {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("follower answered R(%d, 0) = %v, want true", k, a)
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return Metric{}, fmt.Errorf("%s: %w", name, firstErr)
+	}
+
+	// Replication lag: write on the primary, then time how long a
+	// min_version read through a follower takes to return — the
+	// visible catch-up cost after an acked write.
+	probes := 20
+	if probes > m {
+		probes = m
+	}
+	lags := make([]time.Duration, 0, probes*max(1, followers))
+	pc := client.New(rc.primaryURL)
+	for p := 0; p < probes; p++ {
+		tup, _ := prefcqa.MakeTuple(m+p, 0)
+		_, v, err := pc.Insert(ctx, "bench", "R", tup)
+		if err != nil {
+			return Metric{}, fmt.Errorf("%s: lag probe write: %w", name, err)
+		}
+		for _, u := range rc.urls {
+			fc := client.New(u)
+			t0 := time.Now()
+			waitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			_, err := fc.Query(waitCtx, "bench", prefcqa.Global, fmt.Sprintf("R(%d, 0)", m+p), client.MinVersion(v))
+			cancel()
+			if err != nil {
+				return Metric{}, fmt.Errorf("%s: lag probe read via %s: %w", name, u, err)
+			}
+			lags = append(lags, time.Since(t0))
+		}
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	pct := func(ds []time.Duration, q float64) time.Duration {
+		if len(ds) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(ds)))
+		if i >= len(ds) {
+			i = len(ds) - 1
+		}
+		return ds[i]
+	}
+	var total time.Duration
+	for _, d := range lats {
+		total += d
+	}
+	return Metric{
+		Name:       name,
+		Iterations: len(lats),
+		NsPerOp:    float64(total.Nanoseconds()) / float64(len(lats)),
+		Extra: map[string]float64{
+			"qps":        float64(len(lats)) / elapsed.Seconds(),
+			"p50_us":     float64(pct(lats, 0.50).Microseconds()),
+			"p99_us":     float64(pct(lats, 0.99).Microseconds()),
+			"lag_p99_us": float64(pct(lags, 0.99).Microseconds()),
+			"followers":  float64(followers),
+			"clients":    float64(clients),
+		},
+	}, nil
+}

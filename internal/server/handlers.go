@@ -14,21 +14,41 @@ import (
 
 // routes wires every endpoint of the v1 protocol.
 func (s *Server) routes() {
-	s.mux.Handle(client.PathCreateDB, s.endpoint(http.MethodPost, s.handleCreateDB))
-	s.mux.Handle(client.PathRelation, s.endpoint(http.MethodPost, s.handleRelation))
-	s.mux.Handle(client.PathFD, s.endpoint(http.MethodPost, s.handleFD))
-	s.mux.Handle(client.PathInsert, s.endpoint(http.MethodPost, s.handleInsert))
-	s.mux.Handle(client.PathDelete, s.endpoint(http.MethodPost, s.handleDelete))
-	s.mux.Handle(client.PathPrefer, s.endpoint(http.MethodPost, s.handlePrefer))
+	s.mux.Handle(client.PathCreateDB, s.endpoint(http.MethodPost, s.writeGate(s.handleCreateDB)))
+	s.mux.Handle(client.PathRelation, s.endpoint(http.MethodPost, s.writeGate(s.handleRelation)))
+	s.mux.Handle(client.PathFD, s.endpoint(http.MethodPost, s.writeGate(s.handleFD)))
+	s.mux.Handle(client.PathInsert, s.endpoint(http.MethodPost, s.writeGate(s.handleInsert)))
+	s.mux.Handle(client.PathDelete, s.endpoint(http.MethodPost, s.writeGate(s.handleDelete)))
+	s.mux.Handle(client.PathPrefer, s.endpoint(http.MethodPost, s.writeGate(s.handlePrefer)))
 	s.mux.Handle(client.PathQuery, s.endpoint(http.MethodPost, s.handleQuery))
 	s.mux.Handle(client.PathQueryOpen, s.endpoint(http.MethodPost, s.handleQueryOpen))
 	s.mux.Handle(client.PathCount, s.endpoint(http.MethodPost, s.handleCount))
 	s.mux.Handle(client.PathRepairs, s.endpoint(http.MethodPost, s.handleRepairs))
 	s.mux.Handle(client.PathExplain, s.endpoint(http.MethodPost, s.handleExplain))
 	s.mux.Handle(client.PathStats, s.endpoint(http.MethodGet, s.handleStats))
+	s.mux.Handle(client.PathReplSnapshot, s.endpoint(http.MethodGet, s.handleReplSnapshot))
+	s.mux.Handle(client.PathReplDBs, s.endpoint(http.MethodGet, s.handleReplDBs))
+	s.mux.Handle(client.PathPromote, s.endpoint(http.MethodPost, s.handlePromote))
+	// The stream bypasses admission control: a parked follower holding
+	// a long-poll window is not load, and counting it against the
+	// in-flight budget would let a handful of replicas starve reads.
+	s.mux.HandleFunc(client.PathReplStream, s.handleReplStream)
 	s.mux.HandleFunc(client.PathHealth, func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n")) //nolint:errcheck // health probe
 	})
+}
+
+// writeGate refuses every mutation while the server is a follower —
+// before the handler touches any state, so even would-be no-ops (a
+// replay of a preference the replica already carries) get the 421
+// redirect instead of a misleading success from a replica.
+func (s *Server) writeGate(h handlerFunc) handlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		if s.isFollower() {
+			return prefcqa.ErrReadOnly
+		}
+		return h(w, r)
+	}
 }
 
 func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) error {
@@ -200,10 +220,21 @@ func (s *Server) handlePrefer(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, client.VersionResponse{Version: t.version()})
 }
 
-// pinned resolves a tenant and a snapshot satisfying the read options.
-func (s *Server) pinned(db string, opts client.ReadOptions) (*prefcqa.Snapshot, uint64, error) {
+// pinned resolves a tenant and a snapshot satisfying the read
+// options. On a follower, a min_version ahead of the replicated
+// watermark waits (bounded by ctx) for replication to catch up —
+// read-your-writes holds through any replica.
+func (s *Server) pinned(ctx context.Context, db string, opts client.ReadOptions) (*prefcqa.Snapshot, uint64, error) {
 	t, err := s.tenant(db)
+	if err != nil && opts.MinVersion > 0 && s.isFollower() {
+		// min_version asserts the database exists; on a follower the
+		// 404 may just be a discovery race, so wait it out.
+		t, err = s.waitTenant(ctx, db)
+	}
 	if err != nil {
+		return nil, 0, err
+	}
+	if err := s.waitMin(ctx, t, opts.MinVersion); err != nil {
 		return nil, 0, err
 	}
 	return t.snapshotAtLeast(opts.MinVersion)
@@ -218,12 +249,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	snap, wv, err := s.pinned(req.DB, req.ReadOptions)
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+	snap, wv, err := s.pinned(ctx, req.DB, req.ReadOptions)
 	if err != nil {
 		return err
 	}
-	ctx, cancel := s.readCtx(r, req.ReadOptions)
-	defer cancel()
 	ans, err := snap.QueryContext(ctx, fam, req.Query)
 	if err != nil {
 		return err
@@ -240,12 +271,12 @@ func (s *Server) handleQueryOpen(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	snap, wv, err := s.pinned(req.DB, req.ReadOptions)
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+	snap, wv, err := s.pinned(ctx, req.DB, req.ReadOptions)
 	if err != nil {
 		return err
 	}
-	ctx, cancel := s.readCtx(r, req.ReadOptions)
-	defer cancel()
 	bindings, err := snap.QueryOpenContext(ctx, fam, req.Query)
 	if err != nil {
 		return err
@@ -270,12 +301,12 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	snap, wv, err := s.pinned(req.DB, req.ReadOptions)
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+	snap, wv, err := s.pinned(ctx, req.DB, req.ReadOptions)
 	if err != nil {
 		return err
 	}
-	ctx, cancel := s.readCtx(r, req.ReadOptions)
-	defer cancel()
 	n, err := snap.CountRepairsContext(ctx, fam, req.Relation)
 	if err != nil {
 		if _, ok := snap.Instance(req.Relation); !ok {
@@ -299,7 +330,9 @@ func (s *Server) handleRepairs(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	snap, _, err := s.pinned(req.DB, req.ReadOptions)
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+	snap, _, err := s.pinned(ctx, req.DB, req.ReadOptions)
 	if err != nil {
 		return err
 	}
@@ -310,8 +343,6 @@ func (s *Server) handleRepairs(w http.ResponseWriter, r *http.Request) error {
 	if max <= 0 {
 		max = s.opts.MaxRepairs
 	}
-	ctx, cancel := s.readCtx(r, req.ReadOptions)
-	defer cancel()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -356,12 +387,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(r, &req); err != nil {
 		return err
 	}
-	snap, wv, err := s.pinned(req.DB, req.ReadOptions)
+	ctx, cancel := s.readCtx(r, req.ReadOptions)
+	defer cancel()
+	snap, wv, err := s.pinned(ctx, req.DB, req.ReadOptions)
 	if err != nil {
 		return err
 	}
-	ctx, cancel := s.readCtx(r, req.ReadOptions)
-	defer cancel()
 	rep, err := snap.ExplainPlanContext(ctx, req.Query)
 	if err != nil {
 		return err
@@ -395,6 +426,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			ClosedFull:   qs.ClosedFull,
 			Relations:    map[string]client.RelationStats{},
 		}
+		if ws, durable := t.db.WALStats(); durable {
+			ds.WAL = &client.WALStats{
+				Seq:           ws.Seq,
+				CheckpointSeq: ws.CheckpointSeq,
+				Epoch:         ws.Epoch,
+				Segments:      ws.Segments,
+				SegmentBytes:  ws.SegmentBytes,
+				Fsync:         ws.Policy.String(),
+			}
+		}
+		ds.Replication = s.replicationStats(t)
 		// Relation detail comes from the already-cached snapshot only:
 		// stats is an observability endpoint and must never trigger a
 		// fresh materialization (a monitoring poll against a

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"prefcqa"
+	"prefcqa/client"
+)
+
+// TestReplCrashPrimaryChild is not a test: it is the primary process
+// SIGKILLed by TestPromotionAfterSIGKILL, re-executing this test
+// binary. It serves a durable primary on a loopback socket and
+// publishes its URL through a file; it never exits cleanly — the
+// parent kills it.
+func TestReplCrashPrimaryChild(t *testing.T) {
+	dir := os.Getenv("PREFCQA_REPL_CRASH_DIR")
+	if dir == "" {
+		t.Skip("replication crash-test helper process; run via TestPromotionAfterSIGKILL")
+	}
+	srv := New(Options{
+		DataDir:   dir,
+		DBOptions: []prefcqa.Option{prefcqa.WithSyncPolicy(prefcqa.SyncAlways)},
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish the bound address atomically: write aside, then rename,
+	// so the parent never reads a half-written URL.
+	urlPath := os.Getenv("PREFCQA_REPL_CRASH_URL")
+	tmp := urlPath + ".tmp"
+	if err := os.WriteFile(tmp, []byte("http://"+l.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, urlPath); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	// The deadline only matters if the parent dies without killing us.
+	select {
+	case err := <-done:
+		t.Fatal(err)
+	case <-time.After(120 * time.Second):
+		t.Fatal("parent never killed this primary")
+	}
+}
+
+// TestPromotionAfterSIGKILL is the failover acceptance test: a primary
+// process is SIGKILLed — no cleanup handler runs — after a follower
+// has confirmed application of every acknowledged write; the follower
+// is promoted and must (a) have lost none of those writes, (b) resume
+// accepting writes at exactly the next sequence of the replicated
+// history under a bumped epoch, and (c) answer reads over both old and
+// new writes.
+func TestPromotionAfterSIGKILL(t *testing.T) {
+	if os.Getenv("PREFCQA_REPL_CRASH_DIR") != "" {
+		t.Skip("already inside the helper process")
+	}
+	base := t.TempDir()
+	urlPath := filepath.Join(base, "primary.url")
+	cmd := exec.Command(os.Args[0], "-test.run=^TestReplCrashPrimaryChild$")
+	cmd.Env = append(os.Environ(),
+		"PREFCQA_REPL_CRASH_DIR="+filepath.Join(base, "primary"),
+		"PREFCQA_REPL_CRASH_URL="+urlPath)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill() //nolint:errcheck // best-effort teardown
+			cmd.Wait()         //nolint:errcheck // best-effort teardown
+		}
+	}()
+
+	var primaryURL string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(urlPath); err == nil {
+			primaryURL = string(data)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("primary child never published its URL")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pc := client.New(primaryURL)
+	ctx := context.Background()
+	if err := pc.CreateDB(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.CreateRelation(ctx, "d", "R", client.IntAttr("K"), client.IntAttr("V")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.AddFD(ctx, "d", "R", "K -> V"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Acknowledged writes: each version here came back in an HTTP
+	// response, i.e. the primary fsynced it (SyncAlways) before we saw
+	// it. Keys 0..n-1 each get a conflicting pair plus a preference.
+	const n = 25
+	var lastV uint64
+	for k := 0; k < n; k++ {
+		ids, _, err := pc.Insert(ctx, "d", "R", row(t, k, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids2, _, err := pc.Insert(ctx, "d", "R", row(t, k, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastV, err = pc.Prefer(ctx, "d", "R", [2]int{ids[0], ids2[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// In-process follower; wait until it has applied every
+	// acknowledged write, so the failover below can demand zero loss.
+	fopts := replOptions(t)
+	fopts.FollowURL = primaryURL
+	fsrv, fc := boot(t, fopts)
+	if err := fsrv.StartReplication(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.CountRepairs(ctx, "d", prefcqa.Global, "R", client.MinVersion(lastV)); err != nil {
+		t.Fatalf("follower never caught up to acked version %d: %v", lastV, err)
+	}
+
+	// SIGKILL: the primary gets no chance to flush, close or say
+	// goodbye.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck // the kill is the expected exit
+	killed = true
+
+	resp, err := fc.Promote(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", resp.Epoch)
+	}
+
+	// (a) Zero acknowledged-write loss: every preference answers.
+	for k := 0; k < n; k++ {
+		q := fmt.Sprintf("R(%d, 0)", k)
+		ans, err := fc.Query(ctx, "d", prefcqa.Global, q)
+		if err != nil {
+			t.Fatalf("acked write %d lost: %v", k, err)
+		}
+		if ans != prefcqa.True {
+			t.Fatalf("acked preference for key %d lost: %s = %v, want true", k, q, ans)
+		}
+	}
+	// (b) Writes resume at exactly the next sequence.
+	_, wv, err := fc.Insert(ctx, "d", "R", row(t, n, 0))
+	if err != nil {
+		t.Fatalf("write after failover: %v", err)
+	}
+	if wv != lastV+1 {
+		t.Fatalf("first post-failover version = %d, want %d (no gap, no overlap)", wv, lastV+1)
+	}
+	// (c) Old and new state serve together.
+	if nRep, err := fc.CountRepairs(ctx, "d", prefcqa.Global, "R", client.MinVersion(wv)); err != nil || nRep != 1 {
+		t.Fatalf("CountRepairs after failover = %d, %v; want 1", nRep, err)
+	}
+	st, err := fc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl := st.DBs["d"].Replication; repl == nil || repl.Role != "primary" || repl.Epoch != 2 {
+		t.Fatalf("failed-over stats = %+v, want primary at epoch 2", repl)
+	}
+}

@@ -41,6 +41,7 @@ import (
 
 	"prefcqa"
 	"prefcqa/client"
+	"prefcqa/internal/replication"
 )
 
 // Options configure a Server.
@@ -67,6 +68,25 @@ type Options struct {
 	DataDir string
 	// DBOptions are applied to every database the server creates.
 	DBOptions []prefcqa.Option
+	// FollowURL, when set, runs this server as a replication follower
+	// of the primary at that base URL: its databases are discovered
+	// and replicated here read-only, reads are served snapshot-
+	// isolated at the replicated watermark, and writes are refused
+	// with 421 naming the primary. See StartReplication and Promote.
+	FollowURL string
+	// AutoPromote, when positive on a follower, promotes this server
+	// after that long without any contact with the primary. Zero means
+	// promotion is manual only (POST /v1/promote).
+	AutoPromote time.Duration
+	// StreamWindow bounds one long-polled replication stream response;
+	// the follower reconnects after each window. Zero selects 25s.
+	StreamWindow time.Duration
+	// HeartbeatInterval is how often an idle replication stream emits
+	// a heartbeat frame. Zero selects 1s.
+	HeartbeatInterval time.Duration
+	// DiscoverInterval is how often a follower re-polls the primary's
+	// database list. Zero selects the replication default (2s).
+	DiscoverInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +105,13 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
 	}
+	if o.StreamWindow <= 0 {
+		o.StreamWindow = 25 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	o.FollowURL = strings.TrimRight(o.FollowURL, "/")
 	return o
 }
 
@@ -103,6 +130,10 @@ type Server struct {
 	served   atomic.Uint64
 	rejected atomic.Uint64
 	timeouts atomic.Uint64
+
+	repl     *replication.Manager // follower role; nil on a primary
+	stop     chan struct{}        // closed on Shutdown; ends stream windows
+	stopOnce sync.Once
 }
 
 // tenant is one named database plus its serving state.
@@ -139,6 +170,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts.withDefaults(),
 		tenants: make(map[string]*tenant),
+		stop:    make(chan struct{}),
 	}
 	s.sem = make(chan struct{}, s.opts.MaxInflight)
 	s.mux = http.NewServeMux()
@@ -170,6 +202,10 @@ func (s *Server) ListenAndServe(addr string) error {
 // drain loses nothing even under the "group" and "never" sync
 // policies.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stop) }) // end replication stream windows
+	if s.repl != nil {
+		s.repl.Stop()
+	}
 	err := s.http.Shutdown(ctx)
 	s.mu.RLock()
 	tenants := make([]*tenant, 0, len(s.tenants))
@@ -258,6 +294,11 @@ func (s *Server) RecoverDBs() ([]string, error) {
 		db, err := prefcqa.Open(filepath.Join(s.opts.DataDir, name), s.opts.DBOptions...)
 		if err != nil {
 			return nil, fmt.Errorf("server: recovering database %q: %w", name, err)
+		}
+		if s.opts.FollowURL != "" {
+			// A restarted follower resumes read-only; replication
+			// re-attaches at the recovered watermark.
+			db.SetReadOnly(true)
 		}
 		s.tenants[name] = &tenant{name: name, db: db}
 		names = append(names, name)
@@ -393,6 +434,19 @@ func (s *Server) writeHandlerError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &he):
 		writeError(w, he.code, he.err)
+	case errors.Is(err, prefcqa.ErrReadOnly):
+		// A write reached a follower. 421 plus the primary's URL lets a
+		// follower-aware client re-route instead of failing.
+		primary := ""
+		if s.repl != nil {
+			primary = s.repl.PrimaryURL()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		json.NewEncoder(w).Encode(client.ErrorResponse{ //nolint:errcheck // best effort on a failing request
+			Error:   "read-only replica: writes go to the primary",
+			Primary: primary,
+		})
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
 		writeError(w, http.StatusGatewayTimeout, errors.New("deadline exceeded"))

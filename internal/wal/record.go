@@ -59,7 +59,14 @@ const (
 // write-version: record n of the history carries Seq == n, starting
 // at 1, with no gaps.
 type Record struct {
-	Seq   uint64              `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Epoch is the replication epoch the record was written under.
+	// Epochs start at 1 and only advance on failover: promoting a
+	// follower bumps the epoch, and every replica refuses records from
+	// an older epoch — a resurrected primary cannot overwrite the
+	// promoted history (fencing). Within one log epochs are
+	// non-decreasing.
+	Epoch uint64              `json:"epoch,omitempty"`
 	Op    Op                  `json:"op"`
 	Rel   string              `json:"rel,omitempty"`
 	Attrs []relation.WireAttr `json:"attrs,omitempty"`
@@ -89,7 +96,11 @@ type CheckpointRelation struct {
 // loads the newest checkpoint and replays only records with Seq
 // beyond it.
 type Checkpoint struct {
-	Seq       uint64               `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Epoch is the replication epoch at the time of the checkpoint —
+	// see Record.Epoch. Checkpoints written before epochs existed carry
+	// 0, which recovery normalizes to the initial epoch 1.
+	Epoch     uint64               `json:"epoch,omitempty"`
 	Relations []CheckpointRelation `json:"relations"`
 }
 

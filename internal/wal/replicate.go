@@ -1,0 +1,289 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrCompacted reports that the requested tail position has been
+// subsumed by a checkpoint: the records are gone from the log and the
+// reader must restart from a checkpoint image instead.
+var ErrCompacted = errors.New("wal: position compacted into a checkpoint")
+
+// Epoch returns the current replication epoch (≥ 1). See Record.Epoch.
+func (l *Log) Epoch() uint64 { return l.epoch.Load() }
+
+// AdvanceEpoch raises the replication epoch; e must exceed the current
+// epoch. Subsequent Appends stamp the new epoch, fencing off replicas
+// of the old history. The bump itself becomes durable with the next
+// record or checkpoint.
+func (l *Log) AdvanceEpoch(e uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cur := l.epoch.Load(); e <= cur {
+		return fmt.Errorf("wal: epoch %d does not advance current epoch %d", e, cur)
+	}
+	l.epoch.Store(e)
+	return nil
+}
+
+// AppendExact writes a replicated record at exactly rec.Seq, which
+// must be the next sequence of this log — a follower persisting the
+// primary's stream bit-for-bit. The record's epoch must not regress
+// (fencing); the log adopts it. The record is in the OS when
+// AppendExact returns; durability follows the log's sync policy.
+func (l *Log) AppendExact(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if want := l.seq.Load() + 1; rec.Seq != want {
+		return fmt.Errorf("wal: replicated record has seq %d, want %d", rec.Seq, want)
+	}
+	if rec.Epoch == 0 {
+		rec.Epoch = 1
+	}
+	if cur := l.epoch.Load(); rec.Epoch < cur {
+		return fmt.Errorf("wal: fenced: record epoch %d behind local epoch %d", rec.Epoch, cur)
+	}
+	frame, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.fail(err)
+		return l.err
+	}
+	l.seq.Store(rec.Seq)
+	l.epoch.Store(rec.Epoch)
+	l.bytesSinceCkpt += int64(len(frame))
+	l.notifyAppendLocked()
+	return nil
+}
+
+// InstallCheckpoint seeds a pristine (never-written) log with a
+// checkpoint image received from a primary: the follower's bootstrap.
+// After it returns the log behaves exactly as if it had logged and
+// checkpointed records 1..c.Seq itself.
+func (l *Log) InstallCheckpoint(c *Checkpoint) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if l.seq.Load() != 0 || l.ckptSeq != 0 || l.bytesSinceCkpt != 0 {
+		return fmt.Errorf("wal: InstallCheckpoint requires a pristine log (seq %d, checkpoint %d)", l.seq.Load(), l.ckptSeq)
+	}
+	if c.Seq == 0 {
+		return fmt.Errorf("wal: cannot install a checkpoint at seq 0")
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
+	}
+	if err := l.installCheckpointLocked(c); err != nil {
+		return err
+	}
+	l.seq.Store(c.Seq)
+	if c.Epoch > l.epoch.Load() {
+		l.epoch.Store(c.Epoch)
+	}
+	l.syncedSeq = c.Seq
+	return nil
+}
+
+// LatestCheckpoint reads back the newest durable checkpoint, or nil if
+// the log has never checkpointed. Safe to call while the log is live.
+func (l *Log) LatestCheckpoint() (*Checkpoint, error) {
+	for attempt := 0; ; attempt++ {
+		l.mu.Lock()
+		seq := l.ckptSeq
+		l.mu.Unlock()
+		if seq == 0 {
+			return nil, nil
+		}
+		data, err := os.ReadFile(filepath.Join(l.dir, ckptName(seq)))
+		if os.IsNotExist(err) && attempt < 3 {
+			continue // a concurrent checkpoint replaced it; re-resolve
+		}
+		if err != nil {
+			return nil, err
+		}
+		return decodeCheckpoint(data)
+	}
+}
+
+// ReadFrom returns up to max records starting at exactly fromSeq, in
+// sequence order, reading the segment files while the log stays live:
+// a torn final frame (a concurrent append racing the read) simply
+// bounds the result, never errors. It returns ErrCompacted when
+// fromSeq is already subsumed by a checkpoint — the reader must
+// restart from a checkpoint image — and an empty slice when fromSeq is
+// beyond the head (nothing to read yet).
+func (l *Log) ReadFrom(fromSeq uint64, max int) ([]Record, error) {
+	if fromSeq == 0 {
+		return nil, fmt.Errorf("wal: sequences start at 1")
+	}
+	if max <= 0 {
+		max = 1 << 10
+	}
+	for attempt := 0; ; attempt++ {
+		l.mu.Lock()
+		err := l.err
+		ckpt := l.ckptSeq
+		head := l.seq.Load()
+		l.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if fromSeq <= ckpt {
+			return nil, ErrCompacted
+		}
+		if fromSeq > head {
+			return nil, nil
+		}
+		recs, raced, err := l.readRange(fromSeq, head, max)
+		if err != nil {
+			return nil, err
+		}
+		if !raced {
+			return recs, nil
+		}
+		if attempt >= 3 {
+			// The checkpointer keeps outrunning us; the position is
+			// effectively compacted.
+			return nil, ErrCompacted
+		}
+	}
+}
+
+// readRange scans the segment files for records fromSeq..head. It
+// reports raced=true when a concurrent checkpoint removed files out
+// from under the scan (the caller re-resolves against the log state).
+func (l *Log) readRange(fromSeq, head uint64, max int) (recs []Record, raced bool, err error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, false, err
+	}
+	var segStarts []uint64
+	for _, e := range entries {
+		if s, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
+			segStarts = append(segStarts, s)
+		}
+	}
+	sort.Slice(segStarts, func(i, j int) bool { return segStarts[i] < segStarts[j] })
+	prev := uint64(0)
+	for i, start := range segStarts {
+		if i+1 < len(segStarts) && segStarts[i+1] <= fromSeq {
+			continue // segment ends before fromSeq
+		}
+		data, err := os.ReadFile(filepath.Join(l.dir, segName(start)))
+		if os.IsNotExist(err) {
+			return nil, true, nil // checkpoint removed it mid-scan
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		segRecs, _, _, err := DecodeSegment(data)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, r := range segRecs {
+			if r.Seq < fromSeq || r.Seq > head {
+				continue
+			}
+			if len(recs) == 0 {
+				if r.Seq != fromSeq {
+					return nil, true, nil // leading gap: compaction raced the scan
+				}
+			} else if r.Seq != prev+1 {
+				return nil, false, fmt.Errorf("wal: gap in live read: seq %d after %d", r.Seq, prev)
+			}
+			recs = append(recs, r)
+			prev = r.Seq
+			if len(recs) == max {
+				return recs, false, nil
+			}
+		}
+	}
+	if len(recs) == 0 {
+		return nil, true, nil // fromSeq ≤ head but absent: the scan raced
+	}
+	return recs, false, nil
+}
+
+// WaitAppend blocks until the log's head sequence exceeds after, the
+// context is done, or the log closes/fails. It is the long-poll
+// primitive behind the replication stream: followers park here instead
+// of polling the segment files.
+func (l *Log) WaitAppend(ctx context.Context, after uint64) error {
+	for {
+		l.mu.Lock()
+		switch {
+		case l.err != nil:
+			err := l.err
+			l.mu.Unlock()
+			return err
+		case l.closed:
+			l.mu.Unlock()
+			return fmt.Errorf("wal: log is closed")
+		case l.seq.Load() > after:
+			l.mu.Unlock()
+			return nil
+		}
+		ch := l.appendCh
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Stats is a point-in-time observability snapshot of the log.
+type Stats struct {
+	Seq           uint64 // last assigned record sequence
+	CheckpointSeq uint64 // sequence of the newest durable checkpoint
+	Epoch         uint64 // current replication epoch
+	Segments      int    // live segment files
+	SegmentBytes  int64  // total bytes across live segments
+	Policy        SyncPolicy
+}
+
+// Stats reports the log's current position, checkpoint coverage, epoch
+// and on-disk footprint.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Seq:           l.seq.Load(),
+		CheckpointSeq: l.ckptSeq,
+		Epoch:         l.epoch.Load(),
+		Policy:        l.opts.Policy,
+	}
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return st
+	}
+	for _, e := range entries {
+		if _, ok := parseSeqName(e.Name(), "wal-", ".log"); !ok {
+			continue
+		}
+		st.Segments++
+		if fi, err := e.Info(); err == nil {
+			st.SegmentBytes += fi.Size()
+		}
+	}
+	return st
+}

@@ -98,14 +98,17 @@ type Log struct {
 	dir  string
 	opts Options
 
-	seq atomic.Uint64 // last assigned record sequence
+	seq   atomic.Uint64 // last assigned record sequence
+	epoch atomic.Uint64 // current replication epoch (≥ 1)
 
 	mu             sync.Mutex
-	cond           *sync.Cond // broadcast when syncedSeq or err advances
-	f              *os.File   // active segment
-	segStart       uint64     // first sequence the active segment may hold
-	ckptSeq        uint64     // sequence of the newest durable checkpoint
-	syncedSeq      uint64     // highest sequence known durable
+	cond           *sync.Cond    // broadcast when syncedSeq or err advances
+	appendCh       chan struct{} // closed and replaced on every append (tail notification)
+	f              *os.File      // active segment
+	segStart       uint64        // first sequence the active segment may hold
+	ckptSeq        uint64        // sequence of the newest durable checkpoint
+	ckptEpoch      uint64        // epoch recorded in that checkpoint (0 = none)
+	syncedSeq      uint64        // highest sequence known durable
 	bytesSinceCkpt int64
 	err            error // sticky I/O failure
 	closed         bool
@@ -217,6 +220,19 @@ func Open(dir string, opts Options) (*Log, *Checkpoint, []Record, error) {
 	if len(tail) > 0 {
 		last = tail[len(tail)-1].Seq
 	}
+	// Recover the replication epoch: the newest of the checkpoint's and
+	// the tail records' epochs (pre-epoch logs carry 0, normalized to
+	// the initial epoch 1). Epochs are non-decreasing within a log, so
+	// the maximum is the current one.
+	epoch := uint64(1)
+	if ckpt != nil && ckpt.Epoch > epoch {
+		epoch = ckpt.Epoch
+	}
+	for _, r := range tail {
+		if r.Epoch > epoch {
+			epoch = r.Epoch
+		}
+	}
 
 	l := &Log{
 		dir:       dir,
@@ -224,12 +240,17 @@ func Open(dir string, opts Options) (*Log, *Checkpoint, []Record, error) {
 		segStart:  base + 1,
 		ckptSeq:   base,
 		syncedSeq: last,
+		appendCh:  make(chan struct{}),
 		flushCh:   make(chan struct{}, 1),
 		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
 	l.cond = sync.NewCond(&l.mu)
 	l.seq.Store(last)
+	l.epoch.Store(epoch)
+	if ckpt != nil {
+		l.ckptEpoch = ckpt.Epoch
+	}
 	if len(segStarts) > 0 {
 		l.segStart = segStarts[len(segStarts)-1]
 		f, err := os.OpenFile(filepath.Join(dir, segName(l.segStart)), os.O_WRONLY|os.O_APPEND, 0o644)
@@ -291,6 +312,7 @@ func (l *Log) fail(err error) {
 		l.err = fmt.Errorf("wal: %w", err)
 	}
 	l.cond.Broadcast()
+	l.notifyAppendLocked()
 }
 
 // Append assigns the next sequence to rec, writes its frame to the
@@ -308,6 +330,7 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	}
 	seq := l.seq.Load() + 1
 	rec.Seq = seq
+	rec.Epoch = l.epoch.Load()
 	frame, err := EncodeRecord(rec)
 	if err != nil {
 		return 0, err
@@ -318,7 +341,16 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	}
 	l.seq.Store(seq)
 	l.bytesSinceCkpt += int64(len(frame))
+	l.notifyAppendLocked()
 	return seq, nil
+}
+
+// notifyAppendLocked wakes every WaitAppend waiter by closing the
+// current notification channel and installing a fresh one. Caller
+// holds l.mu.
+func (l *Log) notifyAppendLocked() {
+	close(l.appendCh)
+	l.appendCh = make(chan struct{})
 }
 
 // Sync blocks until the record with the given sequence is durable
@@ -409,9 +441,24 @@ func (l *Log) WriteCheckpoint(c *Checkpoint) error {
 	if c.Seq != l.seq.Load() {
 		return fmt.Errorf("wal: checkpoint at seq %d, log is at %d", c.Seq, l.seq.Load())
 	}
-	if c.Seq == l.ckptSeq && l.bytesSinceCkpt == 0 {
-		return nil // nothing logged since the last checkpoint
+	if c.Epoch == 0 {
+		c.Epoch = l.epoch.Load()
 	}
+	if c.Seq == l.ckptSeq && l.bytesSinceCkpt == 0 && c.Epoch == l.ckptEpoch {
+		return nil // nothing logged (and no epoch change) since the last checkpoint
+	}
+	if err := l.installCheckpointLocked(c); err != nil {
+		return err
+	}
+	l.syncedSeq = c.Seq
+	l.cond.Broadcast()
+	return nil
+}
+
+// installCheckpointLocked durably writes the checkpoint file, rotates
+// to a fresh empty segment at c.Seq+1 and removes every file the
+// checkpoint subsumes. Caller holds l.mu and has validated c.Seq.
+func (l *Log) installCheckpointLocked(c *Checkpoint) error {
 	frame, err := encodeCheckpointFile(c)
 	if err != nil {
 		return err
@@ -430,16 +477,21 @@ func (l *Log) WriteCheckpoint(c *Checkpoint) error {
 		return l.err
 	}
 	// The checkpoint is durable: rotate to a fresh segment and drop
-	// everything it subsumes.
+	// everything it subsumes. When the active segment already starts
+	// right after the checkpoint (an epoch-only re-checkpoint at the
+	// same seq, e.g. promotion right after bootstrap), it is kept:
+	// every record it could hold is > c.Seq by construction.
 	newStart := c.Seq + 1
-	nf, err := os.OpenFile(filepath.Join(l.dir, segName(newStart)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-	if err != nil {
-		l.fail(err)
-		return l.err
+	if l.segStart != newStart {
+		nf, err := os.OpenFile(filepath.Join(l.dir, segName(newStart)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			l.fail(err)
+			return l.err
+		}
+		old := l.f
+		l.f, l.segStart = nf, newStart
+		old.Close()
 	}
-	old, oldStart := l.f, l.segStart
-	l.f, l.segStart = nf, newStart
-	old.Close()
 	entries, err := os.ReadDir(l.dir)
 	if err == nil {
 		for _, e := range entries {
@@ -452,11 +504,9 @@ func (l *Log) WriteCheckpoint(c *Checkpoint) error {
 		}
 	}
 	syncDir(l.dir) //nolint:errcheck // removals are cleanup, not correctness
-	_ = oldStart
 	l.ckptSeq = c.Seq
+	l.ckptEpoch = c.Epoch
 	l.bytesSinceCkpt = 0
-	l.syncedSeq = c.Seq
-	l.cond.Broadcast()
 	return nil
 }
 
@@ -477,6 +527,7 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	l.cond.Broadcast()
+	l.notifyAppendLocked()
 	l.mu.Unlock()
 	close(l.quit)
 	<-l.done

@@ -40,6 +40,7 @@ func TestAppendReopenRoundTrip(t *testing.T) {
 			t.Fatalf("Append seq = %d, want %d", seq, i+1)
 		}
 		want[i].Seq = seq
+		want[i].Epoch = 1
 		if err := l.Sync(seq); err != nil {
 			t.Fatalf("Sync: %v", err)
 		}

@@ -199,6 +199,13 @@ type DB struct {
 	walOpts  wal.Options
 	ckptBusy atomic.Bool // gates automatic checkpoints to one at a time
 
+	// readOnly marks a replication follower: public mutations are
+	// refused (ErrReadOnly) while ReplApply keeps feeding the replicated
+	// history in. Promote clears it. epoch is the in-memory replication
+	// epoch; durable DBs track the epoch in the log instead. See Epoch.
+	readOnly atomic.Bool
+	epoch    atomic.Uint64
+
 	parallelism int
 	cache       bool
 	incremental bool
@@ -255,6 +262,7 @@ func WithIncremental(on bool) Option {
 // mutations are maintained incrementally.
 func New(opts ...Option) *DB {
 	db := &DB{rels: make(map[string]*Relation), parallelism: 0, cache: true, incremental: true, indexes: true, stats: &cqa.EvalStats{}}
+	db.epoch.Store(1)
 	for _, opt := range opts {
 		opt(db)
 	}
